@@ -1,0 +1,19 @@
+"""Experiment 2D — the Suzuki–Yamashita baseline the paper generalizes.
+
+Paper (prior work restated in Section 1): 2D FSYNC robots form F from
+P iff rho(P) divides rho(F).  Measured with the planar simulator.
+"""
+
+from conftest import print_table
+
+from repro.analysis.experiments import baseline_2d_experiment
+
+
+def test_2d_baseline(benchmark):
+    rows = benchmark.pedantic(baseline_2d_experiment,
+                              rounds=1, iterations=1)
+    print_table("2D baseline — divisibility characterization", rows)
+    for row in rows:
+        if row["predicted"]:
+            assert row["formed"], row
+        assert row["predicted"] == (row["rho_F"] % row["rho_P"] == 0)

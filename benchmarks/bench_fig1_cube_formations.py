@@ -1,0 +1,18 @@
+"""Experiment F1 — Figure 1: cube -> regular octagon / square antiprism.
+
+Paper: from a cube (gamma = O) the robots can form a regular octagon
+or a square antiprism (both dihedral) because the symmetricity D4 is
+shared.  Measured: full psi_PF runs under random local frames.
+"""
+
+from conftest import print_table
+
+from repro.analysis.experiments import figure1_experiment
+
+
+def test_figure1(benchmark):
+    rows = benchmark.pedantic(
+        lambda: figure1_experiment(trials=3), rounds=1, iterations=1)
+    print_table("Figure 1 — cube formations", rows)
+    for row in rows:
+        assert row["formed"] == row["trials"], row

@@ -1,0 +1,22 @@
+"""Experiment F4 — regenerate Figure 4 (subgroup lattice).
+
+Paper: the Hasse diagram of the subgroups of the polyhedral groups.
+Measured: cover edges of the ⪯ relation restricted to those types.
+"""
+
+from conftest import print_table
+
+from repro.analysis.lattice import (
+    PAPER_FIGURE4_EDGES,
+    polyhedral_lattice_edges,
+)
+
+
+def test_figure4(benchmark):
+    edges = benchmark.pedantic(polyhedral_lattice_edges,
+                               rounds=3, iterations=1)
+    rows = [{"edge": f"{a} -> {b}",
+             "in_paper": (a, b) in PAPER_FIGURE4_EDGES}
+            for a, b in sorted(edges)]
+    print_table("Figure 4 — subgroup lattice cover edges", rows)
+    assert edges == PAPER_FIGURE4_EDGES

@@ -1,0 +1,17 @@
+"""Experiment L7 — Lemma 7: one go-to-center step breaks the 3D group.
+
+Paper: from each of the seven transitive polyhedra, a single
+synchronized go-to-center step yields gamma(P') in varrho(P).
+Measured: the distribution of gamma(P') over random local frames.
+"""
+
+from conftest import print_table
+
+from repro.analysis.experiments import lemma7_experiment
+
+
+def test_lemma7(benchmark):
+    rows = benchmark.pedantic(
+        lambda: lemma7_experiment(trials=3), rounds=1, iterations=1)
+    print_table("Lemma 7 — go-to-center outcomes", rows)
+    assert all(row["all_in_rho"] for row in rows)

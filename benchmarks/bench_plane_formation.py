@@ -1,0 +1,26 @@
+"""Experiment PF — the DISC 2015 plane formation predecessor.
+
+Paper ([21], used as this paper's foundation): plane formation is
+unsolvable exactly from the configurations whose symmetricity contains
+a 3D rotation group.  Measured on the seven go-to-center polyhedra.
+"""
+
+from conftest import print_table
+
+from repro.analysis.experiments import plane_formation_experiment
+
+EXPECTED = {
+    "tetrahedron": True, "octahedron": True, "cube": True,
+    "cuboctahedron": False, "icosahedron": False,
+    "dodecahedron": True, "icosidodecahedron": True,
+}
+
+
+def test_plane_formation(benchmark):
+    rows = benchmark.pedantic(plane_formation_experiment,
+                              rounds=1, iterations=1)
+    print_table("Plane formation (DISC 2015)", rows)
+    for row in rows:
+        assert row["plane_formable"] == EXPECTED[row["initial"]], row
+        if row["plane_formable"]:
+            assert row["formed"], row

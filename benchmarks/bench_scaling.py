@@ -1,0 +1,94 @@
+"""Experiment SCALE — scaling ablations (not in the paper).
+
+Measures the cost of the building blocks as the number of robots
+grows: gamma(P) detection, the symmetricity computation, and a full
+psi_PF formation round.  Also ablates the epsilon parameter of
+go-to-center (the paper fixes epsilon = edge/100; Lemma 7's argument
+is an epsilon -> 0 limit, so the outcome must be insensitive for all
+small epsilon).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+
+from repro.core.configuration import Configuration
+from repro.core.symmetricity import symmetricity
+from repro.groups.detection import detect_rotation_group
+from repro.patterns import polyhedra
+from repro.robots.adversary import random_frames
+from repro.robots.algorithms import go_to_center
+from repro.robots.algorithms.pattern_formation import (
+    make_pattern_formation_algorithm,
+)
+from repro.robots.scheduler import FsyncScheduler
+
+
+@pytest.mark.parametrize("n", [8, 16, 32, 64])
+def test_detection_scaling(benchmark, n):
+    rng = np.random.default_rng(n)
+    points = [rng.normal(size=3) for _ in range(n)]
+    report = benchmark(detect_rotation_group, points)
+    assert report.kind == "finite"
+
+
+@pytest.mark.parametrize("name", ["cube", "icosahedron",
+                                  "icosidodecahedron"])
+def test_symmetricity_scaling(benchmark, name):
+    from repro.patterns.library import named_pattern
+
+    config = Configuration(named_pattern(name))
+    rho = benchmark.pedantic(
+        lambda: symmetricity(Configuration(named_pattern(name))),
+        rounds=3, iterations=1)
+    assert rho.maximal
+
+
+@pytest.mark.parametrize("n", [6, 10, 16])
+def test_formation_round_scaling(benchmark, n):
+    rng = np.random.default_rng(n)
+    initial = [rng.normal(size=3) for _ in range(n)]
+    target = polyhedra.regular_polygon_pattern(n)
+    frames = random_frames(n, rng)
+    algorithm = make_pattern_formation_algorithm(target)
+    scheduler = FsyncScheduler(algorithm, frames, target=target)
+
+    result = benchmark.pedantic(
+        lambda: scheduler.run(
+            initial, stop_condition=lambda c: c.is_similar_to(target),
+            max_rounds=30),
+        rounds=1, iterations=1)
+    assert result.reached
+
+
+def test_epsilon_ablation(benchmark):
+    """Lemma 7 outcome is insensitive to epsilon (for small epsilon)."""
+    from repro.core.symmetricity import symmetricity
+    from repro.patterns.library import named_pattern
+
+    original = go_to_center.EPSILON_FRACTION
+    rows = []
+
+    def sweep():
+        results = []
+        for fraction in (0.001, 0.005, 0.01, 0.05):
+            go_to_center.EPSILON_FRACTION = fraction
+            points = named_pattern("cube")
+            rho = symmetricity(Configuration(points))
+            frames = random_frames(8, np.random.default_rng(7))
+            scheduler = FsyncScheduler(
+                go_to_center.go_to_center_algorithm, frames)
+            after = Configuration(scheduler.step(points))
+            spec = after.symmetry.spec
+            results.append({"epsilon_fraction": fraction,
+                            "gamma_after": str(spec),
+                            "in_rho": spec in rho.specs})
+        return results
+
+    try:
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    finally:
+        go_to_center.EPSILON_FRACTION = original
+    print_table("epsilon ablation (go-to-center, cube)", rows)
+    assert all(row["in_rho"] for row in rows)

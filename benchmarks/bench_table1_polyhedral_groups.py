@@ -1,0 +1,16 @@
+"""Experiment T1 — regenerate Table 1 (the three polyhedral groups).
+
+Paper: per group, the number of rotations and axes of each fold and
+the group order.  Measured: computed from the concrete matrix groups.
+"""
+
+from conftest import print_table
+
+from repro.analysis.tables import table1_polyhedral_groups
+
+
+def test_table1(benchmark):
+    rows = benchmark.pedantic(table1_polyhedral_groups,
+                              rounds=3, iterations=1)
+    print_table("Table 1 — polyhedral groups", rows)
+    assert all(row["match"] for row in rows)

@@ -1,0 +1,17 @@
+"""Experiment T2 — regenerate Table 2 (transitive sets U_{G,mu}).
+
+Paper: the folding/cardinality table of orbits of T, O, I, with the
+polyhedra they form.  Measured: orbits generated from seed points of
+the prescribed folding, identified up to similarity.
+"""
+
+from conftest import print_table
+
+from repro.analysis.tables import table2_transitive_sets
+
+
+def test_table2(benchmark):
+    rows = benchmark.pedantic(table2_transitive_sets,
+                              rounds=3, iterations=1)
+    print_table("Table 2 — transitive sets", rows)
+    assert all(row["match"] for row in rows)

@@ -1,0 +1,18 @@
+"""Experiment T41 — Theorem 4.1: psi_SYM terminates in <= 7 steps.
+
+Paper: psi_SYM reaches a terminal configuration P' with
+gamma(P') in varrho(P) in at most 7 steps.  Measured: maximum round
+counts over polyhedra and composite configurations.
+"""
+
+from conftest import print_table
+
+from repro.analysis.experiments import theorem41_experiment
+
+
+def test_theorem41(benchmark):
+    rows = benchmark.pedantic(
+        lambda: theorem41_experiment(trials=2), rounds=1, iterations=1)
+    print_table("Theorem 4.1 — psi_SYM", rows)
+    assert all(row["bound_7_holds"] for row in rows)
+    assert all(row["gamma_in_rho"] for row in rows)

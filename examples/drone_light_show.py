@@ -1,0 +1,75 @@
+"""Drone light show: a swarm cycling through 3D formations.
+
+The paper's motivation: swarms of drones that must self-organize
+without global coordinates or identifiers.  This script models a
+12-drone show that starts from an arbitrary scanned layout and chains
+several target formations, re-checking Theorem 1.1 before each leg
+(formability depends on the *current* configuration's symmetricity —
+a symmetric intermediate pattern can make a later pattern unreachable,
+which is exactly what the characterization predicts).
+
+Run:  python examples/drone_light_show.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Configuration, form_pattern, formability_report
+from repro.patterns import antiprism, prism, regular_polygon_pattern
+from repro.patterns.library import named_pattern
+
+
+def scanned_start(n: int, seed: int = 7) -> list[np.ndarray]:
+    """The drones' initial, arbitrary (asymmetric) takeoff layout."""
+    rng = np.random.default_rng(seed)
+    return [rng.normal(scale=5.0, size=3) + np.array([0, 0, 20.0])
+            for _ in range(n)]
+
+
+def main() -> None:
+    show = [
+        ("hexagonal antiprism", antiprism(6)),
+        ("hexagonal prism", prism(6)),
+        ("flat 12-ring", regular_polygon_pattern(12)),
+        ("icosahedron", named_pattern("icosahedron")),
+        ("gather finale", [np.zeros(3)] * 12),
+    ]
+
+    points = scanned_start(12)
+    print(f"12 drones take off from an arbitrary layout "
+          f"(gamma = {Configuration(points).rotation_group.spec})\n")
+
+    for leg, (name, target) in enumerate(show, start=1):
+        current = Configuration(points)
+        report = formability_report(current, Configuration(target))
+        print(f"Leg {leg}: -> {name}")
+        print(f"  varrho(P) = "
+              f"{[str(s) for s in report.initial_symmetricity.maximal]}, "
+              f"varrho(F) = "
+              f"{[str(s) for s in report.target_symmetricity.maximal]}")
+        if not report.formable:
+            print(f"  SKIPPED — {report.explain()}\n")
+            continue
+        result = form_pattern(points, target, seed=leg)
+        points = [p.copy() for p in result.final.points]
+        print(f"  formed in {result.rounds} synchronized cycles\n")
+
+    # The flat ring locks in symmetricity {C12, D6}, so the
+    # icosahedron leg above is correctly SKIPPED (Theorem 1.1's
+    # impossibility direction) — while the gather finale is always
+    # reachable, since every surviving group's order divides n.
+    print("Post-show check: could the gathered swarm do the "
+          "icosahedron now?")
+    try:
+        formability_report(Configuration(points),
+                           Configuration(named_pattern("icosahedron")))
+    except Exception as exc:
+        # The paper's model: coincident oblivious robots with identical
+        # frames can never separate again — gathering is irreversible.
+        print(f"  No — {exc} (gathering is a one-way move for "
+              "oblivious robots).")
+
+
+if __name__ == "__main__":
+    main()

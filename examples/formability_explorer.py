@@ -1,0 +1,75 @@
+"""Formability explorer: the full Theorem 1.1 matrix over the library.
+
+Prints, for every same-size pair of library patterns, whether the
+pattern formation instance is solvable and why — a compact map of the
+characterization.  Also demonstrates the 2D corner: the 3D condition
+``ϱ(P) ⊆ ϱ(F)`` restricted to coplanar patterns recovers the classic
+divisibility flavor of the 2D result.
+
+Run:  python examples/formability_explorer.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Configuration, formability_report, symmetricity
+from repro.patterns import polyhedra
+from repro.patterns.library import named_pattern
+
+
+def build_library() -> dict[str, list[np.ndarray]]:
+    rng = np.random.default_rng(0)
+    return {
+        # 8-robot family
+        "cube": named_pattern("cube"),
+        "octagon": named_pattern("octagon"),
+        "antiprism4": named_pattern("square_antiprism"),
+        "prism4": polyhedra.prism(4),
+        "generic8": [rng.normal(size=3) for _ in range(8)],
+        # 12-robot family
+        "icosahedron": named_pattern("icosahedron"),
+        "cuboctahedron": named_pattern("cuboctahedron"),
+        "12-gon": polyhedra.regular_polygon_pattern(12),
+        "prism6": polyhedra.prism(6),
+        "antiprism6": polyhedra.antiprism(6),
+    }
+
+
+def main() -> None:
+    library = build_library()
+
+    print("Symmetricities:")
+    for name, points in library.items():
+        rho = symmetricity(Configuration(points))
+        gamma = Configuration(points).rotation_group.spec
+        print(f"  {name:14s} n={len(points):2d}  gamma={str(gamma):3s}  "
+              f"varrho = {{{', '.join(str(s) for s in rho.maximal)}}}")
+
+    by_size: dict[int, list[str]] = {}
+    for name, points in library.items():
+        by_size.setdefault(len(points), []).append(name)
+
+    for size, names in sorted(by_size.items()):
+        print(f"\nFormability matrix (n = {size}; row = from, "
+              "col = to; Y/n):")
+        width = max(len(n) for n in names)
+        print(" " * (width + 2)
+              + "  ".join(n[:6].center(6) for n in names))
+        for p_name in names:
+            cells = []
+            for f_name in names:
+                report = formability_report(
+                    Configuration(library[p_name]),
+                    Configuration(library[f_name]))
+                cells.append(("Y" if report.formable else "n").center(6))
+            print(f"{p_name.ljust(width + 2)}" + "  ".join(cells))
+
+    print("\nWhy is octagon -> cube impossible?")
+    report = formability_report(Configuration(library["octagon"]),
+                                Configuration(library["cube"]))
+    print(" ", report.explain())
+
+
+if __name__ == "__main__":
+    main()

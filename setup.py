@@ -1,0 +1,11 @@
+"""Packaging entry point.
+
+The environment has no network access and no ``wheel`` package, so the
+project deliberately uses the legacy ``setup.py`` path (``pip install
+-e .`` falls back to ``setup.py develop`` when no pyproject.toml is
+present), with metadata in setup.cfg.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""Figure 4 — the subgroup lattice of the rotation groups.
+
+Builds the Hasse diagram of ``⪯`` over a bounded family of group
+types with networkx, and provides the paper's polyhedral sub-lattice
+for comparison.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.groups.group import GroupKind, GroupSpec
+from repro.groups.subgroups import is_abstract_subgroup
+
+__all__ = ["subgroup_lattice", "polyhedral_lattice_edges",
+           "PAPER_FIGURE4_EDGES"]
+
+# Figure 4 of the paper (covers among subgroups of the polyhedral
+# groups): an edge (g, h) means g is covered by h.
+PAPER_FIGURE4_EDGES = {
+    ("C1", "C2"), ("C1", "C3"), ("C1", "C5"),
+    ("C2", "C4"), ("C2", "D2"),
+    ("C3", "D3"), ("C3", "T"),
+    ("C4", "D4"),
+    ("C5", "D5"),
+    ("C2", "D3"), ("C2", "D5"),
+    ("D2", "D4"), ("D2", "T"),
+    ("D3", "O"), ("D3", "I"),
+    ("D4", "O"),
+    ("D5", "I"),
+    ("T", "O"), ("T", "I"),
+}
+
+
+def family(max_cyclic: int = 6, max_dihedral: int = 6) -> list[GroupSpec]:
+    """A bounded family of group types for lattice construction."""
+    specs = [GroupSpec(GroupKind.CYCLIC, k) for k in range(1, max_cyclic + 1)]
+    specs += [GroupSpec(GroupKind.DIHEDRAL, l)
+              for l in range(2, max_dihedral + 1)]
+    specs += [GroupSpec(GroupKind.TETRAHEDRAL),
+              GroupSpec(GroupKind.OCTAHEDRAL),
+              GroupSpec(GroupKind.ICOSAHEDRAL)]
+    return specs
+
+
+def subgroup_lattice(max_cyclic: int = 6,
+                     max_dihedral: int = 6) -> nx.DiGraph:
+    """Hasse diagram (cover relation) of ``⪯`` over the family.
+
+    Nodes are spec strings; there is an edge ``g -> h`` when ``g ≺ h``
+    with no intermediate group in the family.
+    """
+    specs = family(max_cyclic, max_dihedral)
+    graph = nx.DiGraph()
+    for spec in specs:
+        graph.add_node(str(spec), order=spec.order)
+    for g in specs:
+        for h in specs:
+            if g == h or not is_abstract_subgroup(g, h):
+                continue
+            covered = any(
+                mid != g and mid != h
+                and is_abstract_subgroup(g, mid)
+                and is_abstract_subgroup(mid, h)
+                for mid in specs)
+            if not covered:
+                graph.add_edge(str(g), str(h))
+    return graph
+
+
+def polyhedral_lattice_edges() -> set[tuple[str, str]]:
+    """Cover edges restricted to subgroups of the polyhedral groups.
+
+    This is the content of Figure 4: only the group types that occur
+    inside ``T``, ``O`` or ``I`` are kept.
+    """
+    polyhedral_members = {"C1", "C2", "C3", "C4", "C5",
+                          "D2", "D3", "D4", "D5", "T", "O", "I"}
+    graph = subgroup_lattice(max_cyclic=5, max_dihedral=5)
+    return {(a, b) for a, b in graph.edges()
+            if a in polyhedral_members and b in polyhedral_members}

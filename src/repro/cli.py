@@ -1,0 +1,174 @@
+"""Command-line interface to the library.
+
+Usage examples::
+
+    python -m repro.cli patterns
+    python -m repro.cli detect cube
+    python -m repro.cli check cube octagon
+    python -m repro.cli form cube square_antiprism --seed 3 --svg out.svg
+    python -m repro.cli tables
+
+Patterns are named-library entries (``python -m repro.cli patterns``
+lists them) or paths to JSON files containing an ``n x 3`` array of
+coordinates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    Configuration,
+    form_pattern,
+    formability_report,
+    symmetricity,
+)
+from repro.errors import ReproError
+from repro.patterns.library import named_pattern, pattern_names
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_pattern(spec: str) -> list[np.ndarray]:
+    if spec in pattern_names():
+        return named_pattern(spec)
+    path = Path(spec)
+    if path.exists():
+        data = json.loads(path.read_text())
+        return [np.asarray(row, dtype=float) for row in data]
+    raise ReproError(
+        f"unknown pattern {spec!r}: not a library name and not a file "
+        f"(library: {', '.join(pattern_names())})")
+
+
+def _cmd_patterns(_args) -> int:
+    for name in pattern_names():
+        points = named_pattern(name)
+        config = Configuration(points)
+        print(f"{name:20s} n={config.n:3d}  "
+              f"gamma={config.rotation_group.spec}")
+    return 0
+
+
+def _cmd_detect(args) -> int:
+    points = _load_pattern(args.pattern)
+    config = Configuration(points)
+    report = config.symmetry
+    print(f"n = {config.n}")
+    if report.kind != "finite":
+        print(f"rotation group: {report.kind} "
+              f"({report.infinite_kind or ''})")
+        return 0
+    print(f"gamma(P) = {report.group.spec} (order {report.group.order})")
+    print("axes:")
+    for axis in report.group.axes:
+        status = "occupied" if axis.occupied else "free"
+        print(f"  {axis.fold}-fold along "
+              f"{np.round(axis.direction, 4)} [{status}]")
+    rho = symmetricity(config) if not config.has_multiplicity else None
+    if rho is not None:
+        print(f"varrho(P) maximal = "
+              f"{{{', '.join(str(s) for s in rho.maximal)}}}")
+    return 0
+
+
+def _cmd_check(args) -> int:
+    initial = Configuration(_load_pattern(args.initial))
+    target = Configuration(_load_pattern(args.target))
+    report = formability_report(initial, target)
+    print(report.explain())
+    return 0 if report.formable else 1
+
+
+def _cmd_form(args) -> int:
+    initial = _load_pattern(args.initial)
+    target = _load_pattern(args.target)
+    result = form_pattern(initial, target, seed=args.seed,
+                          max_rounds=args.max_rounds)
+    print(f"formed: {result.reached} in {result.rounds} rounds")
+    for t, config in enumerate(result.configurations):
+        report = config.symmetry
+        spec = report.spec if report.kind == "finite" else report.kind
+        print(f"  round {t}: gamma = {spec}")
+    if args.svg:
+        from repro.viz import render_execution_svg
+
+        render_execution_svg(result.configurations, args.svg,
+                             target=target)
+        print(f"execution rendered to {args.svg}")
+    return 0 if result.reached else 1
+
+
+def _cmd_tables(_args) -> int:
+    from repro.analysis.tables import (
+        table1_polyhedral_groups,
+        table2_transitive_sets,
+        table3_symmetricity,
+    )
+
+    print("Table 1 — polyhedral groups")
+    for row in table1_polyhedral_groups():
+        print(f"  {row['group']}: order {row['computed_order']} "
+              f"{row['computed']}  match={row['match']}")
+    print("Table 2 — transitive sets")
+    for row in table2_transitive_sets():
+        print(f"  U_{{{row['group']},{row['folding']}}}: "
+              f"|.| = {row['computed_cardinality']} "
+              f"({row['shape']})  match={row['match']}")
+    print("Table 3 — symmetricity")
+    for row in table3_symmetricity():
+        print(f"  U_{{{row['group']},{row['folding']}}}: varrho = "
+              f"{{{', '.join(row['computed_maximal'])}}}  "
+              f"match={row['match']}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pattern formation for FSYNC mobile robots in 3D "
+                    "(Yamauchi-Uehara-Yamashita, PODC 2016)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("patterns", help="list the named pattern library"
+                   ).set_defaults(func=_cmd_patterns)
+
+    detect = sub.add_parser("detect", help="gamma(P) and varrho(P)")
+    detect.add_argument("pattern")
+    detect.set_defaults(func=_cmd_detect)
+
+    check = sub.add_parser("check", help="Theorem 1.1 formability test")
+    check.add_argument("initial")
+    check.add_argument("target")
+    check.set_defaults(func=_cmd_check)
+
+    form = sub.add_parser("form", help="run the formation simulation")
+    form.add_argument("initial")
+    form.add_argument("target")
+    form.add_argument("--seed", type=int, default=0)
+    form.add_argument("--max-rounds", type=int, default=30)
+    form.add_argument("--svg", help="render the execution to an SVG file")
+    form.set_defaults(func=_cmd_form)
+
+    sub.add_parser("tables", help="regenerate the paper's tables"
+                   ).set_defaults(func=_cmd_tables)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Core notions of the paper: configurations, orbit decompositions,
+local views, symmetricity ``ϱ(P)``, and the formability predicate.
+"""
+
+from repro.core.configuration import Configuration
+from repro.core.decomposition import (
+    orbit_decomposition,
+    orbit_folding,
+    is_transitive,
+    principal_axis_of_d2,
+    oriented_axis_direction,
+)
+from repro.core.local_views import local_view, ordered_orbits
+from repro.core.symmetricity import (
+    Symmetricity,
+    symmetricity,
+    symmetricity_of_multiset,
+)
+from repro.core.formability import is_formable, formability_report
+
+__all__ = [
+    "Configuration",
+    "orbit_decomposition",
+    "orbit_folding",
+    "is_transitive",
+    "principal_axis_of_d2",
+    "oriented_axis_direction",
+    "local_view",
+    "ordered_orbits",
+    "Symmetricity",
+    "symmetricity",
+    "symmetricity_of_multiset",
+    "is_formable",
+    "formability_report",
+]

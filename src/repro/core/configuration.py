@@ -1,0 +1,145 @@
+"""Configurations: positions of the robot swarm as a point multiset.
+
+A :class:`Configuration` is an immutable snapshot ``P(t)`` of robot
+positions observed in some coordinate system.  It caches derived data
+(smallest enclosing ball, symmetry report) since detection is the
+expensive step everywhere in the library.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.balls import Ball, innermost_empty_ball, smallest_enclosing_ball
+from repro.geometry.tolerance import DEFAULT_TOL, Tolerance
+from repro.geometry.transforms import Similarity, are_similar
+from repro.groups.detection import SymmetryReport, detect_rotation_group
+from repro.groups.group import RotationGroup
+
+__all__ = ["Configuration"]
+
+
+class Configuration:
+    """An immutable multiset of robot positions in 3-space."""
+
+    def __init__(self, points, tol: Tolerance = DEFAULT_TOL) -> None:
+        pts = [np.asarray(p, dtype=float) for p in points]
+        if not pts:
+            raise ConfigurationError("a configuration cannot be empty")
+        for p in pts:
+            if p.shape != (3,):
+                raise ConfigurationError("points must be 3-vectors")
+            if not np.all(np.isfinite(p)):
+                raise ConfigurationError("points must be finite")
+        self._points = [p.copy() for p in pts]
+        for p in self._points:
+            p.setflags(write=False)
+        self._tol = tol
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> list[np.ndarray]:
+        """The positions (read-only arrays; order is meaningless)."""
+        return list(self._points)
+
+    @property
+    def n(self) -> int:
+        """Number of robots (multiset cardinality)."""
+        return len(self._points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self):
+        return iter(self._points)
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        return self._points[index]
+
+    def as_array(self) -> np.ndarray:
+        """Positions as an ``(n, 3)`` array (a copy)."""
+        return np.asarray(self._points, dtype=float)
+
+    # ------------------------------------------------------------------
+    # Derived geometry (cached)
+    # ------------------------------------------------------------------
+    @cached_property
+    def ball(self) -> Ball:
+        """Smallest enclosing ball ``B(P)``."""
+        return smallest_enclosing_ball(self._points, self._tol)
+
+    @property
+    def center(self) -> np.ndarray:
+        """Center ``b(P)`` of the smallest enclosing ball."""
+        return self.ball.center
+
+    @property
+    def radius(self) -> float:
+        """Radius of ``B(P)``."""
+        return self.ball.radius
+
+    @cached_property
+    def inner_ball(self) -> Ball:
+        """Innermost empty ball ``I(P)``."""
+        return innermost_empty_ball(self._points, center=self.center,
+                                    tol=self._tol)
+
+    @cached_property
+    def symmetry(self) -> SymmetryReport:
+        """Full symmetry report (computes ``γ(P)``)."""
+        return detect_rotation_group(self._points, self._tol)
+
+    @property
+    def rotation_group(self) -> RotationGroup | None:
+        """``γ(P)`` when finite, else None (collinear / degenerate)."""
+        return self.symmetry.group
+
+    @cached_property
+    def has_multiplicity(self) -> bool:
+        """True if two robots share a position."""
+        return self.symmetry.has_multiplicity
+
+    def require_initial(self) -> "Configuration":
+        """Validate the paper's initial-configuration assumptions.
+
+        Initial configurations have ``n >= 3`` robots on distinct
+        positions.  Returns self for chaining.
+        """
+        if self.n < 3:
+            raise ConfigurationError(
+                f"initial configurations need n >= 3 robots, got {self.n}")
+        if self.has_multiplicity:
+            raise ConfigurationError(
+                "initial configurations must not contain multiplicities")
+        return self
+
+    # ------------------------------------------------------------------
+    # Relations
+    # ------------------------------------------------------------------
+    def is_similar_to(self, other, tol: Tolerance | None = None) -> bool:
+        """Pattern similarity ``P ≃ F`` (rotation+translation+scaling)."""
+        other_pts = other.points if isinstance(other, Configuration) else other
+        return are_similar(self._points, list(other_pts),
+                           tol or self._tol)
+
+    def transformed(self, similarity: Similarity) -> "Configuration":
+        """Image of this configuration under a similarity transform."""
+        return Configuration(similarity.apply_all(self._points), self._tol)
+
+    def translated_to_origin(self) -> "Configuration":
+        """Copy with ``b(P)`` moved to the origin."""
+        c = self.center
+        return Configuration([p - c for p in self._points], self._tol)
+
+    def relative_points(self) -> list[np.ndarray]:
+        """Positions relative to ``b(P)``."""
+        c = self.center
+        return [p - c for p in self._points]
+
+    def __repr__(self) -> str:
+        return f"Configuration(n={self.n})"

@@ -1,0 +1,167 @@
+"""Orbit decompositions of configurations under rotation groups.
+
+Implements the ``γ(P)``-decomposition (Theorem 3.1) and the
+``G``-decomposition for arbitrary subgroups ``G ⪯ γ(P)``, the folding
+``μ`` of transitive sets (Lemma 1), the recognizable principal axis of
+``D_2`` (Property 1), and point-set-derived axis orientations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DetectionError, GroupError
+from repro.core.configuration import Configuration
+from repro.core.signatures import cylindrical_signature, line_signature
+from repro.geometry.tolerance import DEFAULT_TOL, Tolerance
+from repro.groups.group import GroupKind, RotationGroup
+
+__all__ = [
+    "orbit_decomposition",
+    "orbit_folding",
+    "is_transitive",
+    "principal_axis_of_d2",
+    "oriented_axis_direction",
+]
+
+
+def _match_slack(config: Configuration) -> float:
+    return 1e-5 * max(config.radius, 1.0)
+
+
+def orbit_decomposition(config: Configuration, group: RotationGroup,
+                        center=None) -> list[list[int]]:
+    """Partition robot indices into orbits of ``group``'s action.
+
+    ``group`` must act on the configuration (every rotated point must
+    be a point of the configuration); the group's rotations are taken
+    about ``center`` (default ``b(P)``).
+
+    Returns a list of orbits, each a list of indices into
+    ``config.points``.  Coincident robots (multiplicities) are spread
+    over the matching positions, so the result is a partition of all
+    ``n`` indices.
+    """
+    c = np.asarray(center if center is not None else config.center,
+                   dtype=float)
+    pts = [p - c for p in config.points]
+    slack = _match_slack(config)
+    unassigned = set(range(len(pts)))
+    orbits: list[list[int]] = []
+    while unassigned:
+        seed = min(unassigned)
+        orbit: list[int] = []
+        for mat in group.elements:
+            image = mat @ pts[seed]
+            match = _claim_nearest(image, pts, unassigned, orbit, slack)
+            if match is None:
+                raise GroupError(
+                    "group does not act on the configuration "
+                    "(orbit image has no matching robot)")
+            if match >= 0:
+                orbit.append(match)
+        for idx in orbit:
+            unassigned.discard(idx)
+        orbits.append(sorted(orbit))
+    return orbits
+
+
+def _claim_nearest(image, pts, unassigned, claimed, slack) -> int | None:
+    """Index of an unclaimed robot at ``image``.
+
+    Returns -1 when the position is already claimed by this orbit
+    (stabilizer hit), None when no robot sits there at all.
+    """
+    best = None
+    best_d = None
+    for idx in unassigned:
+        if idx in claimed:
+            continue
+        d = float(np.linalg.norm(pts[idx] - image))
+        if d <= slack and (best_d is None or d < best_d):
+            best = idx
+            best_d = d
+    if best is not None:
+        return best
+    for idx in claimed:
+        if float(np.linalg.norm(pts[idx] - image)) <= slack:
+            return -1
+    return None
+
+
+def orbit_folding(config: Configuration, group: RotationGroup,
+                  orbit: list[int], center=None) -> int:
+    """Folding ``μ`` of a transitive orbit (Lemma 1): ``|G| / |orbit|``.
+
+    Coincident robots in the orbit count once (the folding is a
+    property of positions, not of robots).
+    """
+    c = np.asarray(center if center is not None else config.center,
+                   dtype=float)
+    slack = _match_slack(config)
+    distinct: list[np.ndarray] = []
+    for idx in orbit:
+        p = config.points[idx] - c
+        if not any(float(np.linalg.norm(p - q)) <= slack for q in distinct):
+            distinct.append(p)
+    size = len(distinct)
+    if group.order % size != 0:
+        raise GroupError("orbit size does not divide the group order")
+    return group.order // size
+
+
+def is_transitive(config: Configuration, group: RotationGroup,
+                  center=None) -> bool:
+    """True if the whole configuration is a single orbit of ``group``."""
+    try:
+        orbits = orbit_decomposition(config, group, center)
+    except GroupError:
+        return False
+    return len(orbits) == 1
+
+
+def principal_axis_of_d2(config: Configuration,
+                         group: RotationGroup) -> np.ndarray:
+    """The recognizable principal axis of a ``D_2`` arrangement.
+
+    Property 1: when ``γ(P) = D_2`` the three 2-fold axes are always
+    distinguishable from the point set — otherwise the rotation group
+    would be strictly larger.  We pick the axis whose line signature is
+    lexicographically smallest (strictly below the other two when the
+    arrangement is genuinely ``D_2``).
+    """
+    if group.spec.kind is not GroupKind.DIHEDRAL or group.spec.param != 2:
+        raise GroupError("principal_axis_of_d2 requires a D_2 group")
+    rel = config.relative_points()
+    mults = [1] * len(rel)
+    scored = sorted(
+        (line_signature(rel, mults, axis.direction), i)
+        for i, axis in enumerate(group.axes)
+    )
+    return group.axes[scored[0][1]].direction
+
+
+def oriented_axis_direction(config: Configuration, direction,
+                            group: RotationGroup | None = None
+                            ) -> np.ndarray | None:
+    """Preferred direction along an axis, derived from the point set.
+
+    Returns the direction ``d`` (unit) such that the configuration's
+    cylindrical signature about ``d`` dominates the one about ``-d``,
+    or None when the two ends are equivalent (some symmetry of ``P``
+    reverses the axis — the axis is unoriented in this arrangement).
+    """
+    d = np.asarray(direction, dtype=float)
+    d = d / np.linalg.norm(d)
+    grp = group if group is not None else config.rotation_group
+    if grp is not None:
+        for mat in grp.elements:
+            if float(np.linalg.norm(mat @ d + d)) <= 1e-6:
+                return None  # a group element reverses the axis
+    rel = config.relative_points()
+    mults = [1] * len(rel)
+    plus = cylindrical_signature(rel, mults, d)
+    minus = cylindrical_signature(rel, mults, -d)
+    if plus == minus:
+        return None
+    return d if plus > minus else -d

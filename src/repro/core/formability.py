@@ -1,0 +1,76 @@
+"""The formability predicate (Theorems 1.1 and 7.1).
+
+FSYNC robots can form target pattern ``F`` from initial configuration
+``P`` iff ``ϱ(P) ⊆ ϱ(F)``.  ``P`` must be a set of at least three
+points; ``F`` may contain multiplicities (Theorem 7.1 / Definition 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.configuration import Configuration
+from repro.core.symmetricity import (
+    Symmetricity,
+    symmetricity,
+    symmetricity_of_multiset,
+)
+from repro.errors import ConfigurationError
+from repro.geometry.tolerance import DEFAULT_TOL, Tolerance
+from repro.groups.group import GroupSpec
+
+__all__ = ["FormabilityReport", "is_formable", "formability_report"]
+
+
+@dataclass
+class FormabilityReport:
+    """Outcome of the formability test with the evidence behind it."""
+
+    formable: bool
+    initial_symmetricity: Symmetricity
+    target_symmetricity: Symmetricity
+    blocking: list[GroupSpec]
+
+    def explain(self) -> str:
+        """Human-readable one-paragraph explanation."""
+        rho_p = ", ".join(str(s) for s in self.initial_symmetricity.maximal)
+        rho_f = ", ".join(str(s) for s in self.target_symmetricity.maximal)
+        if self.formable:
+            return (f"Formable: varrho(P) = {{{rho_p}}} is contained in "
+                    f"varrho(F) = {{{rho_f}}} (Theorem 1.1).")
+        blockers = ", ".join(str(s) for s in self.blocking)
+        return (f"Unformable: varrho(P) = {{{rho_p}}} contains {blockers} "
+                f"which is missing from varrho(F) = {{{rho_f}}}; an "
+                "adversarial arrangement of local coordinate systems "
+                "preserves that symmetry forever (Lemma 4).")
+
+
+def formability_report(initial: Configuration, target: Configuration,
+                       tol: Tolerance = DEFAULT_TOL) -> FormabilityReport:
+    """Evaluate Theorem 1.1's condition and report the evidence.
+
+    Raises
+    ------
+    ConfigurationError
+        If the robot counts differ or ``P`` violates the
+        initial-configuration assumptions (n >= 3, no multiplicity).
+    """
+    initial.require_initial()
+    if initial.n != target.n:
+        raise ConfigurationError(
+            f"robot count mismatch: |P| = {initial.n}, |F| = {target.n}")
+    rho_p = symmetricity(initial, tol)
+    rho_f = symmetricity_of_multiset(target, tol)
+    blocking = sorted(rho_p.specs - rho_f.specs)
+    return FormabilityReport(
+        formable=not blocking,
+        initial_symmetricity=rho_p,
+        target_symmetricity=rho_f,
+        blocking=blocking,
+    )
+
+
+def is_formable(initial: Configuration, target: Configuration,
+                tol: Tolerance = DEFAULT_TOL) -> bool:
+    """True iff ``F`` is formable from ``P`` (Theorem 1.1 / 7.1)."""
+    return formability_report(initial, target, tol).formable

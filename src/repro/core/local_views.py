@@ -1,0 +1,150 @@
+"""Local views and the agreed total ordering of orbits (Theorem 3.1).
+
+The *local view* of a robot is a coordinate-system-free encoding of the
+whole configuration as seen from that robot: the innermost empty ball
+``I(P)`` plays the earth, the line from ``b(P)`` through the robot is
+the earth's axis, and a meridian is fixed by a robot nearest to
+``I(P)``.  Robots in the same orbit of ``γ(P)`` have equal views;
+robots in different orbits have different views (Property 2), which
+lets all robots agree on a total ordering of the orbits.
+
+All view components are scale-invariant (amplitudes are normalized by
+``rad(B(P))``), so a robot computes identical views from its own local
+observation regardless of its unit distance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.errors import ConfigurationError
+from repro.geometry.tolerance import canonical_round
+from repro.groups.group import RotationGroup
+
+__all__ = ["local_view", "ordered_orbits"]
+
+_DECIMALS = 6
+
+
+def _round(x: float) -> float:
+    return float(canonical_round(x, _DECIMALS))
+
+
+def local_view(config: Configuration, index: int) -> tuple:
+    """The local view of robot ``index`` (a comparable nested tuple).
+
+    The view of a robot at ``b(P)`` is a sentinel smaller than every
+    other view (its axis is undefined; it is alone in its orbit).
+    """
+    rel = config.relative_points()
+    scale = max(config.radius, 1e-300)
+    radii = [float(np.linalg.norm(p)) / scale for p in rel]
+    slack = 1e-6
+    own_r = radii[index]
+    if own_r <= slack:
+        return ((-1.0,), tuple(sorted(_round(r) for r in radii)))
+    axis = rel[index] / (own_r * scale)
+
+    inner_r = config.inner_ball.radius / scale
+    candidates = []
+    best_gap = None
+    for j, p in enumerate(rel):
+        perp = p / scale - float(np.dot(p / scale, axis)) * axis
+        perp_len = float(np.linalg.norm(perp))
+        if perp_len <= slack:
+            continue
+        gap = abs(radii[j] - inner_r)
+        if best_gap is None or gap < best_gap - slack:
+            best_gap = gap
+            candidates = [(j, perp / perp_len)]
+        elif abs(gap - best_gap) <= slack:
+            candidates.append((j, perp / perp_len))
+    if not candidates:
+        # Every other robot is on the axis: encode the heights only.
+        heights = sorted(_round(float(np.dot(p, axis)) / scale) for p in rel)
+        return ((_round(own_r),), tuple(heights))
+
+    best_view: tuple | None = None
+    for meridian_index, u in candidates:
+        v = np.cross(axis, u)
+        entries = []
+        for j, p in enumerate(rel):
+            r = radii[j]
+            if r <= slack:
+                entries.append((0.0, 0.0, 0.0))
+                continue
+            unit = p / (r * scale)
+            height = float(np.clip(np.dot(unit, axis), -1.0, 1.0))
+            latitude = float(np.arcsin(height))
+            perp = unit - height * axis
+            perp_len = float(np.linalg.norm(perp))
+            if perp_len <= slack:
+                longitude = 0.0
+            else:
+                longitude = float(np.arctan2(np.dot(perp, v),
+                                             np.dot(perp, u)))
+                longitude %= 2.0 * np.pi
+                # Collapse the 2π wraparound: an angle of -1e-16 must
+                # encode as 0.0, not 6.283185 (observers would differ).
+                if longitude >= 2.0 * np.pi - 5e-7:
+                    longitude = 0.0
+            entries.append((_round(r), _round(longitude), _round(latitude)))
+        own = entries[index]
+        meridian = entries[meridian_index]
+        rest = sorted(entries[j] for j in range(len(entries))
+                      if j not in (index, meridian_index))
+        view = (own, meridian, tuple(rest))
+        if best_view is None or view < best_view:
+            best_view = view
+    return best_view
+
+
+def ordered_orbits(config: Configuration, group: RotationGroup,
+                   orbits: list[list[int]] | None = None,
+                   center=None) -> list[list[int]]:
+    """The agreed total ordering of the ``group``-orbits of ``P``.
+
+    Orbits are ordered primarily by their radius (distance from
+    ``b(P)``), which realizes Property 2 (the first orbit lies on
+    ``I(P)``, the last on ``B(P)``, and each next orbit lies on or
+    outside the previous orbit's ball); ties are broken by the minimum
+    local view of the orbit members, which differs across orbits by
+    Theorem 3.1.
+
+    Raises
+    ------
+    ConfigurationError
+        If two distinct orbits cannot be separated (only possible for
+        multisets, which the paper excludes from this agreement).
+    """
+    from repro.core.decomposition import orbit_decomposition
+
+    if orbits is None:
+        orbits = orbit_decomposition(config, group, center)
+    c = np.asarray(center if center is not None else config.center,
+                   dtype=float)
+    scale = max(config.radius, 1e-300)
+
+    # Sort by radius first; local views (quadratic to compute) are only
+    # evaluated to break ties between orbits sharing a radius.
+    by_radius: dict[float, list[list[int]]] = {}
+    for orbit in orbits:
+        radius = _round(
+            float(np.linalg.norm(config.points[orbit[0]] - c)) / scale)
+        by_radius.setdefault(radius, []).append(orbit)
+    result: list[list[int]] = []
+    for radius in sorted(by_radius):
+        tied = by_radius[radius]
+        if len(tied) == 1:
+            result.extend(tied)
+            continue
+        keyed = sorted(
+            (min(local_view(config, j) for j in orbit), orbit)
+            for orbit in tied)
+        for (view_a, _), (view_b, _) in zip(keyed, keyed[1:]):
+            if view_a == view_b:
+                raise ConfigurationError(
+                    "orbits are not totally ordered (multiset ambiguity)")
+        result.extend(orbit for _, orbit in keyed)
+    return result

@@ -1,0 +1,134 @@
+"""Rotation-invariant geometric signatures of point sets.
+
+Several constructions in the paper require a *canonical, equivariant
+choice* among finitely many geometric candidates (a preferred direction
+along an oriented axis, the principal axis of ``D_2``, one of the two
+icosahedral extensions of a tetrahedral arrangement, ...).  All robots
+must make the same choice from their own observations, so the choice
+must be a function of the point set's geometry only.
+
+This module provides comparable signature tuples:
+
+* :func:`cylindrical_signature` — the configuration seen from an
+  *oriented* axis; reflection-sensitive thanks to signed pair angles,
+  so it distinguishes the two directions of an axis whenever the
+  configuration does.
+* :func:`line_signature` — the same, made sign-of-direction invariant.
+* :func:`frame_signature` — coordinates in a full candidate frame.
+* :func:`group_arrangement_signature` — per-axis profile of a whole
+  candidate group arrangement.
+
+Signatures are nested tuples of rounded floats, compared
+lexicographically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.tolerance import canonical_round
+from repro.geometry.vectors import normalize, orthonormal_basis_for
+
+__all__ = [
+    "cylindrical_signature",
+    "line_signature",
+    "frame_signature",
+    "group_arrangement_signature",
+]
+
+_DECIMALS = 6
+
+
+def _rounded(value: float) -> float:
+    return float(canonical_round(value, _DECIMALS))
+
+
+def cylindrical_signature(rel_points, multiplicities, direction) -> tuple:
+    """Signature of the points relative to an oriented axis direction.
+
+    Components:
+
+    1. the sorted multiset of per-point features
+       ``(height along axis, perpendicular radius, multiplicity)``;
+    2. the sorted multiset of ordered-pair features
+       ``(h_p, r_p, h_q, r_q, signed angle from p to q about the
+       axis)`` — the signed angle flips when the axis direction flips,
+       so the signature distinguishes the two directions whenever the
+       configuration is chiral about the axis.
+
+    Invariant under rotations about the axis and under global rotation
+    of points-plus-axis together (equivariance).
+    """
+    d = normalize(direction)
+    u, v, _ = orthonormal_basis_for(d)
+    singles = []
+    projected = []
+    for p, m in zip(rel_points, multiplicities):
+        arr = np.asarray(p, dtype=float)
+        h = float(np.dot(arr, d))
+        perp_vec = arr - h * d
+        r = float(np.linalg.norm(perp_vec))
+        singles.append((_rounded(h), _rounded(r), int(m)))
+        theta = float(np.arctan2(np.dot(perp_vec, v), np.dot(perp_vec, u)))
+        projected.append((h, r, theta, int(m)))
+    singles.sort()
+    pairs = []
+    for i, (hi, ri, ti, mi) in enumerate(projected):
+        for j, (hj, rj, tj, mj) in enumerate(projected):
+            if i == j:
+                continue
+            if ri < 1e-9 or rj < 1e-9:
+                continue  # on-axis points carry no angular information
+            delta = (tj - ti) % (2.0 * np.pi)
+            if delta >= 2.0 * np.pi - 5e-7:
+                # Collapse the 2π wraparound so -1e-16 and +1e-16
+                # angle differences encode identically.
+                delta = 0.0
+            pairs.append((_rounded(hi), _rounded(ri), mi,
+                          _rounded(hj), _rounded(rj), mj,
+                          _rounded(delta)))
+    pairs.sort()
+    return (tuple(singles), tuple(pairs))
+
+
+def line_signature(rel_points, multiplicities, direction) -> tuple:
+    """Direction-sign-invariant signature of the points about a line."""
+    plus = cylindrical_signature(rel_points, multiplicities, direction)
+    minus = cylindrical_signature(rel_points, multiplicities,
+                                  -np.asarray(direction, dtype=float))
+    return min(plus, minus)
+
+
+def frame_signature(rel_points, multiplicities, frame) -> tuple:
+    """Signature of the points in a candidate right-handed frame.
+
+    ``frame`` is a 3x3 matrix whose *columns* are the frame axes.
+    Comparing frame signatures of candidate frames is equivariant:
+    rotating points and candidates together leaves every signature
+    unchanged.
+    """
+    basis = np.asarray(frame, dtype=float)
+    rows = []
+    for p, m in zip(rel_points, multiplicities):
+        coords = basis.T @ np.asarray(p, dtype=float)
+        rows.append((_rounded(coords[0]), _rounded(coords[1]),
+                     _rounded(coords[2]), int(m)))
+    rows.sort()
+    return tuple(rows)
+
+
+def group_arrangement_signature(rel_points, multiplicities, group) -> tuple:
+    """Signature of a candidate group arrangement relative to the points.
+
+    For each axis of the candidate group, record ``(fold,
+    line_signature of the points about the axis)``; the sorted list of
+    those is invariant under rotating points and candidate together,
+    so it can rank competing arrangements equivariantly.
+    """
+    entries = []
+    for axis in group.axes:
+        entries.append((int(axis.fold),
+                        line_signature(rel_points, multiplicities,
+                                       axis.direction)))
+    entries.sort()
+    return tuple(entries)

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures with a single except clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GeometryError(ReproError):
+    """A geometric routine received degenerate or invalid input."""
+
+
+class GroupError(ReproError):
+    """A rotation-group operation failed (bad axes, non-closure, ...)."""
+
+
+class DetectionError(ReproError):
+    """Symmetry detection could not classify a point set."""
+
+
+class ConfigurationError(ReproError):
+    """A robot configuration violates the model's assumptions."""
+
+
+class EmbeddingError(ReproError):
+    """No valid embedding of the target pattern exists."""
+
+
+class MatchingError(ReproError):
+    """Destination matching between configuration and pattern failed."""
+
+
+class UnsolvableError(ReproError):
+    """The requested pattern formation instance is unsolvable.
+
+    Raised when ``varrho(P) ⊆ varrho(F)`` does not hold (Theorem 1.1).
+    """
+
+
+class SimulationError(ReproError):
+    """The FSYNC simulation engine hit an unexpected state."""

@@ -1,0 +1,170 @@
+"""Smallest enclosing ball (Welzl, 3D) and the innermost empty ball.
+
+The paper denotes by ``B(P)`` the smallest enclosing ball of a point
+(multi)set ``P``, by ``b(P)`` its center, and by ``I(P)`` the innermost
+empty ball: the largest ball centered at ``b(P)`` whose interior
+contains no point of ``P`` (at least one point of ``P`` lies on it).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.tolerance import DEFAULT_TOL, Tolerance
+
+__all__ = [
+    "Ball",
+    "smallest_enclosing_ball",
+    "innermost_empty_ball",
+    "is_spherical",
+]
+
+
+@dataclass(frozen=True)
+class Ball:
+    """A ball in 3-space given by center and radius."""
+
+    center: np.ndarray
+    radius: float
+
+    def contains(self, point, tol: Tolerance = DEFAULT_TOL) -> bool:
+        """True if ``point`` lies in the closed ball (with slack)."""
+        d = float(np.linalg.norm(np.asarray(point, dtype=float) - self.center))
+        return d <= self.radius + tol.abs_tol + tol.rel_tol * max(self.radius, 1.0)
+
+    def on_sphere(self, point, tol: Tolerance = DEFAULT_TOL) -> bool:
+        """True if ``point`` lies on the bounding sphere."""
+        d = float(np.linalg.norm(np.asarray(point, dtype=float) - self.center))
+        return tol.close(d, self.radius)
+
+    def strictly_inside(self, point, tol: Tolerance = DEFAULT_TOL) -> bool:
+        """True if ``point`` lies in the open ball (off the sphere)."""
+        d = float(np.linalg.norm(np.asarray(point, dtype=float) - self.center))
+        return d < self.radius - max(tol.abs_tol, tol.rel_tol * max(self.radius, 1.0))
+
+
+def _ball_from_points(points: list[np.ndarray]) -> Ball:
+    """Exact smallest ball through 0..4 boundary points."""
+    count = len(points)
+    if count == 0:
+        return Ball(center=np.zeros(3), radius=0.0)
+    if count == 1:
+        return Ball(center=points[0].copy(), radius=0.0)
+    if count == 2:
+        center = (points[0] + points[1]) / 2.0
+        radius = float(np.linalg.norm(points[0] - center))
+        return Ball(center=center, radius=radius)
+    if count == 3:
+        return _circumball_triangle(points[0], points[1], points[2])
+    return _circumball_tetrahedron(points[0], points[1], points[2], points[3])
+
+
+def _circumball_triangle(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> Ball:
+    """Smallest ball whose sphere passes through three points.
+
+    The center lies in the plane of the triangle (circumcenter).
+    Degenerate (collinear) triples fall back to the longest-edge
+    diametral ball.
+    """
+    ab = b - a
+    ac = c - a
+    cross = np.cross(ab, ac)
+    denom = 2.0 * float(np.dot(cross, cross))
+    if denom < 1e-18:
+        # Collinear: diametral ball of the farthest pair.
+        pairs = [(a, b), (a, c), (b, c)]
+        far = max(pairs, key=lambda pq: float(np.linalg.norm(pq[0] - pq[1])))
+        center = (far[0] + far[1]) / 2.0
+        return Ball(center=center, radius=float(np.linalg.norm(far[0] - center)))
+    rel = (float(np.dot(ac, ac)) * np.cross(cross, ab)
+           + float(np.dot(ab, ab)) * np.cross(ac, cross)) / denom
+    center = a + rel
+    radius = float(np.linalg.norm(rel))
+    return Ball(center=center, radius=radius)
+
+
+def _circumball_tetrahedron(a, b, c, d) -> Ball:
+    """Ball whose sphere passes through four points (circumsphere)."""
+    mat = np.stack([b - a, c - a, d - a])
+    rhs = 0.5 * np.array([
+        float(np.dot(b - a, b - a)),
+        float(np.dot(c - a, c - a)),
+        float(np.dot(d - a, d - a)),
+    ])
+    det = float(np.linalg.det(mat))
+    if abs(det) < 1e-15:
+        # Degenerate (coplanar) quadruple: fall back to triangle balls.
+        best: Ball | None = None
+        pts = [a, b, c, d]
+        for i in range(4):
+            sub = [pts[j] for j in range(4) if j != i]
+            ball = _circumball_triangle(*sub)
+            if all(ball.contains(p) for p in pts):
+                if best is None or ball.radius < best.radius:
+                    best = ball
+        if best is None:
+            raise GeometryError("degenerate circumsphere support set")
+        return best
+    rel = np.linalg.solve(mat, rhs)
+    center = a + rel
+    radius = float(np.linalg.norm(rel))
+    return Ball(center=center, radius=radius)
+
+
+def smallest_enclosing_ball(points, tol: Tolerance = DEFAULT_TOL,
+                            seed: int = 0) -> Ball:
+    """Smallest enclosing ball ``B(P)`` of a non-empty point set.
+
+    Implements Welzl's randomized move-to-front algorithm.  The
+    shuffle uses a deterministic seed so results are reproducible.
+    """
+    pts = [np.asarray(p, dtype=float) for p in points]
+    if not pts:
+        raise GeometryError("smallest enclosing ball of an empty set")
+    rng = random.Random(seed)
+    shuffled = pts[:]
+    rng.shuffle(shuffled)
+    return _welzl(shuffled, [], tol)
+
+
+def _welzl(points: list[np.ndarray], boundary: list[np.ndarray],
+           tol: Tolerance) -> Ball:
+    """Iterative Welzl with explicit work list (avoids deep recursion)."""
+    if len(boundary) == 4:
+        return _ball_from_points(boundary)
+    ball = _ball_from_points(boundary)
+    for i, p in enumerate(points):
+        if not ball.contains(p, tol):
+            ball = _welzl(points[:i], boundary + [p], tol)
+    return ball
+
+
+def innermost_empty_ball(points, center=None,
+                         tol: Tolerance = DEFAULT_TOL) -> Ball:
+    """Innermost empty ball ``I(P)``: centered at ``b(P)``, touching
+    the nearest point of ``P``.
+
+    ``center`` overrides the ball center (defaults to ``b(P)``).
+    If a point of ``P`` sits exactly at the center, the radius is 0.
+    """
+    pts = [np.asarray(p, dtype=float) for p in points]
+    if not pts:
+        raise GeometryError("innermost empty ball of an empty set")
+    if center is None:
+        center = smallest_enclosing_ball(pts, tol).center
+    center = np.asarray(center, dtype=float)
+    radius = min(float(np.linalg.norm(p - center)) for p in pts)
+    return Ball(center=center, radius=radius)
+
+
+def is_spherical(points, tol: Tolerance = DEFAULT_TOL) -> bool:
+    """True if all points lie on the smallest enclosing sphere."""
+    pts = [np.asarray(p, dtype=float) for p in points]
+    ball = smallest_enclosing_ball(pts, tol)
+    scale_tol = Tolerance(abs_tol=tol.abs_tol * max(1.0, ball.radius),
+                          rel_tol=tol.rel_tol)
+    return all(ball.on_sphere(p, scale_tol) for p in pts)

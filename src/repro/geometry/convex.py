@@ -1,0 +1,145 @@
+"""Convex polyhedra: faces, adjacency, and face centers.
+
+The go-to-center algorithm (Algorithm 4.1 of the paper) moves each
+robot toward the center of an *adjacent face* of the polyhedron the
+configuration forms.  scipy's ``ConvexHull`` returns a triangulation;
+this module merges coplanar triangles back into the true faces so a
+cube has 6 square faces, a cuboctahedron has 8 triangles + 6 squares,
+and so on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.spatial import ConvexHull
+
+from repro.errors import GeometryError
+from repro.geometry.tolerance import DEFAULT_TOL, Tolerance
+
+__all__ = ["Face", "ConvexPolyhedron"]
+
+
+@dataclass(frozen=True)
+class Face:
+    """A (merged, planar) face of a convex polyhedron.
+
+    Attributes
+    ----------
+    vertex_indices:
+        Indices into the polyhedron's vertex array, in cyclic order
+        around the face (counter-clockwise seen from outside).
+    normal:
+        Outward unit normal.
+    center:
+        Arithmetic mean of the face's vertices.
+    """
+
+    vertex_indices: tuple[int, ...]
+    normal: np.ndarray
+    center: np.ndarray
+
+    @property
+    def size(self) -> int:
+        """Number of vertices on the face."""
+        return len(self.vertex_indices)
+
+
+class ConvexPolyhedron:
+    """Convex hull of a 3D point set with merged coplanar faces."""
+
+    def __init__(self, points, tol: Tolerance = DEFAULT_TOL) -> None:
+        self.vertices = np.asarray(list(points), dtype=float)
+        if self.vertices.ndim != 2 or self.vertices.shape[1] != 3:
+            raise GeometryError("ConvexPolyhedron expects Nx3 points")
+        if len(self.vertices) < 4:
+            raise GeometryError("need at least 4 points for a 3D hull")
+        self._tol = tol
+        try:
+            hull = ConvexHull(self.vertices)
+        except Exception as exc:  # scipy raises QhullError on flat input
+            raise GeometryError(f"convex hull failed: {exc}") from exc
+        if len(hull.vertices) != len(self.vertices):
+            raise GeometryError(
+                "some points are not vertices of their convex hull")
+        self.faces = self._merge_faces(hull)
+
+    def _merge_faces(self, hull: ConvexHull) -> list[Face]:
+        """Group hull simplices by (normal, offset) into true faces."""
+        scale = float(np.abs(self.vertices).max())
+        slack = 1e3 * self._tol.abs_tol * max(1.0, scale)
+        groups: list[dict] = []
+        centroid = self.vertices.mean(axis=0)
+        for simplex, eq in zip(hull.simplices, hull.equations):
+            normal = eq[:3]
+            offset = eq[3]
+            # Ensure outward orientation relative to the centroid.
+            if float(np.dot(normal, centroid)) + offset > 0:
+                normal = -normal
+                offset = -offset
+            placed = False
+            for group in groups:
+                if (np.linalg.norm(group["normal"] - normal) <= slack
+                        and abs(group["offset"] - offset) <= slack):
+                    group["vertices"].update(int(i) for i in simplex)
+                    placed = True
+                    break
+            if not placed:
+                groups.append({
+                    "normal": normal.copy(),
+                    "offset": float(offset),
+                    "vertices": set(int(i) for i in simplex),
+                })
+        faces = []
+        for group in groups:
+            ordered = self._cyclic_order(sorted(group["vertices"]),
+                                         group["normal"])
+            pts = self.vertices[list(ordered)]
+            faces.append(Face(
+                vertex_indices=tuple(ordered),
+                normal=group["normal"] / np.linalg.norm(group["normal"]),
+                center=pts.mean(axis=0),
+            ))
+        return faces
+
+    def _cyclic_order(self, indices: list[int], normal) -> list[int]:
+        """Order face vertices counter-clockwise about the normal."""
+        pts = self.vertices[indices]
+        center = pts.mean(axis=0)
+        n = np.asarray(normal, dtype=float)
+        n = n / np.linalg.norm(n)
+        rel0 = pts[0] - center
+        u = rel0 - float(np.dot(rel0, n)) * n
+        u = u / np.linalg.norm(u)
+        v = np.cross(n, u)
+        angles = np.arctan2((pts - center) @ v, (pts - center) @ u)
+        order = np.argsort(angles)
+        return [indices[i] for i in order]
+
+    def faces_of_vertex(self, vertex_index: int) -> list[Face]:
+        """Faces incident to a given vertex (the 'adjacent faces')."""
+        return [f for f in self.faces if vertex_index in f.vertex_indices]
+
+    def face_sizes(self) -> list[int]:
+        """Sorted list of face vertex counts (a shape fingerprint)."""
+        return sorted(f.size for f in self.faces)
+
+    def edge_lengths(self) -> list[float]:
+        """All edge lengths (each edge once)."""
+        seen: set[tuple[int, int]] = set()
+        lengths: list[float] = []
+        for face in self.faces:
+            idx = face.vertex_indices
+            for i in range(len(idx)):
+                a, b = idx[i], idx[(i + 1) % len(idx)]
+                key = (min(a, b), max(a, b))
+                if key not in seen:
+                    seen.add(key)
+                    lengths.append(float(np.linalg.norm(
+                        self.vertices[a] - self.vertices[b])))
+        return lengths
+
+    def min_edge_length(self) -> float:
+        """Shortest edge length of the hull."""
+        return min(self.edge_lengths())

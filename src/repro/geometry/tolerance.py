@@ -1,0 +1,84 @@
+"""Tolerance discipline for floating-point geometry.
+
+The paper's constructions live in exact real arithmetic; we reproduce
+them in float64.  Every feature the algorithms depend on (edge lengths,
+orbit radii, angles between rotation axes) is bounded well away from
+zero for the configurations the model admits, so a uniform absolute /
+relative tolerance is sound.  All comparisons in the library funnel
+through this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Tolerance",
+    "DEFAULT_TOL",
+    "isclose",
+    "iszero",
+    "canonical_round",
+]
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Absolute and relative tolerance pair used across the library.
+
+    Attributes
+    ----------
+    abs_tol:
+        Absolute slack used when comparing quantities near zero.
+    rel_tol:
+        Relative slack used when comparing large quantities.
+    """
+
+    abs_tol: float = 1e-7
+    rel_tol: float = 1e-7
+
+    def close(self, a: float, b: float) -> bool:
+        """Return True if ``a`` and ``b`` are equal within tolerance."""
+        return bool(
+            abs(a - b) <= max(self.abs_tol, self.rel_tol * max(abs(a), abs(b)))
+        )
+
+    def zero(self, a: float) -> bool:
+        """Return True if ``a`` is zero within absolute tolerance."""
+        return bool(abs(a) <= self.abs_tol)
+
+    def scaled(self, scale: float) -> "Tolerance":
+        """Return a tolerance whose absolute slack is scaled by ``scale``.
+
+        Useful when working with configurations whose coordinates were
+        multiplied by a known factor.
+        """
+        return Tolerance(abs_tol=self.abs_tol * max(scale, 1.0),
+                         rel_tol=self.rel_tol)
+
+
+DEFAULT_TOL = Tolerance()
+
+
+def isclose(a: float, b: float, tol: Tolerance = DEFAULT_TOL) -> bool:
+    """Return True if scalars ``a`` and ``b`` agree within ``tol``."""
+    return tol.close(float(a), float(b))
+
+
+def iszero(a: float, tol: Tolerance = DEFAULT_TOL) -> bool:
+    """Return True if scalar ``a`` is zero within ``tol``."""
+    return tol.zero(float(a))
+
+
+def canonical_round(value, decimals: int = 6):
+    """Round ``value`` (scalar or array) for hashing / dict keys.
+
+    Rounding maps ``-0.0`` to ``0.0`` so keys built from rounded
+    coordinates are stable across sign-of-zero noise.
+    """
+    rounded = np.round(np.asarray(value, dtype=float), decimals)
+    rounded = rounded + 0.0  # normalizes -0.0 to 0.0
+    if rounded.ndim == 0:
+        return float(rounded)
+    return rounded

@@ -1,0 +1,53 @@
+"""Finite rotation groups in 3-space and symmetry detection.
+
+This package implements Section 3 of the paper: the five kinds of
+finite rotation groups (cyclic ``C_k``, dihedral ``D_l``, tetrahedral
+``T``, octahedral ``O``, icosahedral ``I``), the subgroup relation
+``⪯``, embeddings, and the rotation group ``γ(P)`` of a point
+(multi)set.
+"""
+
+from repro.groups.axes import RotationAxis, axis_line_key
+from repro.groups.group import GroupKind, GroupSpec, RotationGroup
+from repro.groups.catalog import (
+    cyclic_group,
+    dihedral_group,
+    tetrahedral_group,
+    octahedral_group,
+    icosahedral_group,
+    group_from_spec,
+    identity_group,
+)
+from repro.groups.subgroups import (
+    is_abstract_subgroup,
+    proper_abstract_subgroups,
+    enumerate_concrete_subgroups,
+    classify_elements,
+    maximal_elements,
+)
+from repro.groups.detection import detect_rotation_group, SymmetryReport
+from repro.groups.infinite import InfiniteGroupKind, detect_collinear_kind
+
+__all__ = [
+    "RotationAxis",
+    "axis_line_key",
+    "GroupKind",
+    "GroupSpec",
+    "RotationGroup",
+    "cyclic_group",
+    "dihedral_group",
+    "tetrahedral_group",
+    "octahedral_group",
+    "icosahedral_group",
+    "group_from_spec",
+    "identity_group",
+    "is_abstract_subgroup",
+    "proper_abstract_subgroups",
+    "enumerate_concrete_subgroups",
+    "classify_elements",
+    "maximal_elements",
+    "detect_rotation_group",
+    "SymmetryReport",
+    "InfiniteGroupKind",
+    "detect_collinear_kind",
+]

@@ -1,0 +1,346 @@
+"""Detection of the rotation group ``γ(P)`` of a point (multi)set.
+
+Definition 1/3 of the paper: ``γ(P)`` is the rotation group in the
+five families that acts on ``P`` (preserving multiplicities) and none
+of whose proper supergroups does.  All rotation axes pass through the
+center ``b(P)`` of the smallest enclosing ball.
+
+The detector enumerates *all* rotations preserving ``P``:
+
+1. translate so ``b(P)`` is the origin and bucket distinct points into
+   shells by (radius, multiplicity);
+2. pick the most constrained shell; every symmetry permutes it;
+3. a rotation is determined by the images of two independent points,
+   so candidate rotations come from mapping a fixed reference pair
+   onto compatible pairs; each candidate is verified on the full
+   multiset;
+4. the verified rotations form the group, which is then classified.
+
+Degenerate inputs (all points coincident, collinear configurations
+with their infinite groups) are reported explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DetectionError
+from repro.geometry.balls import smallest_enclosing_ball
+from repro.geometry.tolerance import DEFAULT_TOL, Tolerance
+from repro.groups.axes import RotationAxis
+from repro.groups.group import RotationGroup, GroupSpec, GroupKind
+from repro.groups.infinite import InfiniteGroupKind, detect_collinear_kind
+from repro.geometry.rotations import rotation_about_axis
+
+__all__ = ["SymmetryReport", "detect_rotation_group"]
+
+
+@dataclass
+class SymmetryReport:
+    """Result of symmetry detection on a point multiset.
+
+    Attributes
+    ----------
+    kind:
+        ``"finite"`` for the five families, ``"collinear"`` when all
+        points lie on a line through the center (infinite group),
+        ``"degenerate"`` when all points coincide.
+    group:
+        The concrete :class:`RotationGroup` (finite case only), with
+        per-axis ``occupied`` flags filled in.
+    center:
+        ``b(P)``, center of the smallest enclosing ball.
+    radius:
+        ``rad(B(P))``.
+    infinite_kind:
+        For collinear configurations, whether the group is ``C_∞`` or
+        ``D_∞``.
+    line_direction:
+        For collinear configurations, a unit vector along the line.
+    center_occupied:
+        True when a point of ``P`` sits exactly at the center.
+    distinct_points / multiplicities:
+        The support of the multiset and the multiplicity of each
+        support point (parallel lists).
+    """
+
+    kind: str
+    center: np.ndarray
+    radius: float
+    group: RotationGroup | None = None
+    infinite_kind: InfiniteGroupKind | None = None
+    line_direction: np.ndarray | None = None
+    center_occupied: bool = False
+    distinct_points: list = field(default_factory=list)
+    multiplicities: list = field(default_factory=list)
+
+    @property
+    def spec(self) -> GroupSpec | None:
+        """Group type, or None for non-finite cases."""
+        return self.group.spec if self.group is not None else None
+
+    @property
+    def has_multiplicity(self) -> bool:
+        """True if some point of ``P`` is occupied by several robots."""
+        return any(m > 1 for m in self.multiplicities)
+
+
+class _PointIndex:
+    """Grid hash of a point multiset supporting tolerant lookups."""
+
+    def __init__(self, points, multiplicities, cell: float) -> None:
+        self.cell = cell
+        self.table: dict[tuple, list[tuple[np.ndarray, int]]] = {}
+        for p, m in zip(points, multiplicities):
+            key = self._key(p)
+            self.table.setdefault(key, []).append((np.asarray(p, float), m))
+
+    def _key(self, p) -> tuple:
+        arr = np.asarray(p, dtype=float)
+        return tuple(int(math.floor(c / self.cell)) for c in arr)
+
+    def find(self, p, slack: float) -> tuple[np.ndarray, int] | None:
+        """Nearest stored point within ``slack`` plus its multiplicity."""
+        base = self._key(p)
+        best = None
+        best_d = None
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for dz in (-1, 0, 1):
+                    key = (base[0] + dx, base[1] + dy, base[2] + dz)
+                    for stored, mult in self.table.get(key, ()):
+                        d = float(np.linalg.norm(stored - np.asarray(p)))
+                        if d <= slack and (best_d is None or d < best_d):
+                            best = (stored, mult)
+                            best_d = d
+        return best
+
+
+def _collapse_multiset(points, slack: float):
+    """Distinct points with multiplicities (tolerant clustering)."""
+    distinct: list[np.ndarray] = []
+    multiplicities: list[int] = []
+    for p in points:
+        arr = np.asarray(p, dtype=float)
+        matched = False
+        for i, q in enumerate(distinct):
+            if float(np.linalg.norm(arr - q)) <= slack:
+                multiplicities[i] += 1
+                matched = True
+                break
+        if not matched:
+            distinct.append(arr)
+            multiplicities.append(1)
+    return distinct, multiplicities
+
+
+def detect_rotation_group(points, tol: Tolerance = DEFAULT_TOL
+                          ) -> SymmetryReport:
+    """Compute ``γ(P)`` and related symmetry data for a point multiset.
+
+    See the module docstring for the strategy.  The returned report's
+    group has ``occupied`` flags set on every axis (an axis is occupied
+    when its line contains a point of ``P``; a point at the center
+    occupies every axis).
+    """
+    pts = [np.asarray(p, dtype=float) for p in points]
+    if not pts:
+        raise DetectionError("cannot detect symmetry of an empty set")
+    ball = smallest_enclosing_ball(pts, tol)
+    center = ball.center
+    scale = max(ball.radius, 1.0)
+    slack = 1e-6 * scale
+    distinct, mults = _collapse_multiset(pts, slack)
+    rel = [p - center for p in distinct]
+    radii = [float(np.linalg.norm(r)) for r in rel]
+
+    report = SymmetryReport(
+        kind="finite", center=center, radius=ball.radius,
+        distinct_points=distinct, multiplicities=mults)
+    report.center_occupied = any(r <= slack for r in radii)
+
+    if all(r <= slack for r in radii):
+        report.kind = "degenerate"
+        return report
+
+    line = _common_line(rel, radii, slack)
+    if line is not None:
+        report.kind = "collinear"
+        report.line_direction = line
+        report.infinite_kind = detect_collinear_kind(rel, mults, tol)
+        return report
+
+    elements = _symmetry_rotations(rel, mults, radii, slack, scale)
+    group = RotationGroup(elements, tol=tol)
+    group.axes = [
+        axis.with_occupied(_axis_occupied(axis, rel, radii, slack,
+                                          report.center_occupied))
+        for axis in group.axes
+    ]
+    report.group = group
+    return report
+
+
+def _common_line(rel, radii, slack: float) -> np.ndarray | None:
+    """Unit direction if all points lie on one line through the origin."""
+    direction = None
+    for r, rad in zip(rel, radii):
+        if rad <= slack:
+            continue
+        if direction is None:
+            direction = r / rad
+            continue
+        if np.linalg.norm(np.cross(direction, r)) > slack * 10:
+            return None
+    return direction
+
+
+def _axis_occupied(axis: RotationAxis, rel, radii, slack: float,
+                   center_occupied: bool) -> bool:
+    """True if the axis line contains a point of the configuration."""
+    if center_occupied:
+        return True
+    for r, rad in zip(rel, radii):
+        if rad <= slack:
+            continue
+        perp = float(np.linalg.norm(np.cross(axis.direction, r)))
+        if perp <= 10 * slack:
+            return True
+    return False
+
+
+def _shells(rel, radii, mults, slack: float) -> list[list[int]]:
+    """Indices of distinct points grouped by (radius, multiplicity)."""
+    buckets: list[tuple[float, int, list[int]]] = []
+    for i, (rad, m) in enumerate(zip(radii, mults)):
+        if rad <= slack:
+            continue  # center point constrains nothing
+        placed = False
+        for brad, bm, idxs in buckets:
+            if abs(brad - rad) <= 10 * slack and bm == m:
+                idxs.append(i)
+                placed = True
+                break
+        if not placed:
+            buckets.append((rad, m, [i]))
+    return [idxs for _, _, idxs in buckets]
+
+
+def _symmetry_rotations(rel, mults, radii, slack: float,
+                        scale: float) -> list[np.ndarray]:
+    """All rotations about the origin preserving the multiset."""
+    index = _PointIndex(rel, mults, cell=max(20 * slack, 1e-9))
+    check_slack = 20 * slack
+
+    def preserves(rot: np.ndarray) -> bool:
+        for p, m in zip(rel, mults):
+            hit = index.find(rot @ p, check_slack)
+            if hit is None or hit[1] != m:
+                return False
+        return True
+
+    shells = _shells(rel, radii, mults, slack)
+    if not shells:
+        raise DetectionError("no off-center points in finite detection")
+    shells.sort(key=len)
+    anchor_shell = shells[0]
+    p1 = rel[anchor_shell[0]]
+    r1 = float(np.linalg.norm(p1))
+
+    if len(anchor_shell) == 1:
+        return _cyclic_about_fixed_point(p1, rel, radii, mults, slack,
+                                         preserves)
+
+    # Second reference: not parallel to p1; prefer the anchor shell.
+    p2 = None
+    for shell in [anchor_shell] + shells[1:]:
+        for idx in shell:
+            cand = rel[idx]
+            if np.linalg.norm(np.cross(p1, cand)) > check_slack * r1:
+                p2 = cand
+                break
+        if p2 is not None:
+            second_shell = shell
+            break
+    if p2 is None:
+        raise DetectionError("configuration unexpectedly collinear")
+    r2 = float(np.linalg.norm(p2))
+    dot12 = float(np.dot(p1, p2))
+
+    elements: dict[tuple, np.ndarray] = {}
+    from repro.groups.group import element_key
+
+    identity = np.eye(3)
+    elements[element_key(identity)] = identity
+    for i in anchor_shell:
+        q1 = rel[i]
+        for j in second_shell:
+            q2 = rel[j]
+            if abs(float(np.dot(q1, q2)) - dot12) > check_slack * max(
+                    1.0, r1 * r2 / max(scale, 1e-12)) * scale:
+                continue
+            rot = _rotation_from_pairs(p1, p2, q1, q2)
+            if rot is None:
+                continue
+            key = element_key(rot)
+            if key in elements:
+                continue
+            if preserves(rot):
+                elements[key] = rot
+    return list(elements.values())
+
+
+def _cyclic_about_fixed_point(p1, rel, radii, mults, slack, preserves):
+    """All symmetries fix ``p1``: the group is cyclic about its axis."""
+    axis = p1 / float(np.linalg.norm(p1))
+    off_counts = []
+    shell_map = _shells(rel, radii, mults, slack)
+    for shell in shell_map:
+        off = 0
+        for idx in shell:
+            perp = float(np.linalg.norm(np.cross(axis, rel[idx])))
+            if perp > 10 * slack:
+                off += 1
+        if off:
+            off_counts.append(off)
+    bound = math.gcd(*off_counts) if off_counts else 1
+    elements = [np.eye(3)]
+    for k in range(bound, 1, -1):
+        if bound % k != 0:
+            continue
+        rot = rotation_about_axis(axis, 2.0 * np.pi / k)
+        if preserves(rot):
+            for i in range(1, k):
+                elements.append(rotation_about_axis(
+                    axis, 2.0 * np.pi * i / k))
+            break
+    return elements
+
+
+def _rotation_from_pairs(p1, p2, q1, q2) -> np.ndarray | None:
+    """Rotation with ``R p1 = q1`` and ``R p2 = q2``, if one exists."""
+    n_p = np.cross(p1, p2)
+    n_q = np.cross(q1, q2)
+    ln_p = float(np.linalg.norm(n_p))
+    ln_q = float(np.linalg.norm(n_q))
+    if ln_p < 1e-12 or ln_q < 1e-12:
+        return None
+    frame_p = _orthoframe(p1, n_p)
+    frame_q = _orthoframe(q1, n_q)
+    if frame_p is None or frame_q is None:
+        return None
+    return frame_q @ frame_p.T
+
+
+def _orthoframe(x, n) -> np.ndarray | None:
+    lx = float(np.linalg.norm(x))
+    ln = float(np.linalg.norm(n))
+    if lx < 1e-12 or ln < 1e-12:
+        return None
+    e0 = x / lx
+    e2 = n / ln
+    e1 = np.cross(e2, e0)
+    return np.column_stack([e0, e1, e2])

@@ -1,0 +1,335 @@
+"""Concrete rotation groups: elements, axes, and classification data.
+
+A :class:`RotationGroup` is a finite subgroup of SO(3) given by its
+explicit rotation matrices, together with derived axis metadata and an
+abstract :class:`GroupSpec` (its type in the paper's family
+``{C_k, D_l, T, O, I}``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import total_ordering
+
+import numpy as np
+
+from repro.errors import GroupError
+from repro.geometry.rotations import (
+    is_rotation_matrix,
+    rotation_angle,
+    rotation_axis,
+)
+from repro.geometry.tolerance import DEFAULT_TOL, Tolerance, canonical_round
+from repro.groups.axes import RotationAxis, axis_line_key
+
+__all__ = ["GroupKind", "GroupSpec", "RotationGroup", "element_key"]
+
+
+class GroupKind(enum.Enum):
+    """The five families of finite rotation groups in 3-space."""
+
+    CYCLIC = "C"
+    DIHEDRAL = "D"
+    TETRAHEDRAL = "T"
+    OCTAHEDRAL = "O"
+    ICOSAHEDRAL = "I"
+
+
+_POLYHEDRAL_ORDER = {
+    GroupKind.TETRAHEDRAL: 12,
+    GroupKind.OCTAHEDRAL: 24,
+    GroupKind.ICOSAHEDRAL: 60,
+}
+
+
+@total_ordering
+@dataclass(frozen=True)
+class GroupSpec:
+    """Abstract type of a rotation group: a kind plus parameter.
+
+    ``C_k`` has ``param = k >= 1``; ``D_l`` has ``param = l >= 2``;
+    the polyhedral groups have ``param = 0``.
+    """
+
+    kind: GroupKind
+    param: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind is GroupKind.CYCLIC and self.param < 1:
+            raise GroupError("C_k requires k >= 1")
+        if self.kind is GroupKind.DIHEDRAL and self.param < 2:
+            raise GroupError("D_l requires l >= 2")
+        if self.kind in _POLYHEDRAL_ORDER and self.param != 0:
+            raise GroupError("polyhedral groups take no parameter")
+
+    @property
+    def order(self) -> int:
+        """Number of elements of the group."""
+        if self.kind is GroupKind.CYCLIC:
+            return self.param
+        if self.kind is GroupKind.DIHEDRAL:
+            return 2 * self.param
+        return _POLYHEDRAL_ORDER[self.kind]
+
+    @property
+    def is_2d(self) -> bool:
+        """True for cyclic and dihedral groups (act on a plane)."""
+        return self.kind in (GroupKind.CYCLIC, GroupKind.DIHEDRAL)
+
+    @property
+    def is_3d(self) -> bool:
+        """True for the polyhedral groups ``T``, ``O``, ``I``."""
+        return not self.is_2d
+
+    @property
+    def is_trivial(self) -> bool:
+        """True for ``C_1``."""
+        return self.kind is GroupKind.CYCLIC and self.param == 1
+
+    def __str__(self) -> str:
+        if self.kind in (GroupKind.CYCLIC, GroupKind.DIHEDRAL):
+            return f"{self.kind.value}{self.param}"
+        return self.kind.value
+
+    def __lt__(self, other: "GroupSpec") -> bool:
+        """Arbitrary but stable total order (for sorting output)."""
+        return (self.order, self.kind.value, self.param) < (
+            other.order, other.kind.value, other.param)
+
+    @staticmethod
+    def parse(text: str) -> "GroupSpec":
+        """Parse specs like ``"C4"``, ``"D3"``, ``"T"``, ``"O"``, ``"I"``."""
+        text = text.strip()
+        if text in ("T", "O", "I"):
+            return GroupSpec({"T": GroupKind.TETRAHEDRAL,
+                              "O": GroupKind.OCTAHEDRAL,
+                              "I": GroupKind.ICOSAHEDRAL}[text])
+        if text and text[0] in ("C", "D") and text[1:].isdigit():
+            kind = GroupKind.CYCLIC if text[0] == "C" else GroupKind.DIHEDRAL
+            return GroupSpec(kind, int(text[1:]))
+        raise GroupError(f"cannot parse group spec {text!r}")
+
+
+def element_key(mat, decimals: int = 5) -> tuple:
+    """Hashable key for a rotation matrix (rounded entries)."""
+    return tuple(canonical_round(np.asarray(mat, dtype=float).ravel(),
+                                 decimals).tolist())
+
+
+class RotationGroup:
+    """A finite subgroup of SO(3) fixing the origin.
+
+    Parameters
+    ----------
+    elements:
+        Iterable of 3x3 rotation matrices, including the identity.
+        Duplicates (within tolerance) are merged.
+    spec:
+        Optional pre-computed :class:`GroupSpec`; classified from the
+        elements if omitted (see ``repro.groups.subgroups``).
+    axes:
+        Optional pre-computed axes; derived from elements if omitted.
+    """
+
+    def __init__(self, elements, spec: GroupSpec | None = None,
+                 axes: list[RotationAxis] | None = None,
+                 tol: Tolerance = DEFAULT_TOL,
+                 validate: bool = False) -> None:
+        self._tol = tol
+        mats: list[np.ndarray] = []
+        seen: set[tuple] = set()
+        for mat in elements:
+            arr = np.asarray(mat, dtype=float)
+            if not is_rotation_matrix(arr, tol):
+                raise GroupError("group element is not a rotation matrix")
+            key = element_key(arr)
+            if key not in seen:
+                seen.add(key)
+                mats.append(arr)
+        if not any(np.allclose(m, np.eye(3), atol=1e-6) for m in mats):
+            mats.append(np.eye(3))
+        self.elements: list[np.ndarray] = mats
+        self._element_keys = {element_key(m) for m in mats}
+        if validate:
+            self._check_closure()
+        self.axes: list[RotationAxis] = (
+            axes if axes is not None else self._derive_axes())
+        if spec is None:
+            from repro.groups.subgroups import classify_elements
+
+            spec = classify_elements(self.elements, tol)
+        self.spec = spec
+        if axes is None:
+            self._apply_structural_orientation()
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def order(self) -> int:
+        """Number of elements."""
+        return len(self.elements)
+
+    @property
+    def is_trivial(self) -> bool:
+        """True for the trivial group ``C_1``."""
+        return self.order == 1
+
+    def _check_closure(self) -> None:
+        """Raise if the element set is not closed under products."""
+        for a in self.elements:
+            for b in self.elements:
+                if element_key(a @ b) not in self._element_keys:
+                    raise GroupError("element set is not closed")
+
+    def _derive_axes(self) -> list[RotationAxis]:
+        """Group non-identity elements by axis line; compute folds.
+
+        Orientation flags are structural (Section 3.1) and are filled
+        in by :func:`repro.groups.subgroups.annotate_orientations`
+        after classification; here they default to False.
+        """
+        lines: dict[tuple, dict] = {}
+        for mat in self.elements:
+            angle = rotation_angle(mat, self._tol)
+            if self._tol.zero(angle):
+                continue
+            axis = rotation_axis(mat, self._tol)
+            key = axis_line_key(axis)
+            entry = lines.setdefault(key, {"direction": axis, "count": 0})
+            entry["count"] += 1
+        axes = []
+        for entry in lines.values():
+            axes.append(RotationAxis(direction=entry["direction"],
+                                     fold=entry["count"] + 1))
+        axes.sort(key=lambda a: (-a.fold, a.line_key()))
+        return axes
+
+    def _apply_structural_orientation(self) -> None:
+        """Set the ``oriented`` flag on axes per Section 3.1.
+
+        The single axis of ``C_k`` is oriented; the secondary axes of
+        ``D_l`` are oriented iff ``l`` is odd; the 3-fold axes of ``T``
+        are oriented; all axes of ``O`` and ``I`` (and the principal
+        axes of dihedral groups) are not.  Only the *flag* is
+        structural — a concrete preferred direction can only come from
+        a point set and is computed in :mod:`repro.core`.
+        """
+        import dataclasses
+
+        spec = self.spec
+        new_axes = []
+        for axis in self.axes:
+            oriented = False
+            if spec.kind is GroupKind.CYCLIC and spec.param >= 2:
+                oriented = True
+            elif (spec.kind is GroupKind.DIHEDRAL and spec.param % 2 == 1
+                  and axis.fold == 2):
+                oriented = True
+            elif spec.kind is GroupKind.TETRAHEDRAL and axis.fold == 3:
+                oriented = True
+            new_axes.append(dataclasses.replace(axis, oriented=oriented))
+        self.axes = new_axes
+
+    @property
+    def principal_axis(self) -> RotationAxis | None:
+        """Principal axis for cyclic/dihedral groups (``l >= 3``).
+
+        For ``D_2`` the principal axis is not a group-theoretic notion
+        (Property 1 of the paper): it can only be recognized from a
+        point set, so this property returns None; use
+        ``repro.core.decomposition.principal_axis_of_d2``.
+        """
+        if self.spec.kind is GroupKind.CYCLIC and self.spec.param >= 2:
+            return self.axes[0]
+        if self.spec.kind is GroupKind.DIHEDRAL and self.spec.param >= 3:
+            candidates = self.axes_of_fold(self.spec.param)
+            return candidates[0] if candidates else None
+        return None
+
+    def contains_element(self, mat) -> bool:
+        """True if ``mat`` (a rotation matrix) is an element."""
+        return element_key(mat) in self._element_keys
+
+    def is_concrete_subgroup_of(self, other: "RotationGroup") -> bool:
+        """True if every element of ``self`` is an element of ``other``."""
+        return self._element_keys <= other._element_keys
+
+    def elements_about_axis(self, direction) -> list[np.ndarray]:
+        """Non-identity elements whose axis spans ``direction``'s line."""
+        target = axis_line_key(direction)
+        result = []
+        for mat in self.elements:
+            angle = rotation_angle(mat, self._tol)
+            if self._tol.zero(angle):
+                continue
+            if axis_line_key(rotation_axis(mat, self._tol)) == target:
+                result.append(mat)
+        return result
+
+    def axes_of_fold(self, fold: int) -> list[RotationAxis]:
+        """All axes with the given fold."""
+        return [a for a in self.axes if a.fold == fold]
+
+    def axis_folds(self) -> dict[int, int]:
+        """Mapping fold -> number of axes with that fold."""
+        counts: dict[int, int] = {}
+        for axis in self.axes:
+            counts[axis.fold] = counts.get(axis.fold, 0) + 1
+        return dict(sorted(counts.items()))
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+    def orbit(self, point, decimals: int = 6) -> list[np.ndarray]:
+        """Orbit of ``point`` under the group (distinct images)."""
+        p = np.asarray(point, dtype=float)
+        seen: set[tuple] = set()
+        result = []
+        for mat in self.elements:
+            image = mat @ p
+            key = tuple(canonical_round(image, decimals).tolist())
+            if key not in seen:
+                seen.add(key)
+                result.append(image)
+        return result
+
+    def stabilizer_size(self, point, decimals: int = 6) -> int:
+        """Folding ``μ(p)``: number of elements fixing ``point``."""
+        p = np.asarray(point, dtype=float)
+        key = tuple(canonical_round(p, decimals).tolist())
+        count = 0
+        for mat in self.elements:
+            image_key = tuple(canonical_round(mat @ p, decimals).tolist())
+            if image_key == key:
+                count += 1
+        return count
+
+    def transformed(self, rotation) -> "RotationGroup":
+        """Conjugate group ``R G R^T`` (the arrangement rotated by R)."""
+        rot = np.asarray(rotation, dtype=float)
+        new_elements = [rot @ mat @ rot.T for mat in self.elements]
+        new_axes = [
+            RotationAxis(direction=rot @ a.direction, fold=a.fold,
+                         oriented=a.oriented, occupied=a.occupied)
+            for a in self.axes
+        ]
+        return RotationGroup(new_elements, spec=self.spec, axes=new_axes,
+                             tol=self._tol)
+
+    def with_axes(self, axes: list[RotationAxis]) -> "RotationGroup":
+        """Copy of this group with replaced axis metadata."""
+        return RotationGroup(self.elements, spec=self.spec, axes=axes,
+                             tol=self._tol)
+
+    def axis_for_line(self, direction) -> RotationAxis | None:
+        """The group's axis spanning the same line as ``direction``."""
+        key = axis_line_key(direction)
+        for axis in self.axes:
+            if axis.line_key() == key:
+                return axis
+        return None
+
+    def __repr__(self) -> str:
+        return f"RotationGroup({self.spec}, order={self.order})"

@@ -1,0 +1,49 @@
+"""Infinite rotation groups of collinear configurations.
+
+When all points of ``P`` lie on a line through ``b(P)``, the rotation
+group of ``P`` is infinite: ``C_∞`` (all rotations about the line) when
+``P`` is asymmetric against ``b(P)``, and ``D_∞`` (additionally all
+half-turns about perpendicular axes through ``b(P)``) when symmetric.
+The paper mentions these cases in Section 3.1; finite-group machinery
+does not apply, so the library flags them explicitly.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.geometry.tolerance import DEFAULT_TOL, Tolerance, canonical_round
+
+__all__ = ["InfiniteGroupKind", "detect_collinear_kind"]
+
+
+class InfiniteGroupKind(enum.Enum):
+    """The two infinite-order rotation groups of collinear sets."""
+
+    C_INF = "C_inf"
+    D_INF = "D_inf"
+
+
+def detect_collinear_kind(rel_points, multiplicities,
+                          tol: Tolerance = DEFAULT_TOL) -> InfiniteGroupKind:
+    """Classify a collinear configuration given center-relative points.
+
+    ``rel_points`` are the distinct points minus ``b(P)``;
+    ``multiplicities`` their multiplicities.  The configuration is
+    ``D_∞`` iff the multiset is invariant under ``p -> -p``.
+    """
+    scale = max((float(np.linalg.norm(p)) for p in rel_points), default=1.0)
+    decimals = 6
+    table: dict[tuple, int] = {}
+    for p, m in zip(rel_points, multiplicities):
+        key = tuple(canonical_round(np.asarray(p) / max(scale, 1e-12),
+                                    decimals).tolist())
+        table[key] = table.get(key, 0) + m
+    for p, m in zip(rel_points, multiplicities):
+        key = tuple(canonical_round(-np.asarray(p) / max(scale, 1e-12),
+                                    decimals).tolist())
+        if table.get(key, 0) != m:
+            return InfiniteGroupKind.C_INF
+    return InfiniteGroupKind.D_INF

@@ -1,0 +1,305 @@
+"""Classification, the subgroup relation ``⪯``, and subgroup
+enumeration for the five rotation-group families.
+
+The abstract subgroup lattice (Figure 4 of the paper) is::
+
+    C_k ⪯ C_m        iff k | m
+    C_k ⪯ D_m        iff k | m or k = 2     (secondary axes)
+    D_k ⪯ D_m        iff k | m
+    subgroups of T:  C1 C2 C3 D2 T
+    subgroups of O:  C1 C2 C3 C4 D2 D3 D4 T O
+    subgroups of I:  C1 C2 C3 C5 D2 D3 D5 T I
+    T ⪯ O,  T ⪯ I,  O ⋠ I
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.errors import GroupError
+from repro.geometry.rotations import (
+    rotation_about_axis,
+    rotation_angle,
+    rotation_axis,
+)
+from repro.geometry.tolerance import DEFAULT_TOL, Tolerance
+from repro.groups.axes import axis_line_key
+from repro.groups.group import (
+    GroupKind,
+    GroupSpec,
+    RotationGroup,
+    element_key,
+)
+
+__all__ = [
+    "classify_elements",
+    "is_abstract_subgroup",
+    "proper_abstract_subgroups",
+    "enumerate_concrete_subgroups",
+    "maximal_elements",
+]
+
+_POLYHEDRAL_SUBGROUPS = {
+    GroupKind.TETRAHEDRAL: {"C1", "C2", "C3", "D2", "T"},
+    GroupKind.OCTAHEDRAL: {"C1", "C2", "C3", "C4",
+                           "D2", "D3", "D4", "T", "O"},
+    GroupKind.ICOSAHEDRAL: {"C1", "C2", "C3", "C5",
+                            "D2", "D3", "D5", "T", "I"},
+}
+
+
+def classify_elements(elements, tol: Tolerance = DEFAULT_TOL) -> GroupSpec:
+    """Classify a finite set of rotation matrices forming a group.
+
+    Returns the :class:`GroupSpec` identifying which of the five
+    families the group belongs to.
+
+    Raises
+    ------
+    GroupError
+        If the element set is not one of the five families (which
+        means it was not a rotation group to begin with).
+    """
+    mats = [np.asarray(m, dtype=float) for m in elements]
+    order = len(mats)
+    if order == 1:
+        return GroupSpec(GroupKind.CYCLIC, 1)
+    lines: dict[tuple, int] = {}
+    for mat in mats:
+        angle = rotation_angle(mat, tol)
+        if tol.zero(angle):
+            continue
+        key = axis_line_key(rotation_axis(mat, tol))
+        lines[key] = lines.get(key, 0) + 1
+    folds = sorted((count + 1 for count in lines.values()), reverse=True)
+    if len(lines) == 1:
+        if order != folds[0]:
+            raise GroupError("inconsistent cyclic group data")
+        return GroupSpec(GroupKind.CYCLIC, order)
+    fold_histogram: dict[int, int] = {}
+    for f in folds:
+        fold_histogram[f] = fold_histogram.get(f, 0) + 1
+    if fold_histogram == {3: 4, 2: 3} and order == 12:
+        return GroupSpec(GroupKind.TETRAHEDRAL)
+    if fold_histogram == {4: 3, 3: 4, 2: 6} and order == 24:
+        return GroupSpec(GroupKind.OCTAHEDRAL)
+    if fold_histogram == {5: 6, 3: 10, 2: 15} and order == 60:
+        return GroupSpec(GroupKind.ICOSAHEDRAL)
+    # Dihedral: one l-fold principal plus l perpendicular 2-fold axes.
+    if fold_histogram == {2: 3} and order == 4:
+        return GroupSpec(GroupKind.DIHEDRAL, 2)
+    top = folds[0]
+    if (order == 2 * top and fold_histogram.get(top) == 1
+            and fold_histogram.get(2, 0) >= top):
+        return GroupSpec(GroupKind.DIHEDRAL, top)
+    raise GroupError(
+        f"element set (order {order}, folds {fold_histogram}) is not one "
+        "of the five finite rotation-group families")
+
+
+def is_abstract_subgroup(g: GroupSpec, h: GroupSpec) -> bool:
+    """The paper's relation ``g ⪯ h`` on group types."""
+    if g == h:
+        return True
+    if g.is_trivial:
+        return True
+    if h.kind is GroupKind.CYCLIC:
+        return g.kind is GroupKind.CYCLIC and h.param % g.param == 0
+    if h.kind is GroupKind.DIHEDRAL:
+        if g.kind is GroupKind.CYCLIC:
+            return h.param % g.param == 0 or g.param == 2
+        if g.kind is GroupKind.DIHEDRAL:
+            return h.param % g.param == 0
+        return False
+    allowed = _POLYHEDRAL_SUBGROUPS[h.kind]
+    return str(g) in allowed
+
+
+def proper_abstract_subgroups(h: GroupSpec) -> list[GroupSpec]:
+    """All types ``g`` with ``g ≺ h`` (proper), sorted by order."""
+    result: list[GroupSpec] = []
+    if h.kind is GroupKind.CYCLIC:
+        for d in _divisors(h.param):
+            if d != h.param:
+                result.append(GroupSpec(GroupKind.CYCLIC, d))
+    elif h.kind is GroupKind.DIHEDRAL:
+        for d in _divisors(h.param):
+            result.append(GroupSpec(GroupKind.CYCLIC, d))
+            if d >= 2 and d != h.param:
+                result.append(GroupSpec(GroupKind.DIHEDRAL, d))
+        two = GroupSpec(GroupKind.CYCLIC, 2)
+        if two not in result:
+            result.append(two)
+    else:
+        for name in _POLYHEDRAL_SUBGROUPS[h.kind]:
+            spec = GroupSpec.parse(name)
+            if spec != h:
+                result.append(spec)
+    return sorted(set(result))
+
+
+def _divisors(n: int) -> list[int]:
+    return [d for d in range(1, n + 1) if n % d == 0]
+
+
+def enumerate_concrete_subgroups(group: RotationGroup,
+                                 tol: Tolerance = DEFAULT_TOL
+                                 ) -> list[RotationGroup]:
+    """All concrete subgroups of ``group`` (as element subsets).
+
+    Cyclic and dihedral groups use their known structure (so large
+    parameters stay cheap); polyhedral groups use generic closure of
+    pairwise joins, which is fast at orders ≤ 60.
+    """
+    if group.spec.kind is GroupKind.CYCLIC:
+        return _cyclic_subgroups(group, tol)
+    if group.spec.kind is GroupKind.DIHEDRAL:
+        return _dihedral_subgroups(group, tol)
+    return _generic_subgroups(group, tol)
+
+
+def _cyclic_subgroups(group: RotationGroup,
+                      tol: Tolerance) -> list[RotationGroup]:
+    k = group.spec.param
+    if k == 1:
+        return [group]
+    axis = group.axes[0].direction
+    result = []
+    for d in _divisors(k):
+        elems = [rotation_about_axis(axis, 2.0 * np.pi * i / d)
+                 for i in range(d)]
+        result.append(RotationGroup(
+            elems, spec=GroupSpec(GroupKind.CYCLIC, d), tol=tol))
+    return result
+
+
+def _dihedral_subgroups(group: RotationGroup,
+                        tol: Tolerance) -> list[RotationGroup]:
+    l = group.spec.param
+    secondary_axes = [a.direction for a in group.axes_of_fold(2)]
+    if l == 2:
+        # All three axes are 2-fold; pick any as principal for the
+        # structured construction (all subgroups are covered anyway).
+        return _generic_subgroups(group, tol)
+    principal = group.principal_axis.direction
+    secondary_axes = [a.direction for a in group.axes_of_fold(2)
+                      if not _parallel(a.direction, principal)]
+    result: list[RotationGroup] = []
+    # Cyclic subgroups about the principal axis.
+    for d in _divisors(l):
+        elems = [rotation_about_axis(principal, 2.0 * np.pi * i / d)
+                 for i in range(d)]
+        result.append(RotationGroup(
+            elems, spec=GroupSpec(GroupKind.CYCLIC, d), tol=tol))
+    # C_2 about each secondary axis.
+    for s in secondary_axes:
+        elems = [np.eye(3), rotation_about_axis(s, np.pi)]
+        result.append(RotationGroup(
+            elems, spec=GroupSpec(GroupKind.CYCLIC, 2), tol=tol))
+    # Dihedral subgroups D_d for d | l, d >= 2 — one copy for each of
+    # the l/d rotational offsets of the secondary-axis subset.
+    ordered = _order_secondaries(principal, secondary_axes)
+    for d in _divisors(l):
+        if d < 2:
+            continue
+        step = l // d
+        for offset in range(step):
+            elems = [rotation_about_axis(principal, 2.0 * np.pi * i / d)
+                     for i in range(d)]
+            for j in range(d):
+                elems.append(rotation_about_axis(
+                    ordered[offset + j * step], np.pi))
+            result.append(RotationGroup(
+                elems, spec=GroupSpec(GroupKind.DIHEDRAL, d), tol=tol))
+    return _dedupe(result)
+
+
+def _order_secondaries(principal, secondaries) -> list[np.ndarray]:
+    """Order secondary axes by angle about the principal axis."""
+    from repro.geometry.vectors import orthonormal_basis_for
+
+    u, v, _ = orthonormal_basis_for(principal)
+    def angle(s):
+        a = float(np.arctan2(np.dot(s, v), np.dot(s, u)))
+        return a % np.pi  # axes are lines: angles mod pi
+    return sorted(secondaries, key=angle)
+
+
+def _parallel(a, b) -> bool:
+    return bool(np.linalg.norm(np.cross(a, b)) < 1e-8)
+
+
+def _generic_subgroups(group: RotationGroup,
+                       tol: Tolerance) -> list[RotationGroup]:
+    """Subgroup enumeration via an integer Cayley table.
+
+    Elements are mapped to indices once; all closures then run on
+    integer sets, which keeps the order-60 icosahedral group cheap.
+    """
+    elements = group.elements
+    order = len(elements)
+    stack = np.stack(elements)
+    index_of = {element_key(m): i for i, m in enumerate(elements)}
+    # All pairwise products at once: products[i, j] = E_i @ E_j.
+    products = np.einsum("aij,bjk->abik", stack, stack)
+    keys = np.round(products.reshape(order * order, 9), 5) + 0.0
+    table = np.empty(order * order, dtype=np.int64)
+    for flat, row in enumerate(keys):
+        key = tuple(row.tolist())
+        if key not in index_of:
+            raise GroupError("element set is not closed under products")
+        table[flat] = index_of[key]
+    table = table.reshape(order, order)
+    identity = index_of[element_key(np.eye(3))]
+
+    def close(seed: frozenset) -> frozenset:
+        current = np.zeros(order, dtype=bool)
+        current[list(seed)] = True
+        current[identity] = True
+        while True:
+            idx = np.nonzero(current)[0]
+            prods = table[np.ix_(idx, idx)].ravel()
+            before = int(current.sum())
+            current[prods] = True
+            if int(current.sum()) == before:
+                return frozenset(np.nonzero(current)[0].tolist())
+
+    subgroups: set[frozenset] = {frozenset([identity])}
+    cyclics = [close(frozenset([i])) for i in range(order)]
+    subgroups.update(cyclics)
+    changed = True
+    while changed:
+        changed = False
+        current = list(subgroups)
+        for sub_a, sub_b in itertools.combinations(current, 2):
+            if sub_a <= sub_b or sub_b <= sub_a:
+                continue
+            joined = close(sub_a | sub_b)
+            if joined not in subgroups:
+                subgroups.add(joined)
+                changed = True
+    return [RotationGroup([elements[i] for i in sub], tol=tol)
+            for sub in subgroups]
+
+
+def _dedupe(groups: list[RotationGroup]) -> list[RotationGroup]:
+    seen: set[frozenset] = set()
+    result = []
+    for g in groups:
+        key = frozenset(element_key(m) for m in g.elements)
+        if key not in seen:
+            seen.add(key)
+            result.append(g)
+    return result
+
+
+def maximal_elements(specs) -> list[GroupSpec]:
+    """Maximal elements of a set of group types under ``⪯``."""
+    unique = sorted(set(specs))
+    result = []
+    for g in unique:
+        if not any(g != h and is_abstract_subgroup(g, h) for h in unique):
+            result.append(g)
+    return sorted(result)

@@ -1,0 +1,76 @@
+"""Named patterns and composite configurations.
+
+The library of point sets referenced by the paper's figures and by the
+examples/benchmarks: the Figure 1 trio (cube, regular octagon, square
+antiprism), the seven go-to-center polyhedra, and helpers to compose
+multiple orbit shells at distinct radii (e.g. a cube plus a concentric
+regular octahedron, Figure 26).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.patterns import polyhedra
+
+__all__ = ["named_pattern", "pattern_names", "compose_shells"]
+
+_GENERATORS: dict[str, Callable[..., list[np.ndarray]]] = {
+    "tetrahedron": polyhedra.regular_tetrahedron,
+    "cube": polyhedra.cube,
+    "octahedron": polyhedra.regular_octahedron,
+    "dodecahedron": polyhedra.regular_dodecahedron,
+    "icosahedron": polyhedra.regular_icosahedron,
+    "cuboctahedron": polyhedra.cuboctahedron,
+    "icosidodecahedron": polyhedra.icosidodecahedron,
+    "octagon": lambda radius=1.0: polyhedra.regular_polygon_pattern(
+        8, radius),
+    "square_antiprism": lambda radius=1.0: polyhedra.antiprism(4, radius),
+    "square": lambda radius=1.0: polyhedra.regular_polygon_pattern(4, radius),
+    "triangle": lambda radius=1.0: polyhedra.regular_polygon_pattern(
+        3, radius),
+    "pentagonal_prism": lambda radius=1.0: polyhedra.prism(5, radius),
+    "hexagonal_antiprism": lambda radius=1.0: polyhedra.antiprism(6, radius),
+    "square_pyramid": lambda radius=1.0: polyhedra.pyramid(4, radius),
+}
+
+
+def pattern_names() -> list[str]:
+    """Names accepted by :func:`named_pattern`."""
+    return sorted(_GENERATORS)
+
+
+def named_pattern(name: str, radius: float = 1.0) -> list[np.ndarray]:
+    """A named point set from the library, scaled to ``radius``."""
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        raise GeometryError(
+            f"unknown pattern {name!r}; known: {pattern_names()}") from None
+    return generator(radius=radius)
+
+
+def compose_shells(*shells: list[np.ndarray],
+                   radii: list[float] | None = None) -> list[np.ndarray]:
+    """Union of point sets placed on concentric shells.
+
+    Each shell is rescaled to the corresponding radius (defaults to
+    ``1, 1.5, 2, ...``) so shells never collide.  Useful for building
+    composite configurations such as a cube plus a regular octahedron
+    with a common center (Figure 26 of the paper).
+    """
+    if radii is None:
+        radii = [1.0 + 0.5 * i for i in range(len(shells))]
+    if len(radii) != len(shells):
+        raise GeometryError("radii must match the number of shells")
+    combined: list[np.ndarray] = []
+    for shell, radius in zip(shells, radii):
+        scale = max(float(np.linalg.norm(p)) for p in shell)
+        if scale <= 0:
+            raise GeometryError("shells must not contain the center")
+        combined.extend(radius * np.asarray(p, dtype=float) / scale
+                        for p in shell)
+    return combined

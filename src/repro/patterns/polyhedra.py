@@ -1,0 +1,184 @@
+"""Vertex sets of the polyhedra the paper works with.
+
+All generators return lists of ``numpy`` 3-vectors centered at the
+origin with circumradius ``radius`` (default 1), in the same standard
+frame as the catalog groups of :mod:`repro.groups.catalog`:
+
+* tetrahedron vertices on the cube diagonals ``(1,1,1), ...``;
+* cube/octahedron aligned with the coordinate axes;
+* icosahedron/dodecahedron in golden-ratio coordinates, matching
+  :func:`repro.groups.catalog.icosahedral_group`.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.polygons import regular_polygon
+
+__all__ = [
+    "regular_tetrahedron",
+    "cube",
+    "regular_octahedron",
+    "regular_dodecahedron",
+    "regular_icosahedron",
+    "cuboctahedron",
+    "icosidodecahedron",
+    "prism",
+    "antiprism",
+    "pyramid",
+    "regular_polygon_pattern",
+]
+
+_PHI = (1.0 + np.sqrt(5.0)) / 2.0
+
+
+def _scaled(points: list[np.ndarray], radius: float) -> list[np.ndarray]:
+    if radius <= 0:
+        raise GeometryError("circumradius must be positive")
+    norm = float(np.linalg.norm(points[0]))
+    return [radius * p / norm for p in points]
+
+
+def regular_tetrahedron(radius: float = 1.0) -> list[np.ndarray]:
+    """Regular tetrahedron (rotation group ``T``, vertices on 3-fold axes)."""
+    pts = [np.array(v, dtype=float) for v in
+           [(1, 1, 1), (1, -1, -1), (-1, 1, -1), (-1, -1, 1)]]
+    return _scaled(pts, radius)
+
+
+def cube(radius: float = 1.0) -> list[np.ndarray]:
+    """Cube (rotation group ``O``; vertices occupy the 3-fold axes)."""
+    pts = [np.array(v, dtype=float)
+           for v in itertools.product((-1, 1), repeat=3)]
+    return _scaled(pts, radius)
+
+
+def regular_octahedron(radius: float = 1.0) -> list[np.ndarray]:
+    """Regular octahedron (``O``; vertices occupy the 4-fold axes)."""
+    pts = []
+    for axis in range(3):
+        for sign in (-1.0, 1.0):
+            v = np.zeros(3)
+            v[axis] = sign
+            pts.append(v)
+    return _scaled(pts, radius)
+
+
+def regular_icosahedron(radius: float = 1.0) -> list[np.ndarray]:
+    """Regular icosahedron (``I``; vertices occupy the 5-fold axes)."""
+    pts = []
+    for a, b in [(1.0, _PHI)]:
+        for s1 in (-1, 1):
+            for s2 in (-1, 1):
+                pts.append(np.array([0.0, s1 * a, s2 * b]))
+                pts.append(np.array([s1 * a, s2 * b, 0.0]))
+                pts.append(np.array([s2 * b, 0.0, s1 * a]))
+    return _scaled(pts, radius)
+
+
+def regular_dodecahedron(radius: float = 1.0) -> list[np.ndarray]:
+    """Regular dodecahedron (``I``; vertices occupy the 3-fold axes)."""
+    pts = [np.array(v, dtype=float)
+           for v in itertools.product((-1, 1), repeat=3)]
+    inv = 1.0 / _PHI
+    for s1 in (-1, 1):
+        for s2 in (-1, 1):
+            pts.append(np.array([0.0, s1 * inv, s2 * _PHI]))
+            pts.append(np.array([s1 * inv, s2 * _PHI, 0.0]))
+            pts.append(np.array([s2 * _PHI, 0.0, s1 * inv]))
+    return _scaled(pts, radius)
+
+
+def cuboctahedron(radius: float = 1.0) -> list[np.ndarray]:
+    """Cuboctahedron (``O``; vertices occupy the 2-fold axes)."""
+    pts = []
+    for i, j in [(0, 1), (0, 2), (1, 2)]:
+        for s1 in (-1, 1):
+            for s2 in (-1, 1):
+                v = np.zeros(3)
+                v[i] = s1
+                v[j] = s2
+                pts.append(v)
+    return _scaled(pts, radius)
+
+
+def icosidodecahedron(radius: float = 1.0) -> list[np.ndarray]:
+    """Icosidodecahedron (``I``; vertices occupy the 2-fold axes)."""
+    pts = []
+    for s in (-1, 1):
+        pts.append(np.array([0.0, 0.0, s * _PHI]))
+        pts.append(np.array([0.0, s * _PHI, 0.0]))
+        pts.append(np.array([s * _PHI, 0.0, 0.0]))
+    half = 0.5
+    for s1 in (-1, 1):
+        for s2 in (-1, 1):
+            for s3 in (-1, 1):
+                a, b, c = s1 * half, s2 * _PHI / 2.0, s3 * _PHI ** 2 / 2.0
+                pts.append(np.array([a, b, c]))
+                pts.append(np.array([b, c, a]))
+                pts.append(np.array([c, a, b]))
+    return _scaled(pts, radius)
+
+
+def prism(l: int, radius: float = 1.0,
+          height_ratio: float = 0.8) -> list[np.ndarray]:
+    """Regular ``l``-gonal prism (rotation group ``D_l``).
+
+    ``height_ratio`` is the half-height divided by the base polygon
+    radius; it is kept away from the value that would turn a square
+    prism into a cube (which would have group ``O``).
+    """
+    if l < 3:
+        raise GeometryError("prism needs l >= 3")
+    half_height = height_ratio
+    base_r = 1.0
+    pts = []
+    for z in (-half_height, half_height):
+        pts.extend(regular_polygon(l, radius=base_r, center=(0, 0, z)))
+    return _scaled(pts, radius)
+
+
+def antiprism(l: int, radius: float = 1.0,
+              height_ratio: float = 0.8) -> list[np.ndarray]:
+    """Regular ``l``-gonal antiprism (rotation group ``D_l``).
+
+    The top base is twisted by ``pi / l`` relative to the bottom.
+    """
+    if l < 3:
+        raise GeometryError("antiprism needs l >= 3")
+    half_height = height_ratio
+    pts = list(regular_polygon(l, radius=1.0, center=(0, 0, -half_height)))
+    pts += regular_polygon(l, radius=1.0, center=(0, 0, half_height),
+                           phase=np.pi / l)
+    return _scaled(pts, radius)
+
+
+def pyramid(k: int, radius: float = 1.0,
+            apex_height: float = 1.0) -> list[np.ndarray]:
+    """Right pyramid over a regular ``k``-gon (rotation group ``C_k``).
+
+    The base polygon and the apex lie on a common sphere centered at
+    the smallest-enclosing-ball center, scaled to ``radius``.
+    """
+    if k < 3:
+        raise GeometryError("pyramid needs k >= 3")
+    base = regular_polygon(k, radius=1.0, center=(0, 0, 0))
+    apex = np.array([0.0, 0.0, apex_height])
+    pts = base + [apex]
+    arr = np.asarray(pts)
+    # Center so the apex is distinguished but the set stays bounded.
+    center = arr.mean(axis=0)
+    pts = [p - center for p in pts]
+    scale = max(float(np.linalg.norm(p)) for p in pts)
+    return [radius * p / scale for p in pts]
+
+
+def regular_polygon_pattern(k: int, radius: float = 1.0) -> list[np.ndarray]:
+    """Regular ``k``-gon in the z = 0 plane (rotation group ``D_k``)."""
+    if k < 3:
+        raise GeometryError("regular polygon pattern needs k >= 3")
+    return regular_polygon(k, radius=radius)

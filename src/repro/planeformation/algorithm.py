@@ -1,0 +1,159 @@
+"""Plane formation built on the pattern-formation substrate.
+
+Characterization ([21], DISC 2015): FSYNC robots cannot form a plane
+from ``P`` iff ``γ(P)`` is a 3D rotation group (``T``, ``O``, ``I``)
+and no robot is on its rotation axes — equivalently, iff the
+symmetricity ``ϱ(P)`` contains a 3D group.  Since ``T`` is the minimal
+3D group, the test is simply ``T ∉ ϱ(P)``.
+
+Algorithm: run ``ψ_SYM`` until terminal — the surviving group
+``G = γ(P') ∈ ϱ(P)`` is then cyclic or dihedral (or trivial).  The
+robots agree on the plane through ``b(P')`` perpendicular to the
+principal axis and on a *planar landing pattern*: one ring per orbit
+of the ``G``-decomposition, each ring a free ``G``-orbit in the plane
+(radius fixed by the orbit's agreed rank, azimuth chosen off the
+secondary axes so the orbit stays free).  The landing pattern is an
+equivariant function of ``P'``, so robots reach it with the standard
+matching ``M(P, F̃)`` machinery — distinct robots land on distinct
+points by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.core.decomposition import principal_axis_of_d2
+from repro.core.local_views import ordered_orbits
+from repro.core.symmetricity import symmetricity
+from repro.errors import SimulationError, UnsolvableError
+from repro.geometry.vectors import orthonormal_basis_for
+from repro.groups.group import GroupKind
+from repro.robots.algorithms.matching import match_configuration_to_pattern
+from repro.robots.algorithms.sym import is_sym_terminal, psi_sym
+from repro.robots.model import Observation
+
+__all__ = ["is_plane_formable", "make_plane_formation_algorithm",
+           "is_coplanar"]
+
+
+def is_plane_formable(config: Configuration) -> bool:
+    """True iff the plane formation problem is solvable from ``P``."""
+    rho = symmetricity(config)
+    return all(spec.is_2d for spec in rho.specs)
+
+
+def is_coplanar(points, slack_scale: float = 1e-6) -> bool:
+    """True if all points lie on one plane (within tolerance)."""
+    arr = np.asarray([np.asarray(p, dtype=float) for p in points])
+    centered = arr - arr.mean(axis=0)
+    if len(arr) <= 3:
+        return True
+    _, singular, _ = np.linalg.svd(centered, full_matrices=False)
+    scale = max(float(singular[0]), 1e-300)
+    return float(singular[-1]) <= slack_scale * scale
+
+
+def make_plane_formation_algorithm() -> Callable[[Observation], np.ndarray]:
+    """Build the oblivious plane-formation algorithm."""
+
+    def plane_form(observation: Observation) -> np.ndarray:
+        config = Configuration(observation.points)
+        if is_coplanar(config.points):
+            return observation.own_position()
+        if not is_sym_terminal(config):
+            return psi_sym(observation)
+        group = config.rotation_group
+        if group is not None and group.spec.is_3d:
+            raise UnsolvableError(
+                "plane formation unsolvable: a 3D rotation group "
+                "survived symmetry breaking (T in varrho(P))")
+        landing = _planar_landing_pattern(config)
+        destinations = match_configuration_to_pattern(config, landing)
+        return destinations[observation.self_index]
+
+    return plane_form
+
+
+def _agreed_frame(config: Configuration) -> tuple[np.ndarray, np.ndarray,
+                                                  np.ndarray]:
+    """In-plane directions ``(u, v)`` and the plane normal ``w``.
+
+    ``w`` is the principal axis when the surviving group is nontrivial
+    (``u`` anchored on a secondary axis for dihedral groups, on the
+    first off-axis orbit for cyclic ones); for ``C_1`` a canonical
+    frame from the configuration is used.  All choices are
+    equivariant; residual in-plane spin is absorbed by the landing
+    pattern's ``G``-invariance.
+    """
+    group = config.rotation_group
+    if group is None:
+        raise SimulationError("agreed frame needs a finite rotation group")
+    if group.is_trivial:
+        from repro.robots.algorithms.embedding import _canonical_frame
+
+        frame = _canonical_frame(config)
+        return frame[:, 0], frame[:, 1], frame[:, 2]
+    if group.spec.kind is GroupKind.DIHEDRAL and group.spec.param == 2:
+        w = principal_axis_of_d2(config, group)
+    else:
+        w = group.principal_axis.direction
+    if group.spec.kind is GroupKind.DIHEDRAL:
+        secondary = next(a.direction for a in group.axes
+                         if abs(float(np.dot(a.direction, w))) < 1e-6)
+        u = secondary / np.linalg.norm(secondary)
+    else:
+        u = _first_offaxis_azimuth(config, w)
+    v = np.cross(w, u)
+    return u, v, w
+
+
+def _first_offaxis_azimuth(config: Configuration,
+                           w: np.ndarray) -> np.ndarray:
+    group = config.rotation_group
+    center = config.center
+    slack = 1e-6 * max(config.radius, 1.0)
+    for orbit in ordered_orbits(config, group):
+        rel = config.points[orbit[0]] - center
+        perp = rel - float(np.dot(rel, w)) * w
+        if float(np.linalg.norm(perp)) > slack:
+            return perp / np.linalg.norm(perp)
+    # All robots on the axis: collinear, handled before we get here.
+    u, _, _ = orthonormal_basis_for(w)
+    return u
+
+
+def _planar_landing_pattern(config: Configuration) -> list[np.ndarray]:
+    """One free in-plane ``G``-orbit (ring) per orbit of ``P``."""
+    group = config.rotation_group
+    u, v, w = _agreed_frame(config)
+    center = config.center
+    radius = config.radius
+    orbits = ordered_orbits(config, group)
+    rings: list[np.ndarray] = []
+    count = len(orbits)
+    if group.spec.kind is GroupKind.DIHEDRAL:
+        sector = np.pi / group.spec.param
+    elif group.spec.param >= 2:
+        sector = 2.0 * np.pi / group.spec.param
+    else:
+        sector = 2.0 * np.pi
+    for i, orbit in enumerate(orbits):
+        ring_radius = radius * (1.0 + i) / (count + 1.0)
+        # Keep the azimuth strictly inside one sector so the in-plane
+        # orbit is free (off every secondary axis).
+        phi = sector * (0.25 + 0.5 * (i + 1.0) / (count + 2.0))
+        seed = center + ring_radius * (np.cos(phi) * u + np.sin(phi) * v)
+        ring = [center + mat @ (seed - center) for mat in group.elements]
+        distinct = []
+        for p in ring:
+            if not any(np.linalg.norm(p - q) <= 1e-9 * max(radius, 1.0)
+                       for q in distinct):
+                distinct.append(p)
+        if len(distinct) != len(orbit):
+            raise SimulationError(
+                "landing ring is not a free orbit (azimuth hit an axis)")
+        rings.extend(distinct)
+    return rings

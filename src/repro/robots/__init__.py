@@ -1,0 +1,27 @@
+"""FSYNC mobile-robot simulator: local frames, scheduler, adversary.
+
+Implements the paper's computation model (Section 2): anonymous point
+robots executing synchronized Look–Compute–Move cycles, each observing
+the configuration in its own right-handed local coordinate system with
+arbitrary orientation and unit distance, moving rigidly to the computed
+point.
+"""
+
+from repro.robots.model import LocalFrame, Observation, OBLIVIOUS_STAY
+from repro.robots.scheduler import FsyncScheduler, ExecutionResult
+from repro.robots.adversary import (
+    random_frames,
+    identity_frames,
+    symmetric_frames,
+)
+
+__all__ = [
+    "LocalFrame",
+    "Observation",
+    "OBLIVIOUS_STAY",
+    "FsyncScheduler",
+    "ExecutionResult",
+    "random_frames",
+    "identity_frames",
+    "symmetric_frames",
+]

@@ -1,0 +1,30 @@
+"""The paper's oblivious FSYNC algorithms.
+
+* Algorithm 4.1 — *go-to-center* for the seven transitive polyhedra.
+* Algorithm 4.2 — ``ψ_SYM``: symmetry breaking down to ``ϱ(P)``.
+* Section 6 — target embedding ``F̃``, matching ``M(P, F̃)``, and the
+  full pattern formation algorithm ``ψ_PF`` (Algorithm 6.1).
+"""
+
+from repro.robots.algorithms.go_to_center import (
+    go_to_center_algorithm,
+    go_to_center_destination,
+    recognize_goc_polyhedron,
+)
+from repro.robots.algorithms.sym import psi_sym, is_sym_terminal
+from repro.robots.algorithms.embedding import embed_target
+from repro.robots.algorithms.matching import match_configuration_to_pattern
+from repro.robots.algorithms.pattern_formation import (
+    make_pattern_formation_algorithm,
+)
+
+__all__ = [
+    "go_to_center_algorithm",
+    "go_to_center_destination",
+    "recognize_goc_polyhedron",
+    "psi_sym",
+    "is_sym_terminal",
+    "embed_target",
+    "match_configuration_to_pattern",
+    "make_pattern_formation_algorithm",
+]

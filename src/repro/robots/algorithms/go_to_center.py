@@ -1,0 +1,137 @@
+"""Algorithm 4.1 — the *go-to-center* symmetry breaking step.
+
+When the robots form one of the seven transitive polyhedra
+
+    regular tetrahedron, regular octahedron, cube, cuboctahedron,
+    regular icosahedron, regular dodecahedron, icosidodecahedron
+
+(the ``U_{G,μ}`` with ``G ∈ {T, O, I}`` and ``μ > 1``), each robot
+selects an adjacent face of the polyhedron and moves to the point
+``ε = ℓ/100`` before the face's center (``ℓ`` = edge length), with two
+restrictions: on a cuboctahedron only triangular faces may be chosen,
+on an icosidodecahedron only pentagonal faces.
+
+Lemma 7: one synchronized step lands the swarm in a configuration
+``P'`` with ``γ(P') ∈ ϱ(P)`` — the 3D rotation group is broken.
+
+The "select an adjacent face" choice is made deterministically from
+the robot's *local* observation (lexicographically smallest face
+center in local coordinates).  Robots with differently-oriented local
+frames make different choices — this is exactly the paper's
+symmetry-breaking mechanism; robots with symmetric frames make
+symmetric choices and retain the unbreakable subgroup, as Lemma 2
+requires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.errors import GeometryError
+from repro.geometry.convex import ConvexPolyhedron
+from repro.geometry.tolerance import canonical_round
+from repro.groups.group import GroupKind
+from repro.robots.model import Observation
+
+__all__ = [
+    "recognize_goc_polyhedron",
+    "go_to_center_destination",
+    "go_to_center_algorithm",
+    "EPSILON_FRACTION",
+]
+
+# The paper fixes epsilon to edge-length / 100.
+EPSILON_FRACTION = 0.01
+
+# Polyhedra handled by Algorithm 4.1, keyed by (vertex count, the
+# rotation group of the vertex set as a standalone shape).  Note the
+# shape group can exceed the group that generated the orbit (e.g.
+# U_{T,2} is a regular octahedron whose shape group is O).
+_GOC_SHAPES = {
+    (4, "T"): "tetrahedron",
+    (6, "O"): "octahedron",
+    (8, "O"): "cube",
+    (12, "O"): "cuboctahedron",
+    (12, "I"): "icosahedron",
+    (20, "I"): "dodecahedron",
+    (30, "I"): "icosidodecahedron",
+}
+
+_FACE_RESTRICTION = {
+    "cuboctahedron": 3,       # triangle faces only
+    "icosidodecahedron": 5,   # pentagon faces only
+}
+
+
+def recognize_goc_polyhedron(points) -> str | None:
+    """Name of the go-to-center polyhedron the points form, or None.
+
+    Checks vertex count, sphericity, transitivity (all vertices on one
+    hull orbit follows from the shape group match), and the rotation
+    group of the shape.
+    """
+    cfg = Configuration(points)
+    count = cfg.n
+    candidates = [name for (k, _), name in _GOC_SHAPES.items() if k == count]
+    if not candidates:
+        return None
+    report = cfg.symmetry
+    if report.kind != "finite" or report.group is None:
+        return None
+    spec = report.group.spec
+    if spec.kind not in (GroupKind.TETRAHEDRAL, GroupKind.OCTAHEDRAL,
+                         GroupKind.ICOSAHEDRAL):
+        return None
+    key = (count, spec.kind.value)
+    name = _GOC_SHAPES.get(key)
+    if name is None:
+        return None
+    # All seven shapes are vertex-transitive and spherical; verify the
+    # radius uniformity to reject impostors with the right group.
+    rel = cfg.relative_points()
+    radii = [float(np.linalg.norm(p)) for p in rel]
+    if max(radii) - min(radii) > 1e-6 * max(radii):
+        return None
+    return name
+
+
+def go_to_center_destination(points, own_index: int) -> np.ndarray:
+    """Destination of robot ``own_index`` per Algorithm 4.1.
+
+    ``points`` are the polyhedron's vertices in the robot's local
+    coordinate system (any similarity copy works — the rule is
+    similarity-equivariant).  Raises if the points are not one of the
+    seven polyhedra.
+    """
+    name = recognize_goc_polyhedron(points)
+    if name is None:
+        raise GeometryError(
+            "go-to-center applies only to the seven transitive polyhedra")
+    hull = ConvexPolyhedron(points)
+    epsilon = hull.min_edge_length() * EPSILON_FRACTION
+    faces = hull.faces_of_vertex(own_index)
+    restriction = _FACE_RESTRICTION.get(name)
+    if restriction is not None:
+        faces = [f for f in faces if f.size == restriction]
+    if not faces:
+        raise GeometryError("no admissible adjacent face found")
+    own = np.asarray(points[own_index], dtype=float)
+    face = min(faces, key=lambda f: tuple(
+        canonical_round(f.center - own, 9).tolist()))
+    to_center = face.center - own
+    distance = float(np.linalg.norm(to_center))
+    return own + to_center * (1.0 - epsilon / distance)
+
+
+def go_to_center_algorithm(observation: Observation) -> np.ndarray:
+    """Algorithm 4.1 as a standalone oblivious algorithm.
+
+    If the observed configuration is not one of the seven polyhedra
+    the robot stays put (the full ``ψ_SYM`` wraps this with the other
+    cases).
+    """
+    if recognize_goc_polyhedron(observation.points) is None:
+        return observation.own_position()
+    return go_to_center_destination(observation.points,
+                                    observation.self_index)

@@ -1,0 +1,353 @@
+"""Section 6.2 — assigning final positions: the matching ``M(P, F̃)``.
+
+``P`` and the embedded target ``F̃`` are decomposed into orbits of
+``G = γ(P)`` (every ``P``-orbit is free, of size ``|G|``; ``F̃``'s
+orbits are free too for plain targets, while multiset targets may put
+``k·j`` robots on ``k``-fold axes, Definition 6).  Both orbit lists
+are put in an agreed order and matched rank-to-rank; inside an orbit
+pair every robot heads to its nearest target position, with nearest
+ties (which by Lemma 14 form cycles around a rotation axis) broken by
+a chirality rule: among tied targets ``f, f'`` the robot picks the one
+with positive triple product ``det[p - c, f - c, f' - c]`` — a
+rotation-invariant, handedness-aware rule all robots share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.core.local_views import local_view, ordered_orbits
+from repro.errors import MatchingError
+from repro.geometry.tolerance import canonical_round
+from repro.groups.group import RotationGroup
+
+__all__ = ["match_configuration_to_pattern"]
+
+
+def match_configuration_to_pattern(config: Configuration,
+                                   embedded) -> list[np.ndarray]:
+    """Destination of every robot (indexed like ``config.points``).
+
+    ``embedded`` is ``F̃`` in the same coordinates as ``config`` (see
+    :func:`repro.robots.algorithms.embedding.embed_target`).
+    """
+    targets = [np.asarray(p, dtype=float) for p in embedded]
+    if len(targets) != config.n:
+        raise MatchingError("embedded pattern size must match the swarm")
+    slack = 1e-6 * max(config.radius, 1.0)
+
+    direct = _direct_cases(config, targets, slack)
+    if direct is not None:
+        return direct
+
+    group = config.rotation_group
+    if group is None:
+        raise MatchingError("matching requires a finite rotation group")
+
+    p_orbits = ordered_orbits(config, group)
+    positions, multiplicities = _collapse(targets, slack)
+    f_orbits = _target_position_orbits(config, group, positions,
+                                       multiplicities, slack)
+
+    assignments = _assign_orbits(config, group, p_orbits, f_orbits)
+    destinations: list[np.ndarray | None] = [None] * config.n
+    for orbit, (orbit_positions, per_position) in assignments:
+        _match_within_orbit(config, group, orbit, orbit_positions,
+                            per_position, destinations, slack)
+    assert all(d is not None for d in destinations)
+    return destinations  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Degenerate shortcuts
+# ----------------------------------------------------------------------
+def _direct_cases(config, targets, slack) -> list[np.ndarray] | None:
+    """F̃ already equals P, or F̃ is a single gathering point."""
+    distinct, _ = _collapse(targets, slack)
+    if len(distinct) == 1:
+        return [distinct[0].copy() for _ in range(config.n)]
+    if len(distinct) == config.n and _same_point_set(
+            config.points, targets, slack):
+        return [p.copy() for p in config.points]
+    return None
+
+
+def _same_point_set(a, b, slack) -> bool:
+    remaining = [np.asarray(q, dtype=float) for q in b]
+    for p in a:
+        hit = None
+        for i, q in enumerate(remaining):
+            if float(np.linalg.norm(p - q)) <= slack:
+                hit = i
+                break
+        if hit is None:
+            return False
+        remaining.pop(hit)
+    return True
+
+
+def _collapse(points, slack):
+    distinct: list[np.ndarray] = []
+    multiplicities: list[int] = []
+    for p in points:
+        for i, q in enumerate(distinct):
+            if float(np.linalg.norm(p - q)) <= slack:
+                multiplicities[i] += 1
+                break
+        else:
+            distinct.append(p)
+            multiplicities.append(1)
+    return distinct, multiplicities
+
+
+# ----------------------------------------------------------------------
+# Target-side orbits and the agreed ordering
+# ----------------------------------------------------------------------
+def _target_position_orbits(config, group: RotationGroup, positions,
+                            multiplicities, slack):
+    """G-orbits of F̃'s distinct positions, in agreed order.
+
+    Returns a list of entries ``(positions, per_position, capacity)``:
+    ``per_position`` robots of each assigned P-orbit land on each
+    position; ``capacity`` counts how many P-orbits the entry absorbs.
+    """
+    center = config.center
+    unassigned = list(range(len(positions)))
+    orbits: list[list[int]] = []
+    while unassigned:
+        seed = unassigned[0]
+        members: list[int] = []
+        for mat in group.elements:
+            image = center + mat @ (positions[seed] - center)
+            idx = _find_index(positions, image, slack)
+            if idx is None:
+                raise MatchingError(
+                    "gamma(P) does not act on the embedded pattern")
+            if idx not in members:
+                members.append(idx)
+        if multiplicities[seed] != multiplicities[members[0]]:
+            raise MatchingError("inconsistent multiplicities on an orbit")
+        for idx in members:
+            if idx in unassigned:
+                unassigned.remove(idx)
+        orbits.append(sorted(members))
+
+    entries = []
+    for orbit in orbits:
+        stabilizer = group.order // len(orbit)
+        mult = multiplicities[orbit[0]]
+        if mult % stabilizer != 0:
+            raise MatchingError(
+                "multiplicity not divisible by the stabilizer size "
+                "(embedded pattern violates Definition 6)")
+        capacity = mult // stabilizer
+        entries.append({
+            "positions": [positions[i] for i in orbit],
+            "per_position": stabilizer,
+            "capacity": capacity,
+        })
+    return _order_target_orbits(config, entries)
+
+
+def _order_target_orbits(config, entries):
+    """Order F̃'s orbits: radius, then intra-F̃ local views, then the
+    distance profile to P (breaking ties between orbits that are
+    symmetric inside F̃ but not relative to P)."""
+    f_config = Configuration([p for e in entries for p in e["positions"]])
+    index_of = {}
+    flat = 0
+    for ei, e in enumerate(entries):
+        for _ in e["positions"]:
+            index_of[flat] = ei
+            flat += 1
+    views: dict[int, tuple] = {}
+    flat = 0
+    for ei, e in enumerate(entries):
+        best = None
+        for _ in e["positions"]:
+            v = local_view(f_config, flat)
+            best = v if best is None or v < best else best
+            flat += 1
+        views[ei] = best
+
+    center = config.center
+    scale = max(config.radius, 1e-300)
+
+    def key(ei):
+        e = entries[ei]
+        radius = float(canonical_round(
+            np.linalg.norm(e["positions"][0] - center) / scale, 6))
+        profile = sorted(
+            tuple(sorted(float(canonical_round(
+                np.linalg.norm(f - p) / scale, 6))
+                for p in config.points))
+            for f in e["positions"])
+        return (radius, views[ei], tuple(profile))
+
+    order = sorted(range(len(entries)), key=key)
+    keys = [key(ei) for ei in order]
+    # Distance profiles are reflection-blind; separate remaining ties
+    # with a handedness-aware signature (cf. the embedding step).
+    resolved: list[int] = []
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and keys[j + 1] == keys[i]:
+            j += 1
+        if j == i:
+            resolved.append(order[i])
+        else:
+            tied = order[i:j + 1]
+            chiral = sorted(
+                (_orbit_chiral_key(config, entries[ei]["positions"]), ei)
+                for ei in tied)
+            for (a, _), (b, _) in zip(chiral, chiral[1:]):
+                if a == b:
+                    raise MatchingError(
+                        "embedded pattern orbits are not totally ordered")
+            resolved.extend(ei for _, ei in chiral)
+        i = j + 1
+    return [entries[ei] for ei in resolved]
+
+
+def _orbit_chiral_key(config, positions) -> tuple:
+    """Rotation-invariant, reflection-sensitive key of a target orbit
+    relative to the robots (triple-product profile)."""
+    center = config.center
+    scale = max(config.radius, 1e-300)
+    rel_p = [(p - center) / scale for p in config.points]
+    radii = [float(canonical_round(np.linalg.norm(r), 6)) for r in rel_p]
+    profile = []
+    for f in positions:
+        rel_f = (f - center) / scale
+        entries = []
+        for i, p in enumerate(rel_p):
+            for j in range(i + 1, len(rel_p)):
+                q = rel_p[j]
+                key_i = (float(canonical_round(
+                    np.linalg.norm(rel_f - p), 6)), radii[i])
+                key_j = (float(canonical_round(
+                    np.linalg.norm(rel_f - q), 6)), radii[j])
+                if key_i < key_j:
+                    first, second, ka, kb = p, q, key_i, key_j
+                else:
+                    first, second, ka, kb = q, p, key_j, key_i
+                det = float(np.linalg.det(
+                    np.column_stack([rel_f, first, second])))
+                if key_i == key_j:
+                    det = abs(det)
+                entries.append((ka, kb, float(canonical_round(det, 5))))
+        entries.sort()
+        profile.append(tuple(entries))
+    profile.sort()
+    return tuple(profile)
+
+
+def _find_index(points, image, slack) -> int | None:
+    for i, p in enumerate(points):
+        if float(np.linalg.norm(p - image)) <= 10 * slack:
+            return i
+    return None
+
+
+# ----------------------------------------------------------------------
+# Rank-to-rank orbit assignment
+# ----------------------------------------------------------------------
+def _assign_orbits(config, group, p_orbits, f_entries):
+    """Pair each P-orbit (in order) with target capacity (in order)."""
+    slots = []
+    for entry in f_entries:
+        for _ in range(entry["capacity"]):
+            slots.append((entry["positions"], entry["per_position"]))
+    if len(slots) != len(p_orbits):
+        raise MatchingError(
+            f"orbit count mismatch: {len(p_orbits)} robot orbits vs "
+            f"{len(slots)} target capacity slots")
+    for orbit, slot in zip(p_orbits, slots):
+        expected = slot[1] * len(slot[0])
+        if len(orbit) != expected:
+            raise MatchingError(
+                "orbit sizes do not line up with target capacities")
+    return list(zip(p_orbits, slots))
+
+
+# ----------------------------------------------------------------------
+# Within-orbit nearest matching with the chirality rule
+# ----------------------------------------------------------------------
+def _match_within_orbit(config, group, orbit, positions, per_position,
+                        destinations, slack):
+    center = config.center
+    nearest: dict[int, list[int]] = {}
+    for robot in orbit:
+        p = config.points[robot]
+        dists = [float(np.linalg.norm(p - f)) for f in positions]
+        d_min = min(dists)
+        ties = [j for j, d in enumerate(dists) if d <= d_min + 10 * slack]
+        nearest[robot] = ties
+
+    chosen: dict[int, int] = {}
+    for robot in orbit:
+        ties = nearest[robot]
+        if len(ties) == 1:
+            chosen[robot] = ties[0]
+        elif len(ties) == 2:
+            chosen[robot] = _chirality_pick(
+                group,
+                config.points[robot] - center,
+                positions[ties[0]] - center,
+                positions[ties[1]] - center, ties, slack)
+        else:
+            raise MatchingError(
+                f"robot has {len(ties)} nearest targets; Lemma 14 "
+                "guarantees at most two for free orbits")
+
+    counts = [0] * len(positions)
+    for robot in orbit:
+        counts[chosen[robot]] += 1
+    if any(c != per_position for c in counts):
+        raise MatchingError(
+            "nearest matching is unbalanced; chirality rule failed "
+            f"(counts {counts}, expected {per_position} each)")
+    for robot in orbit:
+        destinations[robot] = positions[chosen[robot]].copy()
+
+
+def _chirality_pick(group, p_rel, f0_rel, f1_rel, ties, slack):
+    """Resolve a two-way nearest tie — the paper's screw rule.
+
+    By Lemma 14 the conflict lies on a cycle generated by the group
+    element ``g`` with ``g f0 = f1``, around ``g``'s (unique) rotation
+    axis.  Comparing the triple products ``det[axis, p, f]`` of the two
+    candidates picks a consistent direction around that axis: the rule
+    commutes with ``g`` (the axis is fixed by ``g``), so symmetric
+    robots make compatible choices and the matching stays perfect.
+
+    A plain ``det[p, f0, f1]`` comparison is used first (it is the
+    cheaper equivalent when non-degenerate) with the axis rule as the
+    robust fallback for the coplanar/antipodal cases.
+    """
+    det = float(np.linalg.det(np.column_stack([p_rel, f0_rel, f1_rel])))
+    scale = (np.linalg.norm(p_rel) * np.linalg.norm(f0_rel)
+             * np.linalg.norm(f1_rel))
+    if abs(det) > 1e-7 * max(scale, 1e-300):
+        return ties[0] if det > 0 else ties[1]
+
+    from repro.geometry.rotations import rotation_angle, rotation_axis
+
+    picks = set()
+    for mat in group.elements:
+        if float(np.linalg.norm(mat @ f0_rel - f1_rel)) > 10 * slack:
+            continue
+        if rotation_angle(mat) < 1e-9:
+            continue
+        axis = rotation_axis(mat)
+        s0 = float(np.linalg.det(np.column_stack([axis, p_rel, f0_rel])))
+        s1 = float(np.linalg.det(np.column_stack([axis, p_rel, f1_rel])))
+        if abs(s0 - s1) <= 1e-9 * max(scale, 1e-300):
+            continue
+        picks.add(ties[0] if s0 > s1 else ties[1])
+    if len(picks) != 1:
+        raise MatchingError(
+            "degenerate chirality tie between nearest targets")
+    return picks.pop()

@@ -1,0 +1,59 @@
+"""Algorithm 6.1 — the pattern formation algorithm ``ψ_PF``.
+
+The oblivious composition of the paper's two phases:
+
+1. while the configuration is not ``ψ_SYM``-terminal, run ``ψ_SYM``
+   (Algorithm 4.2) — this shows the symmetricity: ``γ(P') ∈ ϱ(P)``;
+2. in a terminal configuration, fix the embedded target ``F̃``
+   (Section 6.1) and move to the matched point of ``M(P, F̃)``
+   (Section 6.2).
+
+Obliviousness: every branch is decided from the current observation
+alone.  A robot that already sees a configuration similar to ``F``
+stays put, so the formed pattern is stable.  Non-oblivious robots run
+the same code by ignoring their memory (Theorem 6.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.errors import SimulationError
+from repro.robots.algorithms.matching import match_configuration_to_pattern
+from repro.robots.algorithms.embedding import embed_target
+from repro.robots.algorithms.sym import is_sym_terminal, psi_sym
+from repro.robots.model import Observation
+
+__all__ = ["make_pattern_formation_algorithm"]
+
+
+def make_pattern_formation_algorithm(
+        target_points=None) -> Callable[[Observation], np.ndarray]:
+    """Build ``ψ_PF`` for a target pattern.
+
+    ``target_points`` may be omitted, in which case each robot reads
+    the pattern from ``observation.target`` (the scheduler's way of
+    handing every robot the common problem input).
+    """
+    fixed_target = None if target_points is None else [
+        np.asarray(p, dtype=float) for p in target_points]
+
+    def psi_pf(observation: Observation) -> np.ndarray:
+        target = fixed_target
+        if target is None:
+            target = observation.target
+        if target is None:
+            raise SimulationError("psi_pf needs the target pattern F")
+        config = Configuration(observation.points)
+        if config.is_similar_to(target):
+            return observation.own_position()
+        if not is_sym_terminal(config):
+            return psi_sym(observation)
+        embedded = embed_target(config, target)
+        destinations = match_configuration_to_pattern(config, embedded)
+        return destinations[observation.self_index]
+
+    return psi_pf

@@ -1,0 +1,325 @@
+"""Algorithm 4.2 — ``ψ_SYM``: show the symmetricity of the swarm.
+
+``ψ_SYM`` translates any initial configuration ``P`` into a terminal
+configuration ``P'`` with ``γ(P') ∈ ϱ(P)`` (Theorem 4.1) by repeatedly
+removing occupied rotation axes:
+
+* a robot at ``b(P)`` leaves the center (*go-to-sphere*);
+* when several orbits share the enclosing sphere, the last orbit
+  jumps outward (*Expand*) so the enclosing ball stays pinned while
+  inner orbits move;
+* the first orbit occupying rotation axes is brought strictly inside
+  every other orbit (*Shrink*), then sent off its axes —
+  *go-to-sphere* for cyclic groups / occupied principal axes,
+  *go-to-corner* for occupied secondary axes of dihedral groups, and
+  *go-to-center* (Algorithm 4.1) for the polyhedral groups.
+
+Terminal configurations satisfy: ``γ(P') = C_1``, or ``P'`` is a
+regular polygon, or no robot is on any rotation axis of ``γ(P')`` —
+and then every orbit of the ``γ(P')``-decomposition has exactly
+``|γ(P')|`` robots, which is what the pattern formation phase needs.
+
+Deviations from the paper's pseudo-code (documented in DESIGN.md):
+
+* *Expand* sends the last orbit to radius ``2·rad(B(P))`` (the paper's
+  text says ``2·rad(I(P))``, which can move the outermost orbit
+  *inward* and cannot achieve the procedure's stated purpose of
+  pinning the enclosing ball; we read it as a typo).
+* Collinear configurations (infinite rotation groups, which the paper
+  leaves implicit) are handled by moving the innermost orbit off the
+  line, after which the finite machinery applies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.core.decomposition import principal_axis_of_d2
+from repro.core.local_views import ordered_orbits
+from repro.errors import SimulationError
+from repro.geometry.polygons import regular_polygon_fold
+from repro.geometry.rotations import rotation_about_axis
+from repro.geometry.tolerance import canonical_round
+from repro.groups.group import GroupKind, RotationGroup
+from repro.robots.algorithms.go_to_center import go_to_center_destination
+from repro.robots.model import Observation
+
+__all__ = ["psi_sym", "is_sym_terminal"]
+
+_GOLDEN_ANGLE = np.pi * (3.0 - np.sqrt(5.0))
+
+
+def is_sym_terminal(config: Configuration) -> bool:
+    """True if ``ψ_SYM`` outputs 'stay' at every robot of ``config``."""
+    report = config.symmetry
+    if report.kind == "degenerate":
+        return True
+    if report.kind == "collinear":
+        return False
+    if report.center_occupied:
+        return False
+    group = report.group
+    if group.is_trivial:
+        return True
+    if regular_polygon_fold(config.points) is not None:
+        return True
+    return not any(axis.occupied for axis in group.axes)
+
+
+def psi_sym(observation: Observation) -> np.ndarray:
+    """``ψ_SYM`` for one robot: next position in local coordinates."""
+    move = _psi_sym_move(observation)
+    return observation.own_position() if move is None else move
+
+
+def _psi_sym_move(observation: Observation) -> np.ndarray | None:
+    pts = observation.points
+    config = Configuration(pts)
+    report = config.symmetry
+    if report.kind == "degenerate":
+        return None
+    center = config.center
+    own = pts[observation.self_index]
+    slack = 1e-6 * max(config.radius, 1.0)
+
+    if float(np.linalg.norm(own - center)) <= slack:
+        return _go_to_sphere(observation, config, group=report.group)
+
+    if report.kind == "collinear":
+        return _collinear_move(observation, config)
+
+    group = report.group
+    if group.is_trivial:
+        return None
+    if regular_polygon_fold(pts) is not None:
+        return None
+    if not any(axis.occupied for axis in group.axes):
+        return None
+
+    orbits = ordered_orbits(config, group)
+
+    # Expand: pin the smallest enclosing ball on a unique last orbit
+    # before anything inside it starts moving.
+    if group.spec.kind is not GroupKind.CYCLIC:
+        on_ball = {i for i, p in enumerate(pts)
+                   if float(np.linalg.norm(p - center))
+                   >= config.radius - 10 * slack}
+        if on_ball != set(orbits[-1]):
+            if observation.self_index in orbits[-1]:
+                return _expand(observation, config)
+            return None
+
+    kind = group.spec.kind
+    if kind is GroupKind.CYCLIC:
+        return _cyclic_case(observation, config, group, orbits)
+    if kind is GroupKind.DIHEDRAL:
+        return _dihedral_case(observation, config, group, orbits)
+    return _polyhedral_case(observation, config, group, orbits)
+
+
+# ----------------------------------------------------------------------
+# Case analysis
+# ----------------------------------------------------------------------
+def _cyclic_case(observation, config, group, orbits):
+    axis = group.axes[0].direction
+    selected = _first_orbit_on_lines(config, orbits, [axis])
+    if selected is None:
+        return None
+    if observation.self_index not in selected:
+        return None
+    if selected != orbits[0]:
+        return _shrink(observation, config, selected)
+    return _go_to_sphere(observation, config, group)
+
+
+def _dihedral_case(observation, config, group, orbits):
+    if group.spec.param == 2:
+        principal = principal_axis_of_d2(config, group)
+    else:
+        principal = group.principal_axis.direction
+    secondary = [a.direction for a in group.axes
+                 if float(abs(np.dot(a.direction, principal))) < 1e-6]
+
+    on_principal = _first_orbit_on_lines(config, orbits, [principal])
+    if on_principal is not None:
+        if observation.self_index not in on_principal:
+            return None
+        if on_principal != orbits[0]:
+            return _shrink(observation, config, on_principal)
+        return _go_to_corner(observation, config, principal, secondary)
+
+    on_secondary = _first_orbit_on_lines(config, orbits, secondary)
+    if on_secondary is None or on_secondary == list(range(config.n)):
+        return None
+    if observation.self_index not in on_secondary:
+        return None
+    if on_secondary != orbits[0]:
+        return _shrink(observation, config, on_secondary)
+    return _go_to_corner(observation, config, principal, secondary)
+
+
+def _polyhedral_case(observation, config, group, orbits):
+    occupied_folds = sorted({a.fold for a in group.axes if a.occupied},
+                            reverse=True)
+    if not occupied_folds:
+        return None
+    max_fold = occupied_folds[0]
+    lines = [a.direction for a in group.axes
+             if a.fold == max_fold and a.occupied]
+    selected = _first_orbit_on_lines(config, orbits, lines)
+    if selected is None:
+        return None
+    if observation.self_index not in selected:
+        return None
+    if selected != orbits[0]:
+        return _shrink(observation, config, selected)
+    element = [observation.points[i] for i in selected]
+    own_in_element = selected.index(observation.self_index)
+    return go_to_center_destination(element, own_in_element)
+
+
+def _first_orbit_on_lines(config, orbits, lines) -> list[int] | None:
+    """First (agreed-order) orbit whose points lie on the given axes."""
+    center = config.center
+    slack = 1e-5 * max(config.radius, 1.0)
+    for orbit in orbits:
+        p = config.points[orbit[0]] - center
+        for line in lines:
+            if float(np.linalg.norm(np.cross(line, p))) <= slack:
+                return orbit
+    return None
+
+
+# ----------------------------------------------------------------------
+# Procedures (Algorithm 4.3)
+# ----------------------------------------------------------------------
+def _expand(observation, config) -> np.ndarray:
+    """Move radially outward to radius ``2·rad(B(P))``."""
+    own = observation.points[observation.self_index]
+    center = config.center
+    rel = own - center
+    radius = float(np.linalg.norm(rel))
+    return center + rel * (2.0 * config.radius / radius)
+
+
+def _shrink(observation, config, movers: list[int]) -> np.ndarray:
+    """Move radially inward to half the others' innermost radius."""
+    own = observation.points[observation.self_index]
+    center = config.center
+    mover_set = set(movers)
+    others = [float(np.linalg.norm(p - center))
+              for i, p in enumerate(observation.points)
+              if i not in mover_set]
+    inner = min(others)
+    rel = own - center
+    radius = float(np.linalg.norm(rel))
+    return center + rel * (inner / 2.0 / radius)
+
+
+def _go_to_sphere(observation, config,
+                  group: RotationGroup | None) -> np.ndarray:
+    """Leave the occupied axis: move to a free point on the half-``I(P)``
+    sphere, avoiding every rotation axis (and the equator for 2D
+    groups).  The direction is chosen deterministically from the
+    robot's local frame — the symmetry-breaking degree of freedom.
+    """
+    center = config.center
+    slack = 1e-6 * max(config.radius, 1.0)
+    radii = [float(np.linalg.norm(p - center)) for p in observation.points]
+    positive = [r for r in radii if r > slack]
+    inner = min(positive) if positive else config.radius
+    target_radius = inner / 2.0
+
+    avoid_lines = []
+    equator_normal = None
+    if group is not None and not group.is_trivial:
+        avoid_lines = [a.direction for a in group.axes]
+        if group.spec.is_2d:
+            if group.spec.kind is GroupKind.DIHEDRAL and group.spec.param == 2:
+                equator_normal = principal_axis_of_d2(config, group)
+            else:
+                principal = group.principal_axis
+                if principal is not None:
+                    equator_normal = principal.direction
+    direction = _free_direction(avoid_lines, equator_normal)
+    return center + target_radius * direction
+
+
+def _free_direction(avoid_lines, equator_normal,
+                    clearance: float = 0.05) -> np.ndarray:
+    """Deterministic unit direction clear of the given axis lines and
+    (optionally) of the plane perpendicular to ``equator_normal``.
+
+    All vectors are in the robot's local coordinates; the fixed seed
+    direction below is therefore frame-dependent, which is the point.
+    """
+    seed = np.array([0.5338, 0.2676, 0.8020])
+    seed /= np.linalg.norm(seed)
+    spin_axis = np.array([0.2763, 0.8906, -0.3614])
+    spin_axis /= np.linalg.norm(spin_axis)
+    candidate = seed
+    for step in range(512):
+        ok = all(float(np.linalg.norm(np.cross(candidate, line)))
+                 > clearance for line in avoid_lines)
+        if ok and equator_normal is not None:
+            ok = abs(float(np.dot(candidate, equator_normal))) > clearance
+        if ok:
+            return candidate
+        tilt = rotation_about_axis(spin_axis,
+                                   _GOLDEN_ANGLE * (step + 1))
+        candidate = tilt @ seed
+    raise SimulationError("could not find a direction clear of all axes")
+
+
+def _go_to_corner(observation, config, principal,
+                  secondary) -> np.ndarray:
+    """Move to the nearest vertex of the reference prism (Figure 27).
+
+    The prism is inscribed in ``Ball(b(P), rad(I(P))/2)``: its vertices
+    lie on the cylinder of radius ``rad(I(P))/4`` around the principal
+    axis, in the planes spanned by the principal axis and each
+    secondary axis.  Ties among nearest vertices are broken by the
+    robot's local lexicographic order — the symmetry-breaking choice.
+    """
+    center = config.center
+    own = observation.points[observation.self_index]
+    slack = 1e-6 * max(config.radius, 1.0)
+    radii = [float(np.linalg.norm(p - center)) for p in observation.points]
+    positive = [r for r in radii if r > slack]
+    inner = min(positive) if positive else config.radius
+    rho = inner / 4.0
+    height = inner * np.sqrt(3.0) / 4.0
+    z_hat = np.asarray(principal, dtype=float)
+    z_hat = z_hat / np.linalg.norm(z_hat)
+    corners = []
+    for s in secondary:
+        s_hat = np.asarray(s, dtype=float)
+        s_hat = s_hat / np.linalg.norm(s_hat)
+        for u in (s_hat, -s_hat):
+            for z in (height, -height):
+                corners.append(center + rho * u + z * z_hat)
+    best_distance = min(float(np.linalg.norm(c - own)) for c in corners)
+    nearest = [c for c in corners
+               if float(np.linalg.norm(c - own)) <= best_distance + slack]
+    return min(nearest, key=lambda c: tuple(canonical_round(c, 9).tolist()))
+
+
+# ----------------------------------------------------------------------
+# Collinear configurations (infinite groups; see module docstring)
+# ----------------------------------------------------------------------
+def _collinear_move(observation, config) -> np.ndarray | None:
+    """Innermost orbit leaves the line; everyone else keeps it."""
+    report = config.symmetry
+    center = config.center
+    line = report.line_direction
+    slack = 1e-6 * max(config.radius, 1.0)
+    radii = [float(np.linalg.norm(p - center)) for p in observation.points]
+    inner = min(r for r in radii if r > slack)
+    own_r = radii[observation.self_index]
+    if own_r > inner + 10 * slack:
+        return None
+    # This robot is innermost (alone, or with its antipodal partner in
+    # the D_inf case): leave the line to half the innermost radius.
+    direction = _free_direction([line], None)
+    return center + (inner / 2.0) * direction

@@ -1,0 +1,104 @@
+"""Robot model: local coordinate systems and observations.
+
+Each robot ``r_i`` has a local right-handed coordinate system ``Z_i``
+whose origin is always its current position and whose axis directions
+and unit distance are arbitrary but fixed (Section 2).  ``Z_i`` is a
+rotation plus uniform scaling of the global system: a world point ``p``
+is observed as ``Z_i(p) = (1/s) Rᵀ (p - pos_i)``, and an algorithm
+output ``d`` in local coordinates is the world point
+``pos_i + s R d``.
+
+An oblivious algorithm is any callable taking an :class:`Observation`
+and returning the robot's next position in local coordinates.  The
+scheduler never passes global information: frame-invariance of an
+algorithm is exactly the property that its world-level behaviour
+commutes with similarity transforms of everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.geometry.rotations import is_rotation_matrix, random_rotation
+
+__all__ = ["LocalFrame", "Observation", "OBLIVIOUS_STAY"]
+
+
+@dataclass(frozen=True)
+class LocalFrame:
+    """Orientation and unit distance of a robot's coordinate system.
+
+    The frame's origin is implicit (the robot's current position), so
+    the same :class:`LocalFrame` is valid for the robot's whole
+    execution even though the robot moves.
+    """
+
+    rotation: np.ndarray = field(default_factory=lambda: np.eye(3))
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise SimulationError("local frame scale must be positive")
+        if not is_rotation_matrix(self.rotation):
+            raise SimulationError(
+                "local frames must be right-handed (rotation in SO(3))")
+
+    def observe(self, world_point, position) -> np.ndarray:
+        """Coordinates of ``world_point`` in this robot's system."""
+        rel = np.asarray(world_point, dtype=float) - np.asarray(
+            position, dtype=float)
+        return (self.rotation.T @ rel) / self.scale
+
+    def to_world(self, local_point, position) -> np.ndarray:
+        """World position of a point given in local coordinates."""
+        return np.asarray(position, dtype=float) + self.scale * (
+            self.rotation @ np.asarray(local_point, dtype=float))
+
+    def composed_with(self, rotation) -> "LocalFrame":
+        """The frame rotated by a global rotation (``g ∘ frame``)."""
+        return LocalFrame(rotation=np.asarray(rotation) @ self.rotation,
+                          scale=self.scale)
+
+    @staticmethod
+    def random(rng: np.random.Generator,
+               scale_range: tuple[float, float] = (0.25, 4.0)) -> "LocalFrame":
+        """Uniformly random orientation, log-uniform unit distance."""
+        low, high = scale_range
+        scale = float(np.exp(rng.uniform(np.log(low), np.log(high))))
+        return LocalFrame(rotation=random_rotation(rng), scale=scale)
+
+
+class Observation:
+    """A robot's Look-phase snapshot, in its local coordinate system.
+
+    ``points`` contains the positions of *all* robots (itself
+    included, at the origin).  ``self_index`` identifies the robot's
+    own entry.  Optionally carries the target pattern ``F`` — every
+    robot knows ``F`` a priori (it is part of the problem input, not of
+    the observation), expressed in an arbitrary coordinate system.
+    """
+
+    def __init__(self, points, self_index: int, target=None) -> None:
+        self.points = [np.asarray(p, dtype=float) for p in points]
+        self.self_index = int(self_index)
+        if not np.allclose(self.points[self.self_index], 0.0, atol=1e-9):
+            raise SimulationError("own position must be the local origin")
+        self.target = None if target is None else [
+            np.asarray(p, dtype=float) for p in target]
+
+    @property
+    def n(self) -> int:
+        """Number of robots observed."""
+        return len(self.points)
+
+    def own_position(self) -> np.ndarray:
+        """The robot's own position (the local origin)."""
+        return self.points[self.self_index]
+
+
+def OBLIVIOUS_STAY(observation: Observation) -> np.ndarray:
+    """The do-nothing algorithm (robot stays put)."""
+    return np.zeros(3)

@@ -1,0 +1,66 @@
+"""Movement models: rigid and non-rigid Move phases.
+
+The paper assumes *rigid* movement (footnote 1 of Section 1): each
+robot reaches its computed destination within its Move phase.  The
+*non-rigid* alternative from the broader literature lets an adversary
+stop a robot anywhere along the segment to its destination, as long as
+it has travelled at least an unknown minimum distance ``δ`` (robots
+closer than ``δ`` to their destination do reach it).
+
+The scheduler takes a movement model so the rigidity assumption can be
+ablated: the paper's algorithms are correct for rigid movement, and
+the benchmarks show which behaviours survive a non-rigid adversary.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["MovementModel", "RigidMovement", "NonRigidMovement"]
+
+
+class MovementModel(Protocol):
+    """Maps an intended move to the position actually reached."""
+
+    def execute(self, start: np.ndarray,
+                destination: np.ndarray) -> np.ndarray:
+        """Position reached during one Move phase."""
+        ...
+
+
+class RigidMovement:
+    """The paper's model: every robot reaches its destination."""
+
+    def execute(self, start: np.ndarray,
+                destination: np.ndarray) -> np.ndarray:
+        return np.asarray(destination, dtype=float)
+
+
+class NonRigidMovement:
+    """Adversarial non-rigid movement with minimum distance ``δ``.
+
+    The adversary (driven by ``rng``) stops each robot at a uniformly
+    random point of the segment beyond the guaranteed ``δ`` prefix.
+    Tracks the paper's definition: if the whole track is shorter than
+    ``δ`` the robot reaches its destination.
+    """
+
+    def __init__(self, delta: float, rng: np.random.Generator) -> None:
+        if delta <= 0:
+            raise SimulationError("minimum moving distance must be > 0")
+        self.delta = float(delta)
+        self._rng = rng
+
+    def execute(self, start: np.ndarray,
+                destination: np.ndarray) -> np.ndarray:
+        start = np.asarray(start, dtype=float)
+        destination = np.asarray(destination, dtype=float)
+        track = float(np.linalg.norm(destination - start))
+        if track <= self.delta:
+            return destination
+        fraction = self._rng.uniform(self.delta / track, 1.0)
+        return start + fraction * (destination - start)

@@ -1,0 +1,133 @@
+"""The fully-synchronous (FSYNC) Look–Compute–Move scheduler.
+
+All robots execute each cycle simultaneously: every robot observes the
+same configuration ``P(t)``, computes its next position with the common
+algorithm, and all movements are applied at once to produce
+``P(t+1)``.  Movement is rigid (robots jump to their destinations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.errors import SimulationError
+from repro.robots.model import LocalFrame, Observation
+
+__all__ = ["ExecutionResult", "FsyncScheduler"]
+
+
+@dataclass
+class ExecutionResult:
+    """Trace of an FSYNC execution.
+
+    Attributes
+    ----------
+    configurations:
+        ``P(0), P(1), ..., P(T)`` — every configuration reached.
+    reached:
+        True if the stop condition fired.
+    fixpoint:
+        True if the run ended because no robot moved for a round.
+    rounds:
+        Number of Look–Compute–Move cycles executed.
+    """
+
+    configurations: list[Configuration]
+    reached: bool
+    fixpoint: bool
+
+    @property
+    def rounds(self) -> int:
+        return len(self.configurations) - 1
+
+    @property
+    def final(self) -> Configuration:
+        return self.configurations[-1]
+
+
+class FsyncScheduler:
+    """Runs a common oblivious algorithm under the FSYNC model.
+
+    Parameters
+    ----------
+    algorithm:
+        Callable ``Observation -> local destination`` shared by all
+        robots (they are uniform and anonymous).
+    frames:
+        One :class:`LocalFrame` per robot; fixed for the whole run.
+    target:
+        Optional pattern ``F`` handed to every robot (see
+        :class:`Observation`).
+    """
+
+    def __init__(self, algorithm: Callable[[Observation], np.ndarray],
+                 frames: list[LocalFrame], target=None,
+                 movement=None) -> None:
+        from repro.robots.movement import RigidMovement
+
+        self.algorithm = algorithm
+        self.frames = list(frames)
+        self.target = target
+        self.movement = movement if movement is not None else RigidMovement()
+
+    def step(self, points: list[np.ndarray]) -> list[np.ndarray]:
+        """One synchronized Look–Compute–Move cycle."""
+        if len(points) != len(self.frames):
+            raise SimulationError("one frame per robot is required")
+        destinations = []
+        for i, (pos, frame) in enumerate(zip(points, self.frames)):
+            local = [frame.observe(p, pos) for p in points]
+            observation = Observation(local, self_index=i,
+                                      target=self._local_target(frame))
+            d = np.asarray(self.algorithm(observation), dtype=float)
+            if d.shape != (3,) or not np.all(np.isfinite(d)):
+                raise SimulationError(
+                    "algorithm must return a finite 3-vector")
+            destinations.append(
+                self.movement.execute(pos, frame.to_world(d, pos)))
+        return destinations
+
+    def _local_target(self, frame: LocalFrame):
+        # The target pattern is known a priori in an arbitrary global
+        # frame; handing each robot the same list models that (robots
+        # may not correlate it with their local axes, and the provided
+        # algorithms never do — they only use F up to similarity).
+        return self.target
+
+    def run(self, initial_points,
+            stop_condition: Callable[[Configuration], bool] | None = None,
+            max_rounds: int = 50) -> ExecutionResult:
+        """Run until the stop condition, a fixpoint, or the round cap.
+
+        Raises
+        ------
+        SimulationError
+            If ``max_rounds`` cycles pass without reaching the stop
+            condition or a fixpoint — FSYNC algorithms in this paper
+            terminate in a small constant number of rounds, so hitting
+            the cap indicates a bug.
+        """
+        points = [np.asarray(p, dtype=float) for p in initial_points]
+        trace = [Configuration(points)]
+        if stop_condition is not None and stop_condition(trace[-1]):
+            return ExecutionResult(trace, reached=True, fixpoint=False)
+        for _ in range(max_rounds):
+            new_points = self.step(points)
+            moved = any(
+                float(np.linalg.norm(a - b)) > 1e-12 * max(
+                    1.0, float(np.linalg.norm(b)))
+                for a, b in zip(new_points, points))
+            points = new_points
+            trace.append(Configuration(points))
+            if stop_condition is not None and stop_condition(trace[-1]):
+                return ExecutionResult(trace, reached=True, fixpoint=False)
+            if not moved:
+                return ExecutionResult(trace, reached=False, fixpoint=True)
+        if stop_condition is None:
+            return ExecutionResult(trace, reached=False, fixpoint=False)
+        raise SimulationError(
+            f"execution did not terminate within {max_rounds} rounds")

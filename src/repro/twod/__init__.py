@@ -1,0 +1,27 @@
+"""The 2D baseline: Suzuki–Yamashita pattern formation in the plane.
+
+The paper generalizes the classic 2D result (SICOMP 1999 / TCS 2010):
+FSYNC robots in the plane can form ``F`` from ``P`` iff the 2D
+symmetricity ``ρ(P)`` divides ``ρ(F)``.  This subpackage implements
+that baseline — 2D symmetricity, the divisibility characterization,
+and an oblivious FSYNC formation algorithm with its own planar
+simulator — so the benchmarks can exhibit the 3D result as a strict
+generalization.
+"""
+
+from repro.twod.symmetricity import symmetricity_2d, center_2d
+from repro.twod.formation import (
+    is_formable_2d,
+    make_formation_algorithm_2d,
+)
+from repro.twod.sim import Frame2D, FsyncScheduler2D, random_frames_2d
+
+__all__ = [
+    "symmetricity_2d",
+    "center_2d",
+    "is_formable_2d",
+    "make_formation_algorithm_2d",
+    "Frame2D",
+    "FsyncScheduler2D",
+    "random_frames_2d",
+]

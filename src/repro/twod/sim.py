@@ -1,0 +1,128 @@
+"""Planar FSYNC simulator for the 2D baseline.
+
+2D local frames are rotations (no reflections — the 2D model assumes
+common chirality, matching the paper's right-handedness assumption in
+3D) plus uniform scalings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["Frame2D", "Observation2D", "FsyncScheduler2D",
+           "random_frames_2d", "ExecutionResult2D"]
+
+
+@dataclass(frozen=True)
+class Frame2D:
+    """A planar local coordinate system: rotation angle plus scale."""
+
+    angle: float = 0.0
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise SimulationError("2D frame scale must be positive")
+
+    def _matrix(self) -> np.ndarray:
+        c, s = np.cos(self.angle), np.sin(self.angle)
+        return np.array([[c, -s], [s, c]])
+
+    def observe(self, world_point, position) -> np.ndarray:
+        rel = np.asarray(world_point, dtype=float) - np.asarray(
+            position, dtype=float)
+        return (self._matrix().T @ rel) / self.scale
+
+    def to_world(self, local_point, position) -> np.ndarray:
+        return np.asarray(position, dtype=float) + self.scale * (
+            self._matrix() @ np.asarray(local_point, dtype=float))
+
+
+class Observation2D:
+    """A planar Look-phase snapshot in local coordinates."""
+
+    def __init__(self, points, self_index: int, target=None) -> None:
+        self.points = [np.asarray(p, dtype=float) for p in points]
+        self.self_index = int(self_index)
+        self.target = None if target is None else [
+            np.asarray(p, dtype=float) for p in target]
+
+    def own_position(self) -> np.ndarray:
+        return self.points[self.self_index]
+
+
+@dataclass
+class ExecutionResult2D:
+    """Trace of a planar FSYNC run."""
+
+    configurations: list[list[np.ndarray]]
+    reached: bool
+    fixpoint: bool
+
+    @property
+    def rounds(self) -> int:
+        return len(self.configurations) - 1
+
+    @property
+    def final(self) -> list[np.ndarray]:
+        return self.configurations[-1]
+
+
+def random_frames_2d(n: int, rng: np.random.Generator,
+                     scale_range: tuple[float, float] = (0.25, 4.0)
+                     ) -> list[Frame2D]:
+    """Independent random planar frames."""
+    low, high = scale_range
+    return [Frame2D(angle=float(rng.uniform(0, 2 * np.pi)),
+                    scale=float(np.exp(rng.uniform(np.log(low),
+                                                   np.log(high)))))
+            for _ in range(n)]
+
+
+class FsyncScheduler2D:
+    """FSYNC Look–Compute–Move in the plane."""
+
+    def __init__(self, algorithm: Callable[[Observation2D], np.ndarray],
+                 frames: list[Frame2D], target=None) -> None:
+        self.algorithm = algorithm
+        self.frames = list(frames)
+        self.target = target
+
+    def step(self, points: list[np.ndarray]) -> list[np.ndarray]:
+        if len(points) != len(self.frames):
+            raise SimulationError("one frame per robot is required")
+        destinations = []
+        for i, (pos, frame) in enumerate(zip(points, self.frames)):
+            local = [frame.observe(p, pos) for p in points]
+            obs = Observation2D(local, self_index=i, target=self.target)
+            d = np.asarray(self.algorithm(obs), dtype=float)
+            if d.shape != (2,) or not np.all(np.isfinite(d)):
+                raise SimulationError("2D algorithm must return a 2-vector")
+            destinations.append(frame.to_world(d, pos))
+        return destinations
+
+    def run(self, initial_points, stop_condition=None,
+            max_rounds: int = 50) -> ExecutionResult2D:
+        points = [np.asarray(p, dtype=float)[:2] for p in initial_points]
+        trace = [list(points)]
+        if stop_condition is not None and stop_condition(points):
+            return ExecutionResult2D(trace, reached=True, fixpoint=False)
+        for _ in range(max_rounds):
+            new_points = self.step(points)
+            moved = any(float(np.linalg.norm(a - b)) > 1e-12
+                        for a, b in zip(new_points, points))
+            points = new_points
+            trace.append(list(points))
+            if stop_condition is not None and stop_condition(points):
+                return ExecutionResult2D(trace, reached=True, fixpoint=False)
+            if not moved:
+                return ExecutionResult2D(trace, reached=False, fixpoint=True)
+        if stop_condition is None:
+            return ExecutionResult2D(trace, reached=False, fixpoint=False)
+        raise SimulationError(
+            f"2D execution did not terminate within {max_rounds} rounds")

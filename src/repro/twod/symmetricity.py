@@ -1,0 +1,103 @@
+"""2D symmetricity ``ρ(P)`` (Suzuki–Yamashita).
+
+``ρ(P)`` is the largest ``k`` such that the cyclic group ``C_k`` about
+the center ``c(P)`` of the smallest enclosing circle acts on ``P`` —
+with the exception that ``ρ(P) = 1`` whenever a robot sits at
+``c(P)`` (that robot can simply leave, breaking every rotation).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.balls import smallest_enclosing_ball
+from repro.geometry.tolerance import DEFAULT_TOL, Tolerance
+
+__all__ = ["center_2d", "symmetricity_2d", "rotation_group_order_2d"]
+
+
+def _as_planar(points) -> list[np.ndarray]:
+    pts = []
+    for p in points:
+        arr = np.asarray(p, dtype=float)
+        if arr.shape == (2,):
+            pts.append(arr)
+        elif arr.shape == (3,):
+            pts.append(arr[:2])
+        else:
+            raise GeometryError("2D points must be 2- or 3-vectors")
+    return pts
+
+
+def center_2d(points, tol: Tolerance = DEFAULT_TOL) -> np.ndarray:
+    """Center ``c(P)`` of the smallest enclosing circle."""
+    pts = _as_planar(points)
+    embedded = [np.array([p[0], p[1], 0.0]) for p in pts]
+    return smallest_enclosing_ball(embedded, tol).center[:2]
+
+
+def rotation_group_order_2d(points, center=None,
+                            tol: Tolerance = DEFAULT_TOL) -> int:
+    """Largest ``k`` with ``C_k`` (about the circle center) acting on P.
+
+    Unlike :func:`symmetricity_2d` this ignores the center-robot
+    exception — it is the plain geometric rotation order.
+    """
+    pts = _as_planar(points)
+    c = center_2d(pts, tol) if center is None else np.asarray(center)
+    rel = [p - c for p in pts]
+    scale = max(float(np.linalg.norm(r)) for r in rel)
+    if scale <= tol.abs_tol:
+        return len(pts)  # all robots at one point
+    slack = 1e-6 * scale
+    off = [r for r in rel if float(np.linalg.norm(r)) > slack]
+    if not off:
+        return len(pts)
+    bound = _gcd_of_shell_sizes(off, slack)
+    for k in range(bound, 0, -1):
+        if bound % k == 0 and _preserved_by_rotation(rel, k, slack):
+            return k
+    return 1
+
+
+def _gcd_of_shell_sizes(off_center, slack: float) -> int:
+    shells: list[tuple[float, int]] = []
+    for r in off_center:
+        radius = float(np.linalg.norm(r))
+        for i, (existing, count) in enumerate(shells):
+            if abs(existing - radius) <= 10 * slack:
+                shells[i] = (existing, count + 1)
+                break
+        else:
+            shells.append((radius, 1))
+    sizes = [count for _, count in shells]
+    return math.gcd(*sizes) if sizes else 1
+
+
+def _preserved_by_rotation(rel, k: int, slack: float) -> bool:
+    angle = 2.0 * np.pi / k
+    cos, sin = np.cos(angle), np.sin(angle)
+    rot = np.array([[cos, -sin], [sin, cos]])
+    for r in rel:
+        image = rot @ r
+        if not any(float(np.linalg.norm(image - q)) <= 10 * slack
+                   for q in rel):
+            return False
+    return True
+
+
+def symmetricity_2d(points, tol: Tolerance = DEFAULT_TOL) -> int:
+    """``ρ(P)`` with the center-robot exception."""
+    pts = _as_planar(points)
+    c = center_2d(pts, tol)
+    scale = max(float(np.linalg.norm(p - c)) for p in pts)
+    slack = 1e-6 * max(scale, 1.0)
+    if any(float(np.linalg.norm(p - c)) <= slack for p in pts):
+        distinct = len({tuple(np.round(p, 6)) for p in pts})
+        if distinct > 1:
+            return 1
+        return len(pts)  # the point of multiplicity n has rho = n
+    return rotation_group_order_2d(pts, center=c, tol=tol)

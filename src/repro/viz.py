@@ -1,0 +1,126 @@
+"""Dependency-free SVG rendering of configurations and executions.
+
+Produces simple orthographic projections so examples and debugging
+sessions can *see* formations without any plotting stack: robots as
+filled circles (radius modulated by depth), optional target pattern as
+open circles, optional traces between consecutive configurations.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["render_svg", "render_execution_svg"]
+
+_VIEW = 480.0
+_MARGIN = 40.0
+
+# Default orthographic camera: rotate slightly so all three axes show.
+_CAMERA = np.array([
+    [0.866, 0.0, -0.5],
+    [-0.25, 0.866, -0.433],
+    [0.433, 0.5, 0.75],
+])
+
+
+def _project(points, camera=_CAMERA):
+    arr = np.asarray([np.asarray(p, dtype=float) for p in points])
+    rotated = arr @ camera.T
+    return rotated[:, :2], rotated[:, 2]
+
+
+def _fit(points_2d):
+    lo = points_2d.min(axis=0)
+    hi = points_2d.max(axis=0)
+    span = float(max(hi[0] - lo[0], hi[1] - lo[1], 1e-9))
+    scale = (_VIEW - 2 * _MARGIN) / span
+    center = (lo + hi) / 2.0
+
+    def to_screen(p):
+        x = _MARGIN + (_VIEW - 2 * _MARGIN) / 2.0 + (p[0] - center[0]) * scale
+        y = _MARGIN + (_VIEW - 2 * _MARGIN) / 2.0 - (p[1] - center[1]) * scale
+        return float(x), float(y)
+
+    return to_screen
+
+
+def render_svg(points, path, target=None, title: str | None = None) -> str:
+    """Render a configuration (and optional target pattern) to SVG.
+
+    Returns the SVG text; ``path`` may be None to skip writing.
+    """
+    pts = [np.asarray(p, dtype=float) for p in points]
+    if not pts:
+        raise ReproError("nothing to render")
+    everything = list(pts) + ([np.asarray(p, dtype=float)
+                               for p in target] if target else [])
+    flat, depth = _project(everything)
+    to_screen = _fit(flat)
+    depth_lo, depth_hi = float(depth.min()), float(depth.max())
+    depth_span = max(depth_hi - depth_lo, 1e-9)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_VIEW:.0f}" '
+        f'height="{_VIEW:.0f}" viewBox="0 0 {_VIEW:.0f} {_VIEW:.0f}">',
+        f'<rect width="{_VIEW:.0f}" height="{_VIEW:.0f}" fill="#ffffff"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{_VIEW / 2:.0f}" y="24" text-anchor="middle" '
+            f'font-family="sans-serif" font-size="15">{title}</text>')
+
+    if target:
+        for i in range(len(pts), len(everything)):
+            x, y = to_screen(flat[i])
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="7" fill="none" '
+                'stroke="#c0392b" stroke-width="1.5" '
+                'stroke-dasharray="3,2"/>')
+
+    order = sorted(range(len(pts)), key=lambda i: depth[i])
+    for i in order:
+        x, y = to_screen(flat[i])
+        t = (float(depth[i]) - depth_lo) / depth_span
+        radius = 4.0 + 4.0 * t
+        shade = int(40 + 120 * (1.0 - t))
+        parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{radius:.1f}" '
+            f'fill="rgb({shade},{shade + 30},{200})" '
+            'stroke="#1b2631" stroke-width="1"/>')
+    parts.append("</svg>")
+    svg = "\n".join(parts)
+    if path is not None:
+        Path(path).write_text(svg)
+    return svg
+
+
+def render_execution_svg(configurations, path,
+                         target=None, columns: int = 4) -> str:
+    """Render an execution trace as a grid of per-round panels."""
+    configs = list(configurations)
+    if not configs:
+        raise ReproError("empty execution trace")
+    rows = (len(configs) + columns - 1) // columns
+    width = columns * _VIEW
+    height = rows * _VIEW
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">']
+    for index, config in enumerate(configs):
+        points = getattr(config, "points", config)
+        panel = render_svg(points, path=None, target=target,
+                           title=f"round {index}")
+        inner = panel.split(">", 1)[1].rsplit("</svg>", 1)[0]
+        col = index % columns
+        row = index // columns
+        parts.append(f'<g transform="translate({col * _VIEW:.0f},'
+                     f'{row * _VIEW:.0f})">{inner}</g>')
+    parts.append("</svg>")
+    svg = "\n".join(parts)
+    if path is not None:
+        Path(path).write_text(svg)
+    return svg

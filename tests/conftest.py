@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.transforms import Similarity
+from repro.patterns.library import named_pattern
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def cube():
+    return named_pattern("cube")
+
+
+@pytest.fixture
+def octagon():
+    return named_pattern("octagon")
+
+
+@pytest.fixture
+def square_antiprism():
+    return named_pattern("square_antiprism")
+
+
+@pytest.fixture
+def random_similarity(rng) -> Similarity:
+    return Similarity.random(rng)
+
+
+def generic_cloud(n: int, seed: int = 0) -> list[np.ndarray]:
+    """A generic (asymmetric) point cloud for tests."""
+    gen = np.random.default_rng(seed)
+    return [gen.normal(size=3) for _ in range(n)]

@@ -1,0 +1,99 @@
+"""Tests for the Configuration type."""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.errors import ConfigurationError
+from repro.geometry.transforms import Similarity
+from tests.conftest import generic_cloud
+
+
+class TestConstruction:
+    def test_basic(self, cube):
+        config = Configuration(cube)
+        assert config.n == 8
+        assert len(config) == 8
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Configuration([])
+
+    def test_wrong_dimension_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Configuration([[1.0, 2.0]])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Configuration([[np.nan, 0, 0]])
+
+    def test_points_are_read_only(self, cube):
+        config = Configuration(cube)
+        with pytest.raises(ValueError):
+            config.points[0][0] = 99.0
+
+    def test_source_mutation_does_not_leak(self):
+        src = [np.zeros(3), np.ones(3), np.array([2.0, 0, 0])]
+        config = Configuration(src)
+        src[0][0] = 42.0
+        assert config.points[0][0] == 0.0
+
+
+class TestDerivedGeometry:
+    def test_center_and_radius(self, cube):
+        config = Configuration(cube)
+        assert np.allclose(config.center, [0, 0, 0], atol=1e-9)
+        assert config.radius == pytest.approx(1.0)
+
+    def test_inner_ball(self):
+        pts = [[1, 0, 0], [-1, 0, 0], [0, 2, 0], [0, -2, 0]]
+        config = Configuration(pts)
+        assert config.inner_ball.radius == pytest.approx(1.0)
+
+    def test_symmetry_cached(self, cube):
+        config = Configuration(cube)
+        assert config.symmetry is config.symmetry
+
+    def test_rotation_group(self, cube):
+        assert str(Configuration(cube).rotation_group.spec) == "O"
+
+    def test_relative_points(self, cube):
+        config = Configuration([p + np.array([1.0, 2.0, 3.0])
+                                for p in cube])
+        rel = config.relative_points()
+        assert np.allclose(np.mean(rel, axis=0), 0.0, atol=1e-9)
+
+
+class TestValidation:
+    def test_require_initial_accepts_valid(self, cube):
+        Configuration(cube).require_initial()
+
+    def test_require_initial_rejects_small(self):
+        with pytest.raises(ConfigurationError):
+            Configuration([[0, 0, 0], [1, 0, 0]]).require_initial()
+
+    def test_require_initial_rejects_multiplicity(self, cube):
+        with pytest.raises(ConfigurationError):
+            Configuration(cube + [cube[0]]).require_initial()
+
+    def test_has_multiplicity(self, cube):
+        assert not Configuration(cube).has_multiplicity
+        assert Configuration(cube + [cube[0]]).has_multiplicity
+
+
+class TestRelations:
+    def test_similarity(self, rng, cube):
+        config = Configuration(cube)
+        sim = Similarity.random(rng)
+        assert config.is_similar_to(config.transformed(sim))
+
+    def test_similarity_with_raw_points(self, cube):
+        assert Configuration(cube).is_similar_to(cube)
+
+    def test_not_similar(self, cube, octagon):
+        assert not Configuration(cube).is_similar_to(octagon)
+
+    def test_translated_to_origin(self):
+        pts = generic_cloud(5, seed=2)
+        moved = Configuration([p + 7.0 for p in pts]).translated_to_origin()
+        assert np.allclose(moved.center, [0, 0, 0], atol=1e-8)

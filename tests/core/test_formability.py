@@ -1,0 +1,134 @@
+"""Tests for the Theorem 1.1 / 7.1 formability predicate."""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.formability import formability_report, is_formable
+from repro.errors import ConfigurationError
+from repro.patterns import polyhedra
+from repro.patterns.library import compose_shells, named_pattern
+from tests.conftest import generic_cloud
+
+
+def formable(p, f) -> bool:
+    return is_formable(Configuration(p), Configuration(f))
+
+
+class TestPaperExamples:
+    def test_cube_to_octagon(self, cube, octagon):
+        # Figure 1(b): rho(cube) = {D4} and the octagon admits D4.
+        assert formable(cube, octagon)
+
+    def test_cube_to_square_antiprism(self, cube, square_antiprism):
+        assert formable(cube, square_antiprism)
+
+    def test_cube_to_itself(self, cube):
+        assert formable(cube, cube)
+
+    def test_octagon_to_cube_fails(self, cube, octagon):
+        # rho(octagon) contains C8, which no 8-point 3D pattern with
+        # gamma = O admits.
+        assert not formable(octagon, cube)
+
+    def test_anything_to_generic_fails_if_symmetric(self, cube):
+        assert not formable(cube, generic_cloud(8, seed=1))
+
+    def test_generic_to_anything(self, cube, octagon):
+        gen = generic_cloud(8, seed=2)
+        assert formable(gen, cube)
+        assert formable(gen, octagon)
+
+    def test_icosahedron_cuboctahedron_incomparable(self):
+        ico = named_pattern("icosahedron")
+        cuboct = named_pattern("cuboctahedron")
+        assert not formable(ico, cuboct)
+        assert not formable(cuboct, ico)
+
+    def test_octahedron_to_hexagon(self):
+        assert formable(named_pattern("octahedron"),
+                        polyhedra.regular_polygon_pattern(6))
+
+    def test_composite_to_hexadecagon(self):
+        # rho(cube+octahedron) = {C2}; a regular 14-gon has C14 >= C2.
+        pts = compose_shells(named_pattern("octahedron"),
+                             named_pattern("cube"))
+        assert formable(pts, polyhedra.regular_polygon_pattern(14))
+
+
+class TestPointFormation:
+    def test_point_always_formable(self):
+        # rho(F) for the point of multiplicity n contains every group
+        # whose order divides n, and every G in rho(P) has free orbits
+        # so |G| divides n: point formation is always solvable.
+        for name in ["cube", "icosahedron", "octagon", "cuboctahedron"]:
+            pts = named_pattern(name)
+            target = [np.zeros(3)] * len(pts)
+            assert formable(pts, target)
+
+
+class TestMultiplicityTargets:
+    def test_truncatedcube_like_to_tripled_cube(self, cube):
+        # Paper Section 7 example: 24 robots forming a free O-orbit can
+        # gather in threes on the cube vertices.
+        from repro.groups.catalog import octahedral_group
+        from repro.patterns.orbits import transitive_set
+
+        initial = transitive_set(octahedral_group(), mu=1)
+        target = cube * 3
+        assert formable(initial, target)
+
+    def test_doubled_cube_blocked(self, cube):
+        from repro.groups.catalog import octahedral_group
+        from repro.patterns.orbits import transitive_set
+
+        # 16 robots forming a free O-orbit do not exist (|O| = 24), so
+        # use a free D8 orbit instead; its C8 is not in rho(cube*2).
+        initial = polyhedra.antiprism(8)
+        target = cube * 2
+        assert not formable(initial, target)
+
+
+class TestReports:
+    def test_report_contents_formable(self, cube, octagon):
+        report = formability_report(Configuration(cube),
+                                    Configuration(octagon))
+        assert report.formable
+        assert report.blocking == []
+        assert "Formable" in report.explain()
+
+    def test_report_contents_unformable(self, cube, octagon):
+        report = formability_report(Configuration(octagon),
+                                    Configuration(cube))
+        assert not report.formable
+        assert report.blocking
+        assert "Unformable" in report.explain()
+
+    def test_size_mismatch(self, cube, octagon):
+        with pytest.raises(ConfigurationError):
+            formability_report(Configuration(cube),
+                               Configuration(octagon[:-1]))
+
+    def test_initial_multiplicity_rejected(self, cube):
+        with pytest.raises(ConfigurationError):
+            formability_report(Configuration(cube + [cube[0]]),
+                               Configuration(cube + [cube[1]]))
+
+
+class TestReflexivityAndMonotonicity:
+    @pytest.mark.parametrize("name", [
+        "tetrahedron", "cube", "octahedron", "octagon",
+        "square_antiprism", "pentagonal_prism"])
+    def test_every_pattern_formable_from_itself(self, name):
+        pts = named_pattern(name)
+        assert formable(pts, pts)
+
+    def test_formability_is_transitive_on_sampled_chain(self):
+        # generic -> cube -> octagon is consistent with
+        # generic -> octagon.
+        gen = generic_cloud(8, seed=9)
+        cube = named_pattern("cube")
+        octagon = named_pattern("octagon")
+        assert formable(gen, cube)
+        assert formable(cube, octagon)
+        assert formable(gen, octagon)

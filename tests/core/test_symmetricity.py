@@ -1,0 +1,178 @@
+"""Tests for the symmetricity ϱ(P) (Definitions 5 and 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.symmetricity import symmetricity, symmetricity_of_multiset
+from repro.errors import ConfigurationError
+from repro.groups.group import GroupSpec
+from repro.groups.subgroups import is_abstract_subgroup
+from repro.patterns import polyhedra
+from repro.patterns.library import compose_shells, named_pattern
+from tests.conftest import generic_cloud
+
+
+def maximal_names(points) -> set[str]:
+    return {str(s) for s in symmetricity(Configuration(points)).maximal}
+
+
+class TestPaperTable3Values:
+    """ϱ of the transitive sets, as listed in Table 3 (maximal sets —
+    the paper's cuboctahedron row lists C3 which is below T)."""
+
+    def test_tetrahedron(self):
+        assert maximal_names(named_pattern("tetrahedron")) == {"D2"}
+
+    def test_octahedron(self):
+        assert maximal_names(named_pattern("octahedron")) == {"D3"}
+
+    def test_cube(self):
+        assert maximal_names(named_pattern("cube")) == {"D4"}
+
+    def test_cuboctahedron(self):
+        assert maximal_names(named_pattern("cuboctahedron")) == {"T", "C4"}
+
+    def test_icosahedron(self):
+        assert maximal_names(named_pattern("icosahedron")) == {"T", "D3"}
+
+    def test_dodecahedron(self):
+        assert maximal_names(named_pattern("dodecahedron")) == {"D5", "D2"}
+
+    def test_icosidodecahedron(self):
+        assert maximal_names(
+            named_pattern("icosidodecahedron")) == {"C5", "C3"}
+
+
+class TestPolygonsAndGenericSets:
+    def test_even_polygon(self):
+        # Paper: rho of a regular n-gon is {C_n, D_{n/2}} for even n.
+        assert maximal_names(
+            polyhedra.regular_polygon_pattern(8)) == {"C8", "D4"}
+
+    def test_odd_polygon(self):
+        assert maximal_names(
+            polyhedra.regular_polygon_pattern(5)) == {"C5"}
+
+    def test_generic_cloud(self):
+        assert maximal_names(generic_cloud(9, seed=4)) == {"C1"}
+
+    def test_free_orbit_has_full_group(self):
+        from repro.groups.catalog import octahedral_group
+        from repro.patterns.orbits import transitive_set
+
+        pts = transitive_set(octahedral_group(), mu=1)
+        assert maximal_names(pts) == {"O"}
+
+    def test_pyramid_apex_blocks_axis(self):
+        # The apex occupies the single C_k axis, so rho = {C1}.
+        assert maximal_names(polyhedra.pyramid(4)) == {"C1"}
+
+    def test_prism_is_free(self):
+        assert maximal_names(polyhedra.prism(5)) == {"D5"}
+
+    def test_composite_cube_octahedron(self):
+        # Paper Section 4.2: rho = {C2} (no three perpendicular free
+        # 2-fold axes).
+        pts = compose_shells(named_pattern("octahedron"),
+                             named_pattern("cube"))
+        assert maximal_names(pts) == {"C2"}
+
+
+class TestStructuralProperties:
+    def test_always_contains_trivial(self, cube):
+        rho = symmetricity(Configuration(cube))
+        assert GroupSpec.parse("C1") in rho
+
+    def test_downward_closed(self):
+        for name in ["cube", "icosahedron", "cuboctahedron"]:
+            rho = symmetricity(Configuration(named_pattern(name)))
+            for spec in list(rho.specs):
+                from repro.groups.subgroups import proper_abstract_subgroups
+
+                for sub in proper_abstract_subgroups(spec):
+                    assert sub in rho.specs
+
+    def test_witnesses_act_freely(self, cube):
+        config = Configuration(cube)
+        rho = symmetricity(config)
+        for spec, arrangements in rho.witnesses.items():
+            for witness in arrangements:
+                for p in config.relative_points():
+                    assert witness.stabilizer_size(p) == 1
+
+    def test_is_subset_of(self, cube, octagon):
+        rho_p = symmetricity(Configuration(cube))
+        rho_f = symmetricity(Configuration(octagon))
+        assert rho_p.is_subset_of(rho_f)
+        assert not rho_f.is_subset_of(rho_p)
+
+    def test_multiset_rejected_by_strict_function(self, cube):
+        with pytest.raises(ConfigurationError):
+            symmetricity(Configuration(cube + [cube[0]]))
+
+    def test_symmetricity_within_gamma(self):
+        for name in ["cube", "dodecahedron", "cuboctahedron"]:
+            config = Configuration(named_pattern(name))
+            gamma = config.rotation_group.spec
+            rho = symmetricity(config)
+            for spec in rho.specs:
+                assert is_abstract_subgroup(spec, gamma)
+
+
+class TestMultisetSymmetricity:
+    def test_point_of_multiplicity_n(self):
+        pts = [np.zeros(3)] * 24
+        rho = symmetricity_of_multiset(Configuration(pts))
+        names = {str(s) for s in rho.specs}
+        assert "O" in names and "T" in names and "C8" in names
+        assert "I" not in names  # 60 does not divide 24
+        assert "C5" not in names
+
+    def test_cube_vertices_tripled(self, cube):
+        # Paper Section 7: |F| = 24, vertices of a cube with
+        # multiplicity 3 each: rho(F) = {O}.
+        pts = cube * 3
+        rho = symmetricity_of_multiset(Configuration(pts))
+        assert {str(s) for s in rho.maximal} == {"O"}
+
+    def test_cube_vertices_doubled(self, cube):
+        # Multiplicity 2 is not divisible by the 3-fold stabilizer, so
+        # O itself is excluded but free-axis subgroups survive.
+        pts = cube * 2
+        rho = symmetricity_of_multiset(Configuration(pts))
+        names = {str(s) for s in rho.specs}
+        assert "O" not in names
+        assert "D4" in names
+
+    def test_collinear_multiset(self):
+        ez = np.array([0.0, 0.0, 1.0])
+        pts = [ez, ez, -ez, -ez]
+        rho = symmetricity_of_multiset(Configuration(pts))
+        names = {str(s) for s in rho.specs}
+        assert "C2" in names
+        assert "D2" in names  # principal on the line, stabilizers 2
+
+    def test_degenerate_divisors(self):
+        pts = [np.ones(3)] * 12
+        rho = symmetricity_of_multiset(Configuration(pts))
+        names = {str(s) for s in rho.specs}
+        assert "T" in names and "C12" in names and "D6" in names
+        assert "O" not in names
+
+
+class TestCollinearSets:
+    def test_symmetric_line(self):
+        pts = [np.array([0, 0, z], dtype=float) for z in (-2, -1, 1, 2)]
+        rho = symmetricity(Configuration(pts))
+        assert {str(s) for s in rho.maximal} == {"C2"}
+
+    def test_asymmetric_line(self):
+        pts = [np.array([0, 0, z], dtype=float) for z in (-2, -1, 1, 5)]
+        rho = symmetricity(Configuration(pts))
+        assert {str(s) for s in rho.maximal} == {"C1"}
+
+    def test_symmetric_line_with_center_robot(self):
+        pts = [np.array([0, 0, z], dtype=float) for z in (-1, 0, 1)]
+        rho = symmetricity(Configuration(pts))
+        assert {str(s) for s in rho.maximal} == {"C1"}

@@ -1,0 +1,146 @@
+"""Tests for smallest enclosing balls and innermost empty balls."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.balls import (
+    Ball,
+    innermost_empty_ball,
+    is_spherical,
+    smallest_enclosing_ball,
+)
+from repro.patterns.library import named_pattern
+
+
+class TestBall:
+    def test_contains_interior_point(self):
+        ball = Ball(center=np.zeros(3), radius=2.0)
+        assert ball.contains([1.0, 0.0, 0.0])
+
+    def test_contains_boundary_point(self):
+        ball = Ball(center=np.zeros(3), radius=1.0)
+        assert ball.contains([1.0, 0.0, 0.0])
+
+    def test_rejects_exterior_point(self):
+        ball = Ball(center=np.zeros(3), radius=1.0)
+        assert not ball.contains([1.1, 0.0, 0.0])
+
+    def test_on_sphere(self):
+        ball = Ball(center=np.array([1.0, 0.0, 0.0]), radius=1.0)
+        assert ball.on_sphere([2.0, 0.0, 0.0])
+        assert not ball.on_sphere([1.0, 0.0, 0.0])
+
+    def test_strictly_inside(self):
+        ball = Ball(center=np.zeros(3), radius=1.0)
+        assert ball.strictly_inside([0.5, 0.0, 0.0])
+        assert not ball.strictly_inside([1.0, 0.0, 0.0])
+
+
+class TestSmallestEnclosingBall:
+    def test_single_point(self):
+        ball = smallest_enclosing_ball([[1.0, 2.0, 3.0]])
+        assert np.allclose(ball.center, [1.0, 2.0, 3.0])
+        assert ball.radius == pytest.approx(0.0, abs=1e-12)
+
+    def test_two_points_diametral(self):
+        ball = smallest_enclosing_ball([[0, 0, 0], [2, 0, 0]])
+        assert np.allclose(ball.center, [1, 0, 0])
+        assert ball.radius == pytest.approx(1.0)
+
+    def test_equilateral_triangle_circumcenter(self):
+        pts = [[1, 0, 0], [-0.5, np.sqrt(3) / 2, 0],
+               [-0.5, -np.sqrt(3) / 2, 0]]
+        ball = smallest_enclosing_ball(pts)
+        assert np.allclose(ball.center, [0, 0, 0], atol=1e-9)
+        assert ball.radius == pytest.approx(1.0)
+
+    def test_obtuse_triangle_uses_longest_edge(self):
+        # For an obtuse triangle the SEB is the diametral ball of the
+        # longest edge, not the circumball.
+        pts = [[0, 0, 0], [4, 0, 0], [1, 0.5, 0]]
+        ball = smallest_enclosing_ball(pts)
+        assert np.allclose(ball.center, [2, 0, 0], atol=1e-9)
+        assert ball.radius == pytest.approx(2.0)
+
+    def test_regular_tetrahedron(self):
+        pts = named_pattern("tetrahedron")
+        ball = smallest_enclosing_ball(pts)
+        assert np.allclose(ball.center, [0, 0, 0], atol=1e-9)
+        assert ball.radius == pytest.approx(1.0)
+
+    def test_cube_center_and_radius(self):
+        pts = [np.array([x, y, z], dtype=float)
+               for x in (-1, 1) for y in (-1, 1) for z in (-1, 1)]
+        ball = smallest_enclosing_ball(pts)
+        assert np.allclose(ball.center, [0, 0, 0], atol=1e-9)
+        assert ball.radius == pytest.approx(np.sqrt(3.0))
+
+    def test_interior_points_do_not_matter(self):
+        pts = [[1, 0, 0], [-1, 0, 0], [0, 1, 0], [0, -1, 0],
+               [0, 0, 1], [0, 0, -1], [0.1, 0.1, 0.1]]
+        ball = smallest_enclosing_ball(pts)
+        assert ball.radius == pytest.approx(1.0)
+
+    def test_random_clouds_containment_and_support(self, rng):
+        for _ in range(50):
+            pts = rng.normal(size=(int(rng.integers(2, 25)), 3))
+            ball = smallest_enclosing_ball(pts)
+            assert all(ball.contains(p) for p in pts)
+            support = sum(ball.on_sphere(p) for p in pts)
+            assert support >= 2
+
+    def test_translation_equivariance(self, rng):
+        pts = rng.normal(size=(10, 3))
+        shift = np.array([5.0, -3.0, 2.0])
+        ball_a = smallest_enclosing_ball(pts)
+        ball_b = smallest_enclosing_ball(pts + shift)
+        assert np.allclose(ball_b.center, ball_a.center + shift, atol=1e-8)
+        assert ball_b.radius == pytest.approx(ball_a.radius)
+
+    def test_empty_input_raises(self):
+        with pytest.raises(GeometryError):
+            smallest_enclosing_ball([])
+
+    def test_deterministic(self, rng):
+        pts = rng.normal(size=(12, 3))
+        a = smallest_enclosing_ball(pts)
+        b = smallest_enclosing_ball(pts)
+        assert np.allclose(a.center, b.center)
+        assert a.radius == b.radius
+
+
+class TestInnermostEmptyBall:
+    def test_touches_nearest_point(self):
+        pts = [[1, 0, 0], [-1, 0, 0], [0, 2, 0], [0, -2, 0]]
+        inner = innermost_empty_ball(pts, center=[0, 0, 0])
+        assert inner.radius == pytest.approx(1.0)
+
+    def test_zero_radius_when_center_occupied(self):
+        pts = [[0, 0, 0], [1, 0, 0], [-1, 0, 0]]
+        inner = innermost_empty_ball(pts, center=[0, 0, 0])
+        assert inner.radius == pytest.approx(0.0)
+
+    def test_default_center_is_seb_center(self):
+        pts = [[1, 0, 0], [-1, 0, 0], [0, 1, 0], [0, -1, 0]]
+        inner = innermost_empty_ball(pts)
+        assert np.allclose(inner.center, [0, 0, 0], atol=1e-9)
+
+    def test_empty_input_raises(self):
+        with pytest.raises(GeometryError):
+            innermost_empty_ball([])
+
+
+class TestIsSpherical:
+    def test_cube_is_spherical(self, cube):
+        assert is_spherical(cube)
+
+    def test_cube_plus_interior_point_is_not(self, cube):
+        assert not is_spherical(cube + [np.array([0.1, 0.0, 0.0])])
+
+    def test_two_shells_are_not_spherical(self):
+        from repro.patterns.library import compose_shells, named_pattern
+
+        pts = compose_shells(named_pattern("cube"),
+                             named_pattern("octahedron"))
+        assert not is_spherical(pts)

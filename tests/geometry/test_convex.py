@@ -1,0 +1,106 @@
+"""Tests for convex polyhedra with merged coplanar faces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.convex import ConvexPolyhedron
+from repro.patterns.library import named_pattern
+
+
+class TestFaceMerging:
+    def test_cube_has_six_squares(self, cube):
+        poly = ConvexPolyhedron(cube)
+        assert poly.face_sizes() == [4] * 6
+
+    def test_tetrahedron_has_four_triangles(self):
+        poly = ConvexPolyhedron(named_pattern("tetrahedron"))
+        assert poly.face_sizes() == [3] * 4
+
+    def test_octahedron_has_eight_triangles(self):
+        poly = ConvexPolyhedron(named_pattern("octahedron"))
+        assert poly.face_sizes() == [3] * 8
+
+    def test_cuboctahedron_mixed_faces(self):
+        poly = ConvexPolyhedron(named_pattern("cuboctahedron"))
+        assert poly.face_sizes() == [3] * 8 + [4] * 6
+
+    def test_icosidodecahedron_mixed_faces(self):
+        poly = ConvexPolyhedron(named_pattern("icosidodecahedron"))
+        assert poly.face_sizes() == [3] * 20 + [5] * 12
+
+    def test_dodecahedron_pentagons(self):
+        poly = ConvexPolyhedron(named_pattern("dodecahedron"))
+        assert poly.face_sizes() == [5] * 12
+
+    def test_icosahedron_triangles(self):
+        poly = ConvexPolyhedron(named_pattern("icosahedron"))
+        assert poly.face_sizes() == [3] * 20
+
+
+class TestFaceGeometry:
+    def test_outward_normals(self, cube):
+        poly = ConvexPolyhedron(cube)
+        for face in poly.faces:
+            assert float(np.dot(face.normal, face.center)) > 0
+
+    def test_face_centers_of_cube(self, cube):
+        poly = ConvexPolyhedron(cube)
+        centers = sorted(tuple(np.round(f.center, 9)) for f in poly.faces)
+        expected = sorted(tuple(np.round(np.array(c) / np.sqrt(3), 9))
+                          for c in [(1, 0, 0), (-1, 0, 0), (0, 1, 0),
+                                    (0, -1, 0), (0, 0, 1), (0, 0, -1)])
+        for got, want in zip(centers, expected):
+            assert np.allclose(got, want, atol=1e-9)
+
+    def test_faces_of_vertex_cube(self, cube):
+        poly = ConvexPolyhedron(cube)
+        for i in range(8):
+            assert len(poly.faces_of_vertex(i)) == 3
+
+    def test_faces_of_vertex_cuboctahedron(self):
+        poly = ConvexPolyhedron(named_pattern("cuboctahedron"))
+        for i in range(12):
+            faces = poly.faces_of_vertex(i)
+            sizes = sorted(f.size for f in faces)
+            assert sizes == [3, 3, 4, 4]
+
+    def test_edge_lengths_cube(self, cube):
+        poly = ConvexPolyhedron(cube)
+        lengths = poly.edge_lengths()
+        assert len(lengths) == 12
+        assert all(length == pytest.approx(2.0 / np.sqrt(3))
+                   for length in lengths)
+
+    def test_min_edge_length(self):
+        poly = ConvexPolyhedron(named_pattern("tetrahedron"))
+        assert poly.min_edge_length() == pytest.approx(
+            np.sqrt(8.0 / 3.0))
+
+    def test_cyclic_vertex_order(self, cube):
+        poly = ConvexPolyhedron(cube)
+        for face in poly.faces:
+            idx = face.vertex_indices
+            verts = poly.vertices[list(idx)]
+            # Consecutive vertices must be adjacent (edge length, not
+            # diagonal).
+            for i in range(len(idx)):
+                a = verts[i]
+                b = verts[(i + 1) % len(idx)]
+                assert np.linalg.norm(a - b) == pytest.approx(
+                    2.0 / np.sqrt(3), rel=1e-6)
+
+
+class TestValidation:
+    def test_too_few_points(self):
+        with pytest.raises(GeometryError):
+            ConvexPolyhedron([[0, 0, 0], [1, 0, 0], [0, 1, 0]])
+
+    def test_coplanar_points(self):
+        pts = [[0, 0, 0], [1, 0, 0], [0, 1, 0], [1, 1, 0]]
+        with pytest.raises(GeometryError):
+            ConvexPolyhedron(pts)
+
+    def test_interior_point_rejected(self, cube):
+        with pytest.raises(GeometryError):
+            ConvexPolyhedron(cube + [np.zeros(3)])

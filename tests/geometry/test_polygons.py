@@ -1,0 +1,92 @@
+"""Tests for regular polygon generation and detection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.polygons import (
+    is_regular_polygon,
+    regular_polygon,
+    regular_polygon_fold,
+)
+from repro.geometry.transforms import Similarity
+
+
+class TestRegularPolygonGeneration:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 8, 13])
+    def test_vertex_count(self, k):
+        assert len(regular_polygon(k)) == k
+
+    def test_vertices_on_circle(self):
+        pts = regular_polygon(7, radius=2.5, center=(1, 2, 3))
+        for p in pts:
+            assert np.linalg.norm(p - np.array([1, 2, 3])) == pytest.approx(
+                2.5)
+
+    def test_perpendicular_to_axis(self):
+        axis = np.array([1.0, 1.0, 0.0]) / np.sqrt(2)
+        pts = regular_polygon(5, axis=axis)
+        for p in pts:
+            assert abs(float(np.dot(p, axis))) < 1e-9
+
+    def test_phase_rotates(self):
+        a = regular_polygon(4)
+        b = regular_polygon(4, phase=np.pi / 4)
+        assert not np.allclose(a[0], b[0])
+
+    def test_invalid_k(self):
+        with pytest.raises(GeometryError):
+            regular_polygon(0)
+
+    def test_invalid_radius(self):
+        with pytest.raises(GeometryError):
+            regular_polygon(3, radius=0.0)
+
+
+class TestFoldDetection:
+    @pytest.mark.parametrize("k", [3, 4, 5, 6, 8, 12])
+    def test_detects_k(self, k):
+        assert regular_polygon_fold(regular_polygon(k)) == k
+
+    def test_detects_under_similarity(self, rng):
+        pts = regular_polygon(6)
+        sim = Similarity.random(rng)
+        assert regular_polygon_fold(sim.apply_all(pts)) == 6
+
+    def test_single_point_is_1_gon(self):
+        assert regular_polygon_fold([np.array([1.0, 2.0, 3.0])]) == 1
+
+    def test_pair_is_2_gon(self):
+        assert regular_polygon_fold([np.zeros(3),
+                                     np.array([1.0, 0, 0])]) == 2
+
+    def test_rejects_irregular(self):
+        pts = regular_polygon(5)
+        pts[0] = pts[0] * 1.1
+        assert regular_polygon_fold(pts) is None
+
+    def test_rejects_non_coplanar(self):
+        pts = regular_polygon(5)
+        pts[0] = pts[0] + np.array([0, 0, 0.1])
+        assert regular_polygon_fold(pts) is None
+
+    def test_rejects_uneven_angles(self):
+        # Correct radii and coplanar, but angular gaps are wrong.
+        angles = [0.0, 1.0, 2.0, 4.0]
+        pts = [np.array([np.cos(a), np.sin(a), 0.0]) for a in angles]
+        assert regular_polygon_fold(pts) is None
+
+    def test_rejects_collinear_triple(self):
+        pts = [np.array([x, 0, 0], dtype=float) for x in (-1, 0, 1)]
+        assert regular_polygon_fold(pts) is None
+
+    def test_rejects_cube(self, cube):
+        assert regular_polygon_fold(cube) is None
+
+    def test_empty(self):
+        assert regular_polygon_fold([]) is None
+
+    def test_is_regular_polygon_wrapper(self):
+        assert is_regular_polygon(regular_polygon(9))
+        assert not is_regular_polygon(regular_polygon(9)[:-1] + [
+            np.array([0.0, 0.0, 1.0])])

@@ -1,0 +1,135 @@
+"""Tests for rotation-matrix construction and identification."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.rotations import (
+    identity_rotation,
+    is_rotation_matrix,
+    random_rotation,
+    rotation_about_axis,
+    rotation_aligning,
+    rotation_angle,
+    rotation_axis,
+    rotation_order,
+)
+
+
+class TestRotationAboutAxis:
+    def test_quarter_turn_about_z(self):
+        rot = rotation_about_axis([0, 0, 1], np.pi / 2)
+        assert np.allclose(rot @ [1, 0, 0], [0, 1, 0], atol=1e-12)
+
+    def test_right_hand_rule(self):
+        rot = rotation_about_axis([1, 0, 0], np.pi / 2)
+        assert np.allclose(rot @ [0, 1, 0], [0, 0, 1], atol=1e-12)
+
+    def test_axis_is_fixed(self, rng):
+        axis = rng.normal(size=3)
+        rot = rotation_about_axis(axis, 1.234)
+        unit = axis / np.linalg.norm(axis)
+        assert np.allclose(rot @ unit, unit, atol=1e-12)
+
+    def test_full_turn_is_identity(self):
+        rot = rotation_about_axis([1, 2, 3], 2 * np.pi)
+        assert np.allclose(rot, np.eye(3), atol=1e-12)
+
+    def test_composition_adds_angles(self, rng):
+        axis = rng.normal(size=3)
+        a = rotation_about_axis(axis, 0.7)
+        b = rotation_about_axis(axis, 0.5)
+        c = rotation_about_axis(axis, 1.2)
+        assert np.allclose(a @ b, c, atol=1e-12)
+
+
+class TestIsRotationMatrix:
+    def test_identity(self):
+        assert is_rotation_matrix(np.eye(3))
+
+    def test_rotation(self, rng):
+        assert is_rotation_matrix(random_rotation(rng))
+
+    def test_reflection_rejected(self):
+        assert not is_rotation_matrix(np.diag([1.0, 1.0, -1.0]))
+
+    def test_scaling_rejected(self):
+        assert not is_rotation_matrix(2.0 * np.eye(3))
+
+    def test_wrong_shape_rejected(self):
+        assert not is_rotation_matrix(np.eye(2))
+
+
+class TestAngleAndAxis:
+    @pytest.mark.parametrize("angle", [0.1, 0.5, 1.0, 2.0, 3.0, np.pi])
+    def test_angle_round_trip(self, angle):
+        rot = rotation_about_axis([0, 0, 1], angle)
+        assert rotation_angle(rot) == pytest.approx(angle, abs=1e-9)
+
+    def test_axis_round_trip(self, rng):
+        axis = rng.normal(size=3)
+        axis /= np.linalg.norm(axis)
+        rot = rotation_about_axis(axis, 1.0)
+        recovered = rotation_axis(rot)
+        assert np.allclose(recovered, axis, atol=1e-9)
+
+    def test_half_turn_axis_up_to_sign(self):
+        rot = rotation_about_axis([0, 1, 0], np.pi)
+        recovered = rotation_axis(rot)
+        assert np.allclose(np.abs(recovered), [0, 1, 0], atol=1e-9)
+
+    def test_identity_has_no_axis(self):
+        with pytest.raises(GeometryError):
+            rotation_axis(identity_rotation())
+
+    def test_negative_angle_flips_axis(self):
+        plus = rotation_about_axis([0, 0, 1], 0.5)
+        minus = rotation_about_axis([0, 0, 1], -0.5)
+        assert np.allclose(rotation_axis(plus), -rotation_axis(minus),
+                           atol=1e-9)
+
+
+class TestRotationAligning:
+    def test_aligns(self, rng):
+        for _ in range(20):
+            a = rng.normal(size=3)
+            b = rng.normal(size=3)
+            rot = rotation_aligning(a, b)
+            assert is_rotation_matrix(rot)
+            image = rot @ (a / np.linalg.norm(a))
+            assert np.allclose(image, b / np.linalg.norm(b), atol=1e-9)
+
+    def test_parallel_gives_identity(self):
+        assert np.allclose(rotation_aligning([1, 1, 0], [2, 2, 0]),
+                           np.eye(3), atol=1e-9)
+
+    def test_antiparallel(self):
+        rot = rotation_aligning([0, 0, 1], [0, 0, -1])
+        assert is_rotation_matrix(rot)
+        assert np.allclose(rot @ [0, 0, 1], [0, 0, -1], atol=1e-9)
+
+
+class TestRotationOrder:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 6, 7, 12])
+    def test_exact_orders(self, k):
+        rot = rotation_about_axis([1, 1, 1], 2 * np.pi / k)
+        assert rotation_order(rot) == k
+
+    def test_irrational_angle_has_no_order(self):
+        rot = rotation_about_axis([0, 0, 1], 1.0)  # 1 radian
+        assert rotation_order(rot, max_order=50) is None
+
+    def test_power_consistency(self):
+        rot = rotation_about_axis([0, 0, 1], 2 * np.pi * 2 / 5)
+        assert rotation_order(rot) == 5
+
+
+class TestRandomRotation:
+    def test_always_valid(self, rng):
+        for _ in range(50):
+            assert is_rotation_matrix(random_rotation(rng))
+
+    def test_reproducible(self):
+        a = random_rotation(np.random.default_rng(7))
+        b = random_rotation(np.random.default_rng(7))
+        assert np.allclose(a, b)

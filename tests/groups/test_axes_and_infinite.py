@@ -1,0 +1,116 @@
+"""Tests for axis utilities, infinite groups, and tolerance helpers."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.tolerance import Tolerance, canonical_round, isclose, iszero
+from repro.groups.axes import RotationAxis, axis_line_key, canonical_direction
+from repro.groups.infinite import InfiniteGroupKind, detect_collinear_kind
+
+
+class TestCanonicalDirection:
+    def test_unit_length(self):
+        assert np.isclose(np.linalg.norm(canonical_direction([3, 4, 0])),
+                          1.0)
+
+    def test_sign_convention(self):
+        a = canonical_direction([0, 0, 1])
+        b = canonical_direction([0, 0, -1])
+        assert np.allclose(a, b)
+
+    def test_first_significant_coordinate_positive(self):
+        d = canonical_direction([-1, 2, 3])
+        assert d[0] > 0
+
+
+class TestAxisLineKey:
+    def test_opposite_directions_same_key(self):
+        assert axis_line_key([1, 1, 0]) == axis_line_key([-1, -1, 0])
+
+    def test_different_lines_differ(self):
+        assert axis_line_key([1, 0, 0]) != axis_line_key([0, 1, 0])
+
+    def test_hashable(self):
+        keys = {axis_line_key([1, 0, 0]), axis_line_key([0, 1, 0])}
+        assert len(keys) == 2
+
+
+class TestRotationAxis:
+    def test_same_line(self):
+        axis = RotationAxis(direction=np.array([0.0, 0.0, 1.0]), fold=4)
+        assert axis.same_line([0, 0, -2])
+        assert not axis.same_line([1, 0, 0])
+
+    def test_with_occupied(self):
+        axis = RotationAxis(direction=np.array([0.0, 0.0, 1.0]), fold=4)
+        assert not axis.occupied
+        assert axis.with_occupied(True).occupied
+
+    def test_with_direction(self):
+        axis = RotationAxis(direction=np.array([0.0, 0.0, 1.0]), fold=3,
+                            oriented=True)
+        flipped = axis.with_direction([0, 0, -1])
+        assert np.allclose(flipped.direction, [0, 0, -1])
+        assert flipped.fold == 3 and flipped.oriented
+
+
+class TestInfiniteKinds:
+    def test_symmetric_multiset(self):
+        rel = [np.array([0, 0, 1.0]), np.array([0, 0, -1.0])]
+        assert detect_collinear_kind(rel, [2, 2]) is InfiniteGroupKind.D_INF
+
+    def test_asymmetric_multiplicities(self):
+        rel = [np.array([0, 0, 1.0]), np.array([0, 0, -1.0])]
+        assert detect_collinear_kind(rel, [1, 2]) is InfiniteGroupKind.C_INF
+
+    def test_asymmetric_positions(self):
+        rel = [np.array([0, 0, 1.0]), np.array([0, 0, -0.5]),
+               np.array([0, 0, -0.5])]
+        assert detect_collinear_kind(rel, [1, 1, 1]) is \
+            InfiniteGroupKind.C_INF
+
+
+class TestTolerance:
+    def test_isclose_and_iszero(self):
+        assert isclose(1.0, 1.0 + 1e-9)
+        assert not isclose(1.0, 1.001)
+        assert iszero(1e-9)
+        assert not iszero(1e-3)
+
+    def test_relative_tolerance_kicks_in(self):
+        tol = Tolerance(abs_tol=1e-9, rel_tol=1e-6)
+        assert tol.close(1e6, 1e6 + 0.5)
+        assert not tol.close(1e6, 1e6 + 10.0)
+
+    def test_scaled(self):
+        tol = Tolerance(abs_tol=1e-6).scaled(100.0)
+        assert tol.abs_tol == pytest.approx(1e-4)
+
+    def test_canonical_round_kills_negative_zero(self):
+        rounded = canonical_round(np.array([-1e-12, 1.0, -0.0]))
+        assert str(rounded[0]) == "0.0"
+        assert str(rounded[2]) == "0.0"
+
+    def test_canonical_round_scalar(self):
+        assert canonical_round(1.23456789, 4) == pytest.approx(1.2346)
+
+
+class TestLongitudeWraparoundRegression:
+    def test_meridian_longitude_is_zero_not_two_pi(self):
+        """Regression: atan2 noise of -1e-16 must encode as longitude
+        0.0, not 6.283185 — observers disagreed on orbit order
+        otherwise (found via cube -> octagon under random frames)."""
+        from repro.core.configuration import Configuration
+        from repro.core.local_views import local_view
+        from repro.geometry.rotations import random_rotation
+
+        rng = np.random.default_rng(0)
+        points = [np.asarray(p, dtype=float)
+                  for p in __import__("repro.patterns.library",
+                                      fromlist=["named_pattern"]
+                                      ).named_pattern("cube")]
+        config = Configuration(points)
+        rot = random_rotation(rng)
+        moved = Configuration([rot @ p for p in points])
+        for i in range(8):
+            assert local_view(config, i) == local_view(moved, i)

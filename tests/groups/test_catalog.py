@@ -1,0 +1,189 @@
+"""Tests for the standard-frame group constructors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GroupError
+from repro.geometry.rotations import is_rotation_matrix
+from repro.groups.catalog import (
+    cyclic_group,
+    dihedral_group,
+    group_from_spec,
+    icosahedral_group,
+    identity_group,
+    octahedral_group,
+    tetrahedral_group,
+)
+from repro.groups.group import GroupKind, GroupSpec, element_key
+
+
+ALL_GROUPS = [
+    cyclic_group(1), cyclic_group(2), cyclic_group(5),
+    dihedral_group(2), dihedral_group(3), dihedral_group(6),
+    tetrahedral_group(), octahedral_group(), icosahedral_group(),
+]
+
+
+class TestOrders:
+    @pytest.mark.parametrize("k", [1, 2, 3, 7, 12])
+    def test_cyclic_order(self, k):
+        assert cyclic_group(k).order == k
+
+    @pytest.mark.parametrize("l", [2, 3, 5, 9])
+    def test_dihedral_order(self, l):
+        assert dihedral_group(l).order == 2 * l
+
+    def test_polyhedral_orders(self):
+        assert tetrahedral_group().order == 12
+        assert octahedral_group().order == 24
+        assert icosahedral_group().order == 60
+
+
+class TestGroupClosureAndValidity:
+    @pytest.mark.parametrize("group", ALL_GROUPS,
+                             ids=lambda g: str(g.spec))
+    def test_elements_are_rotations(self, group):
+        for mat in group.elements:
+            assert is_rotation_matrix(mat)
+
+    @pytest.mark.parametrize("group", ALL_GROUPS,
+                             ids=lambda g: str(g.spec))
+    def test_closure(self, group):
+        keys = {element_key(m) for m in group.elements}
+        for a in group.elements:
+            for b in group.elements:
+                assert element_key(a @ b) in keys
+
+    @pytest.mark.parametrize("group", ALL_GROUPS,
+                             ids=lambda g: str(g.spec))
+    def test_inverses_present(self, group):
+        keys = {element_key(m) for m in group.elements}
+        for a in group.elements:
+            assert element_key(a.T) in keys
+
+    @pytest.mark.parametrize("group", ALL_GROUPS,
+                             ids=lambda g: str(g.spec))
+    def test_identity_present(self, group):
+        assert group.contains_element(np.eye(3))
+
+
+class TestAxisStructure:
+    def test_cyclic_single_axis(self):
+        group = cyclic_group(5)
+        assert group.axis_folds() == {5: 1}
+        assert np.allclose(np.abs(group.axes[0].direction), [0, 0, 1])
+
+    def test_dihedral_axes(self):
+        group = dihedral_group(5)
+        assert group.axis_folds() == {2: 5, 5: 1}
+
+    def test_dihedral_two_axes(self):
+        assert dihedral_group(2).axis_folds() == {2: 3}
+
+    def test_tetrahedral_axes(self):
+        assert tetrahedral_group().axis_folds() == {2: 3, 3: 4}
+
+    def test_octahedral_axes(self):
+        assert octahedral_group().axis_folds() == {2: 6, 3: 4, 4: 3}
+
+    def test_icosahedral_axes(self):
+        assert icosahedral_group().axis_folds() == {2: 15, 3: 10, 5: 6}
+
+    def test_t_is_concrete_subgroup_of_o(self):
+        assert tetrahedral_group().is_concrete_subgroup_of(
+            octahedral_group())
+
+    def test_o_not_concrete_subgroup_of_i(self):
+        assert not octahedral_group().is_concrete_subgroup_of(
+            icosahedral_group())
+
+
+class TestOrientationFlags:
+    def test_cyclic_axis_oriented(self):
+        assert cyclic_group(4).axes[0].oriented
+
+    def test_dihedral_principal_not_oriented(self):
+        group = dihedral_group(4)
+        assert not group.principal_axis.oriented
+
+    def test_dihedral_odd_secondaries_oriented(self):
+        group = dihedral_group(5)
+        for axis in group.axes_of_fold(2):
+            assert axis.oriented
+
+    def test_dihedral_even_secondaries_not_oriented(self):
+        group = dihedral_group(4)
+        for axis in group.axes_of_fold(2):
+            assert not axis.oriented
+
+    def test_t_threefold_oriented_twofold_not(self):
+        group = tetrahedral_group()
+        assert all(a.oriented for a in group.axes_of_fold(3))
+        assert not any(a.oriented for a in group.axes_of_fold(2))
+
+    def test_o_and_i_not_oriented(self):
+        for group in (octahedral_group(), icosahedral_group()):
+            assert not any(a.oriented for a in group.axes)
+
+
+class TestSpecAndConstruction:
+    def test_identity_group(self):
+        group = identity_group()
+        assert group.is_trivial
+        assert group.spec == GroupSpec(GroupKind.CYCLIC, 1)
+
+    @pytest.mark.parametrize("text", ["C1", "C4", "D2", "D7", "T", "O", "I"])
+    def test_group_from_spec_round_trip(self, text):
+        spec = GroupSpec.parse(text)
+        assert group_from_spec(spec).spec == spec
+
+    def test_invalid_cyclic(self):
+        with pytest.raises(GroupError):
+            cyclic_group(0)
+
+    def test_invalid_dihedral(self):
+        with pytest.raises(GroupError):
+            dihedral_group(1)
+
+    def test_dihedral_requires_perpendicular_secondary(self):
+        with pytest.raises(GroupError):
+            dihedral_group(3, principal=(0, 0, 1), secondary=(0, 0.1, 1))
+
+    def test_custom_axis(self):
+        group = cyclic_group(3, axis=(1, 1, 1))
+        direction = group.axes[0].direction
+        assert np.allclose(np.abs(direction),
+                           np.ones(3) / np.sqrt(3), atol=1e-9)
+
+
+class TestGroupActions:
+    def test_orbit_size_free_point(self):
+        group = octahedral_group()
+        orbit = group.orbit([0.3, 0.5, 0.7])
+        assert len(orbit) == 24
+
+    def test_orbit_size_on_axis(self):
+        group = octahedral_group()
+        assert len(group.orbit([0, 0, 1])) == 6
+        assert len(group.orbit([1, 1, 1])) == 8
+
+    def test_orbit_of_center(self):
+        assert len(tetrahedral_group().orbit([0, 0, 0])) == 1
+
+    def test_stabilizer_sizes(self):
+        group = icosahedral_group()
+        assert group.stabilizer_size([0, 0, 0]) == 60
+        assert group.stabilizer_size([0.31, 0.47, 0.83]) in (1,)
+
+    def test_transformed_group(self, rng):
+        from repro.geometry.rotations import random_rotation
+
+        group = tetrahedral_group()
+        rot = random_rotation(rng)
+        moved = group.transformed(rot)
+        assert moved.spec == group.spec
+        assert moved.order == group.order
+        # Axes must be rotated copies.
+        for axis in moved.axes:
+            back = rot.T @ axis.direction
+            assert group.axis_for_line(back) is not None

@@ -1,0 +1,166 @@
+"""Tests for classification, the ⪯ relation, and subgroup enumeration."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import GroupError
+from repro.groups.catalog import (
+    cyclic_group,
+    dihedral_group,
+    icosahedral_group,
+    octahedral_group,
+    tetrahedral_group,
+)
+from repro.groups.group import GroupSpec
+from repro.groups.subgroups import (
+    classify_elements,
+    enumerate_concrete_subgroups,
+    is_abstract_subgroup,
+    maximal_elements,
+    proper_abstract_subgroups,
+)
+
+
+def spec(text: str) -> GroupSpec:
+    return GroupSpec.parse(text)
+
+
+class TestClassification:
+    @pytest.mark.parametrize("group", [
+        cyclic_group(1), cyclic_group(4), cyclic_group(9),
+        dihedral_group(2), dihedral_group(3), dihedral_group(8),
+        tetrahedral_group(), octahedral_group(), icosahedral_group(),
+    ], ids=lambda g: str(g.spec))
+    def test_round_trip(self, group):
+        assert classify_elements(group.elements) == group.spec
+
+    def test_rejects_non_group(self):
+        from repro.geometry.rotations import rotation_about_axis
+        import numpy as np
+
+        elems = [np.eye(3), rotation_about_axis([0, 0, 1], 1.0),
+                 rotation_about_axis([1, 0, 0], 2.0)]
+        with pytest.raises(GroupError):
+            classify_elements(elems)
+
+
+class TestAbstractSubgroupRelation:
+    def test_reflexive(self):
+        for text in ["C1", "C3", "D4", "T", "O", "I"]:
+            assert is_abstract_subgroup(spec(text), spec(text))
+
+    def test_trivial_below_everything(self):
+        for text in ["C2", "D2", "T", "O", "I"]:
+            assert is_abstract_subgroup(spec("C1"), spec(text))
+
+    def test_cyclic_divisibility(self):
+        assert is_abstract_subgroup(spec("C2"), spec("C6"))
+        assert is_abstract_subgroup(spec("C3"), spec("C6"))
+        assert not is_abstract_subgroup(spec("C4"), spec("C6"))
+
+    def test_cyclic_in_dihedral(self):
+        assert is_abstract_subgroup(spec("C3"), spec("D3"))
+        assert is_abstract_subgroup(spec("C2"), spec("D5"))  # secondary
+        assert not is_abstract_subgroup(spec("C4"), spec("D6"))
+
+    def test_dihedral_in_dihedral(self):
+        assert is_abstract_subgroup(spec("D2"), spec("D4"))
+        assert is_abstract_subgroup(spec("D3"), spec("D6"))
+        assert not is_abstract_subgroup(spec("D4"), spec("D6"))
+
+    def test_paper_examples(self):
+        assert is_abstract_subgroup(spec("T"), spec("O"))
+        assert is_abstract_subgroup(spec("T"), spec("I"))
+        assert not is_abstract_subgroup(spec("O"), spec("I"))
+
+    def test_d3_not_in_t(self):
+        # Explicitly noted in the paper (Section 3.1).
+        assert not is_abstract_subgroup(spec("D3"), spec("T"))
+
+    def test_polyhedral_subgroup_sets(self):
+        assert is_abstract_subgroup(spec("D4"), spec("O"))
+        assert is_abstract_subgroup(spec("D5"), spec("I"))
+        assert not is_abstract_subgroup(spec("C4"), spec("I"))
+        assert not is_abstract_subgroup(spec("C5"), spec("O"))
+
+    def test_transitivity_sampled(self):
+        chain = ["C1", "C2", "D2", "T", "O"]
+        for i in range(len(chain)):
+            for j in range(i, len(chain)):
+                assert is_abstract_subgroup(spec(chain[i]), spec(chain[j]))
+
+
+class TestProperSubgroups:
+    def test_cyclic(self):
+        subs = {str(s) for s in proper_abstract_subgroups(spec("C6"))}
+        assert subs == {"C1", "C2", "C3"}
+
+    def test_dihedral(self):
+        subs = {str(s) for s in proper_abstract_subgroups(spec("D6"))}
+        assert subs == {"C1", "C2", "C3", "C6", "D2", "D3"}
+
+    def test_tetrahedral(self):
+        subs = {str(s) for s in proper_abstract_subgroups(spec("T"))}
+        assert subs == {"C1", "C2", "C3", "D2"}
+
+    def test_icosahedral(self):
+        subs = {str(s) for s in proper_abstract_subgroups(spec("I"))}
+        assert subs == {"C1", "C2", "C3", "C5", "D2", "D3", "D5", "T"}
+
+
+class TestConcreteEnumeration:
+    def test_tetrahedral_count(self):
+        # A4 has exactly 10 subgroups.
+        subs = enumerate_concrete_subgroups(tetrahedral_group())
+        assert len(subs) == 10
+        counts = Counter(str(s.spec) for s in subs)
+        assert counts == {"C1": 1, "C2": 3, "C3": 4, "D2": 1, "T": 1}
+
+    def test_octahedral_count(self):
+        # S4 has exactly 30 subgroups.
+        subs = enumerate_concrete_subgroups(octahedral_group())
+        assert len(subs) == 30
+        counts = Counter(str(s.spec) for s in subs)
+        assert counts == {"C1": 1, "C2": 9, "C3": 4, "C4": 3, "D2": 4,
+                          "D3": 4, "D4": 3, "T": 1, "O": 1}
+
+    def test_icosahedral_count(self):
+        # A5 has exactly 59 subgroups.
+        subs = enumerate_concrete_subgroups(icosahedral_group())
+        assert len(subs) == 59
+        counts = Counter(str(s.spec) for s in subs)
+        assert counts == {"C1": 1, "C2": 15, "C3": 10, "C5": 6, "D2": 5,
+                          "D3": 10, "D5": 6, "T": 5, "I": 1}
+
+    def test_cyclic_structured(self):
+        subs = enumerate_concrete_subgroups(cyclic_group(12))
+        assert sorted(s.order for s in subs) == [1, 2, 3, 4, 6, 12]
+
+    def test_dihedral_structured(self):
+        subs = enumerate_concrete_subgroups(dihedral_group(6))
+        counts = Counter(str(s.spec) for s in subs)
+        # D6: cyclic C1..C6 about principal, six secondary C2s, and
+        # dihedral copies: 3x D2, 2x D3, 1x D6.
+        assert counts["C2"] == 7  # principal C2 + 6 secondary C2s
+        assert counts["D2"] == 3
+        assert counts["D3"] == 2
+        assert counts["D6"] == 1
+
+    def test_all_enumerated_are_concrete_subgroups(self):
+        group = octahedral_group()
+        for sub in enumerate_concrete_subgroups(group):
+            assert sub.is_concrete_subgroup_of(group)
+
+
+class TestMaximalElements:
+    def test_removes_dominated(self):
+        specs = [spec(t) for t in ["C1", "C2", "C3", "D2", "D3", "T"]]
+        assert {str(s) for s in maximal_elements(specs)} == {"D3", "T"}
+
+    def test_keeps_incomparable(self):
+        specs = [spec(t) for t in ["C4", "C3", "T"]]
+        assert {str(s) for s in maximal_elements(specs)} == {"C4", "T"}
+
+    def test_single(self):
+        assert maximal_elements([spec("C1")]) == [spec("C1")]

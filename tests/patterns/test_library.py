@@ -1,0 +1,64 @@
+"""Tests for the named pattern library and shell composition."""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.errors import GeometryError
+from repro.patterns.library import compose_shells, named_pattern, pattern_names
+
+
+class TestNamedPatterns:
+    def test_all_names_resolve(self):
+        for name in pattern_names():
+            pts = named_pattern(name)
+            assert len(pts) >= 3
+
+    def test_unknown_name(self):
+        with pytest.raises(GeometryError):
+            named_pattern("klein_bottle")
+
+    def test_radius_parameter(self):
+        pts = named_pattern("cube", radius=3.0)
+        assert max(float(np.linalg.norm(p)) for p in pts) == pytest.approx(
+            3.0)
+
+    def test_figure1_patterns_present(self):
+        # The paper's Figure 1 trio.
+        assert len(named_pattern("cube")) == 8
+        assert len(named_pattern("octagon")) == 8
+        assert len(named_pattern("square_antiprism")) == 8
+
+
+class TestComposeShells:
+    def test_default_radii_are_increasing(self):
+        pts = compose_shells(named_pattern("octahedron"),
+                             named_pattern("cube"))
+        radii = sorted({round(float(np.linalg.norm(p)), 6) for p in pts})
+        assert radii == [1.0, 1.5]
+
+    def test_custom_radii(self):
+        pts = compose_shells(named_pattern("cube"),
+                             named_pattern("cube"),
+                             radii=[2.0, 5.0])
+        radii = sorted({round(float(np.linalg.norm(p)), 6) for p in pts})
+        assert radii == [2.0, 5.0]
+
+    def test_counts_add_up(self):
+        pts = compose_shells(named_pattern("tetrahedron"),
+                             named_pattern("octahedron"),
+                             named_pattern("cube"))
+        assert len(pts) == 4 + 6 + 8
+
+    def test_no_multiplicity(self):
+        pts = compose_shells(named_pattern("cube"), named_pattern("cube"))
+        assert not Configuration(pts).has_multiplicity
+
+    def test_radii_mismatch(self):
+        with pytest.raises(GeometryError):
+            compose_shells(named_pattern("cube"), radii=[1.0, 2.0])
+
+    def test_common_group_of_composition(self):
+        pts = compose_shells(named_pattern("octahedron"),
+                             named_pattern("cube"))
+        assert str(Configuration(pts).rotation_group.spec) == "O"

@@ -1,0 +1,99 @@
+"""Tests for transitive-set generation (Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.errors import GroupError
+from repro.groups.catalog import (
+    cyclic_group,
+    dihedral_group,
+    icosahedral_group,
+    octahedral_group,
+    tetrahedral_group,
+)
+from repro.patterns.library import named_pattern
+from repro.patterns.orbits import (
+    generic_seed,
+    seed_point_for_folding,
+    transitive_set,
+)
+
+
+class TestSeedPoints:
+    def test_center_for_full_folding(self):
+        group = octahedral_group()
+        seed = seed_point_for_folding(group, group.order)
+        assert np.allclose(seed, [0, 0, 0])
+
+    def test_axis_seed_has_right_folding(self):
+        group = icosahedral_group()
+        for mu in (2, 3, 5):
+            seed = seed_point_for_folding(group, mu)
+            assert group.stabilizer_size(seed) == mu
+
+    def test_generic_seed_is_free(self):
+        for group in (tetrahedral_group(), octahedral_group(),
+                      icosahedral_group(), dihedral_group(6),
+                      cyclic_group(5)):
+            assert group.stabilizer_size(generic_seed(group)) == 1
+
+    def test_missing_fold_raises(self):
+        with pytest.raises(GroupError):
+            seed_point_for_folding(tetrahedral_group(), 5)
+
+
+class TestTable2Cardinalities:
+    @pytest.mark.parametrize("group_name,mu,expected", [
+        ("T", 3, 4), ("T", 2, 6), ("T", 1, 12),
+        ("O", 4, 6), ("O", 3, 8), ("O", 2, 12), ("O", 1, 24),
+        ("I", 5, 12), ("I", 3, 20), ("I", 2, 30), ("I", 1, 60),
+    ])
+    def test_cardinality_is_order_over_folding(self, group_name, mu,
+                                               expected):
+        group = {"T": tetrahedral_group, "O": octahedral_group,
+                 "I": icosahedral_group}[group_name]()
+        orbit = transitive_set(group, mu=mu)
+        assert len(orbit) == expected == group.order // mu
+
+
+class TestTable2Shapes:
+    @pytest.mark.parametrize("group_name,mu,shape", [
+        ("T", 3, "tetrahedron"),
+        ("T", 2, "octahedron"),
+        ("O", 4, "octahedron"),
+        ("O", 3, "cube"),
+        ("O", 2, "cuboctahedron"),
+        ("I", 5, "icosahedron"),
+        ("I", 3, "dodecahedron"),
+        ("I", 2, "icosidodecahedron"),
+    ])
+    def test_orbit_shapes(self, group_name, mu, shape):
+        group = {"T": tetrahedral_group, "O": octahedral_group,
+                 "I": icosahedral_group}[group_name]()
+        orbit = transitive_set(group, mu=mu)
+        assert Configuration(orbit).is_similar_to(named_pattern(shape))
+
+    def test_cyclic_free_orbit_is_polygon(self):
+        from repro.geometry.polygons import regular_polygon_fold
+
+        orbit = transitive_set(cyclic_group(7), mu=1)
+        assert regular_polygon_fold(orbit) == 7
+
+    def test_dihedral_principal_orbit_is_pair(self):
+        orbit = transitive_set(dihedral_group(5), mu=5)
+        assert len(orbit) == 2
+
+
+class TestArguments:
+    def test_custom_seed(self):
+        group = octahedral_group()
+        orbit = transitive_set(group, seed=[0.2, 0.5, 0.9])
+        assert len(orbit) == 24
+
+    def test_exactly_one_of_mu_or_seed(self):
+        group = tetrahedral_group()
+        with pytest.raises(GroupError):
+            transitive_set(group)
+        with pytest.raises(GroupError):
+            transitive_set(group, mu=1, seed=[1, 0, 0])

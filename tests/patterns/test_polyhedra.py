@@ -1,0 +1,96 @@
+"""Tests for the polyhedron generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.errors import GeometryError
+from repro.patterns import polyhedra
+
+
+ALL_GENERATORS = [
+    ("tetrahedron", polyhedra.regular_tetrahedron, 4, "T"),
+    ("cube", polyhedra.cube, 8, "O"),
+    ("octahedron", polyhedra.regular_octahedron, 6, "O"),
+    ("dodecahedron", polyhedra.regular_dodecahedron, 20, "I"),
+    ("icosahedron", polyhedra.regular_icosahedron, 12, "I"),
+    ("cuboctahedron", polyhedra.cuboctahedron, 12, "O"),
+    ("icosidodecahedron", polyhedra.icosidodecahedron, 30, "I"),
+]
+
+
+class TestPlatonicAndQuasiRegular:
+    @pytest.mark.parametrize("name,gen,count,group", ALL_GENERATORS,
+                             ids=[g[0] for g in ALL_GENERATORS])
+    def test_vertex_count(self, name, gen, count, group):
+        assert len(gen()) == count
+
+    @pytest.mark.parametrize("name,gen,count,group", ALL_GENERATORS,
+                             ids=[g[0] for g in ALL_GENERATORS])
+    def test_circumradius(self, name, gen, count, group):
+        for p in gen(radius=2.5):
+            assert np.linalg.norm(p) == pytest.approx(2.5)
+
+    @pytest.mark.parametrize("name,gen,count,group", ALL_GENERATORS,
+                             ids=[g[0] for g in ALL_GENERATORS])
+    def test_rotation_group(self, name, gen, count, group):
+        config = Configuration(gen())
+        assert str(config.rotation_group.spec) == group
+
+    @pytest.mark.parametrize("name,gen,count,group", ALL_GENERATORS,
+                             ids=[g[0] for g in ALL_GENERATORS])
+    def test_centered(self, name, gen, count, group):
+        config = Configuration(gen())
+        assert np.allclose(config.center, [0, 0, 0], atol=1e-9)
+
+    def test_uniform_edge_lengths(self):
+        from repro.geometry.convex import ConvexPolyhedron
+
+        for gen in (polyhedra.regular_tetrahedron, polyhedra.cube,
+                    polyhedra.regular_octahedron,
+                    polyhedra.regular_icosahedron,
+                    polyhedra.regular_dodecahedron):
+            lengths = ConvexPolyhedron(gen()).edge_lengths()
+            assert max(lengths) - min(lengths) < 1e-9
+
+    def test_invalid_radius(self):
+        with pytest.raises(GeometryError):
+            polyhedra.cube(radius=0.0)
+
+
+class TestPrismsAntiprismsPyramids:
+    @pytest.mark.parametrize("l", [3, 4, 5, 8])
+    def test_prism_group(self, l):
+        config = Configuration(polyhedra.prism(l))
+        assert str(config.rotation_group.spec) == f"D{l}"
+        assert config.n == 2 * l
+
+    @pytest.mark.parametrize("l", [3, 4, 5, 8])
+    def test_antiprism_group(self, l):
+        config = Configuration(polyhedra.antiprism(l))
+        assert str(config.rotation_group.spec) == f"D{l}"
+
+    @pytest.mark.parametrize("k", [3, 4, 5, 7])
+    def test_pyramid_group(self, k):
+        config = Configuration(polyhedra.pyramid(k))
+        assert str(config.rotation_group.spec) == f"C{k}"
+        assert config.n == k + 1
+
+    def test_polygon_pattern(self):
+        config = Configuration(polyhedra.regular_polygon_pattern(9))
+        assert str(config.rotation_group.spec) == "D9"
+
+    def test_prism_requires_three(self):
+        with pytest.raises(GeometryError):
+            polyhedra.prism(2)
+
+    def test_pyramid_requires_three(self):
+        with pytest.raises(GeometryError):
+            polyhedra.pyramid(2)
+
+    def test_antiprism_twist(self):
+        # The antiprism's top base is rotated by pi/l.
+        pts = polyhedra.antiprism(4)
+        top = [p for p in pts if p[2] > 0]
+        bottom = [p for p in pts if p[2] < 0]
+        assert len(top) == len(bottom) == 4

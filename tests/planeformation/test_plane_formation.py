@@ -1,0 +1,115 @@
+"""Tests for the plane formation subsystem (DISC 2015)."""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.symmetricity import symmetricity
+from repro.patterns import polyhedra
+from repro.patterns.library import compose_shells, named_pattern
+from repro.planeformation import (
+    is_coplanar,
+    is_plane_formable,
+    make_plane_formation_algorithm,
+)
+from repro.robots.adversary import random_frames, symmetric_frames
+from repro.robots.scheduler import FsyncScheduler
+from tests.conftest import generic_cloud
+
+
+def run_plane(points, frames=None, seed=0, max_rounds=20):
+    if frames is None:
+        frames = random_frames(len(points), np.random.default_rng(seed))
+    scheduler = FsyncScheduler(make_plane_formation_algorithm(), frames)
+    return scheduler.run(points,
+                         stop_condition=lambda c: is_coplanar(c.points),
+                         max_rounds=max_rounds)
+
+
+class TestIsCoplanar:
+    def test_planar_points(self):
+        assert is_coplanar(polyhedra.regular_polygon_pattern(6))
+
+    def test_three_points_always(self):
+        assert is_coplanar(generic_cloud(3, seed=1))
+
+    def test_cube_is_not(self, cube):
+        assert not is_coplanar(cube)
+
+    def test_collinear_is_coplanar(self):
+        assert is_coplanar([np.array([0, 0, z], dtype=float)
+                            for z in range(4)])
+
+
+class TestCharacterization:
+    """DISC 2015: unsolvable iff a 3D group survives in ϱ(P)."""
+
+    @pytest.mark.parametrize("name,expected", [
+        ("tetrahedron", True),      # rho = {D2}, 2D
+        ("octahedron", True),       # rho = {D3}
+        ("cube", True),             # rho = {D4}
+        ("cuboctahedron", False),   # T in rho
+        ("icosahedron", False),     # T in rho
+        ("dodecahedron", True),     # rho = {D5, D2}
+        ("icosidodecahedron", True),  # rho = {C5, C3}
+    ])
+    def test_solvability(self, name, expected):
+        config = Configuration(named_pattern(name))
+        assert is_plane_formable(config) is expected
+
+    def test_free_orbit_unsolvable(self):
+        from repro.groups.catalog import tetrahedral_group
+        from repro.patterns.orbits import transitive_set
+
+        pts = transitive_set(tetrahedral_group(), mu=1)
+        assert not is_plane_formable(Configuration(pts))
+
+    def test_planar_configurations_trivially_solvable(self):
+        config = Configuration(polyhedra.regular_polygon_pattern(8))
+        assert is_plane_formable(config)
+
+
+class TestFormationRuns:
+    @pytest.mark.parametrize("name", [
+        "tetrahedron", "octahedron", "cube", "dodecahedron",
+        "icosidodecahedron"])
+    def test_plane_formed(self, name):
+        result = run_plane(named_pattern(name))
+        assert result.reached
+        assert not result.final.has_multiplicity
+
+    def test_prism(self):
+        result = run_plane(polyhedra.prism(5))
+        assert result.reached
+        assert not result.final.has_multiplicity
+
+    def test_pyramid(self):
+        result = run_plane(polyhedra.pyramid(4))
+        assert result.reached
+
+    def test_composite(self):
+        pts = compose_shells(named_pattern("octahedron"),
+                             named_pattern("cube"))
+        result = run_plane(pts)
+        assert result.reached
+        assert not result.final.has_multiplicity
+
+    def test_generic_cloud(self):
+        result = run_plane(generic_cloud(9, seed=2))
+        assert result.reached
+
+    def test_worst_case_frames(self):
+        pts = polyhedra.prism(5)
+        config = Configuration(pts)
+        rho = symmetricity(config)
+        witness = rho.witness(rho.maximal[0])
+        frames = symmetric_frames(config, witness,
+                                  np.random.default_rng(7))
+        result = run_plane(pts, frames=frames)
+        assert result.reached
+        assert not result.final.has_multiplicity
+
+    def test_no_multiplicity_throughout(self):
+        result = run_plane(named_pattern("cube"), seed=5)
+        for config in result.configurations:
+            assert not config.has_multiplicity

@@ -1,0 +1,105 @@
+"""Property-based tests for the formation pipeline invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.configuration import Configuration
+from repro.core.formability import is_formable
+from repro.geometry.rotations import random_rotation
+from repro.patterns import polyhedra
+from repro.patterns.library import named_pattern
+from repro.robots.adversary import random_frames
+from repro.robots.algorithms.embedding import embed_target
+from repro.robots.algorithms.matching import match_configuration_to_pattern
+from repro.robots.algorithms.pattern_formation import (
+    make_pattern_formation_algorithm,
+)
+from repro.robots.scheduler import FsyncScheduler
+
+seeds = st.integers(min_value=0, max_value=2 ** 31 - 1)
+
+
+def generic_points(n, seed):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=3) for _ in range(n)]
+
+
+class TestFormationProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=seeds)
+    def test_generic_to_cube_any_frames(self, seed):
+        initial = generic_points(8, seed % 1000)
+        target = named_pattern("cube")
+        frames = random_frames(8, np.random.default_rng(seed))
+        algorithm = make_pattern_formation_algorithm(target)
+        scheduler = FsyncScheduler(algorithm, frames, target=target)
+        result = scheduler.run(
+            initial, stop_condition=lambda c: c.is_similar_to(target),
+            max_rounds=30)
+        assert result.reached
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=seeds)
+    def test_cube_to_octagon_any_frames(self, seed):
+        initial = named_pattern("cube")
+        target = named_pattern("octagon")
+        frames = random_frames(8, np.random.default_rng(seed))
+        algorithm = make_pattern_formation_algorithm(target)
+        scheduler = FsyncScheduler(algorithm, frames, target=target)
+        result = scheduler.run(
+            initial, stop_condition=lambda c: c.is_similar_to(target),
+            max_rounds=30)
+        assert result.reached
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=seeds)
+    def test_point_formation_from_generic(self, seed):
+        n = 5 + seed % 6
+        initial = generic_points(n, seed % 997)
+        target = [np.zeros(3)] * n
+        frames = random_frames(n, np.random.default_rng(seed))
+        algorithm = make_pattern_formation_algorithm(target)
+        scheduler = FsyncScheduler(algorithm, frames, target=target)
+        result = scheduler.run(
+            initial, stop_condition=lambda c: c.is_similar_to(target),
+            max_rounds=30)
+        assert result.reached
+
+
+class TestEmbeddingProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=seeds)
+    def test_embedding_equivariance_generic(self, seed):
+        initial = generic_points(7, seed % 991)
+        target = polyhedra.pyramid(6)
+        config = Configuration(initial)
+        embedded = embed_target(config, target)
+        rot = random_rotation(np.random.default_rng(seed))
+        moved = Configuration([rot @ p for p in initial])
+        embedded_moved = embed_target(moved, target)
+        a = sorted(tuple(np.round(rot @ p, 4)) for p in embedded)
+        b = sorted(tuple(np.round(p, 4)) for p in embedded_moved)
+        for x, y in zip(a, b):
+            assert np.allclose(x, y, atol=1e-3)
+
+
+class TestMatchingProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=seeds)
+    def test_matching_is_bijection_generic(self, seed):
+        initial = generic_points(9, seed % 983)
+        target = generic_points(9, (seed + 1) % 983)
+        config = Configuration(initial)
+        assert is_formable(config, Configuration(target))
+        embedded = embed_target(config, target)
+        destinations = match_configuration_to_pattern(config, embedded)
+        remaining = list(embedded)
+        for d in destinations:
+            hit = None
+            for i, q in enumerate(remaining):
+                if np.linalg.norm(d - q) <= 1e-6 * max(config.radius, 1.0):
+                    hit = i
+                    break
+            assert hit is not None
+            remaining.pop(hit)
+        assert not remaining

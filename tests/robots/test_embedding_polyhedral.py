@@ -1,0 +1,85 @@
+"""Tests for the polyhedral embedding cases of Section 6.1.
+
+The hardest target embeddings are ``γ(P) = T`` with ``γ(F) = O`` and
+``γ(F) = I`` (the paper's Figure 28, including the two icosahedral
+extensions of a tetrahedral arrangement that the paper's 'black/white
+fan' construction disambiguates — here resolved by the equivariant
+chiral signature).
+"""
+
+import numpy as np
+import pytest
+
+from repro import form_pattern
+from repro.core.configuration import Configuration
+from repro.core.symmetricity import symmetricity
+from repro.groups.catalog import octahedral_group, tetrahedral_group
+from repro.patterns.library import named_pattern
+from repro.patterns.orbits import transitive_set
+from repro.robots.adversary import symmetric_frames
+from repro.robots.algorithms.embedding import embed_target
+
+
+@pytest.fixture
+def free_t_orbit():
+    """12 robots on a free orbit of T: γ(P) = T, all axes unoccupied."""
+    return transitive_set(tetrahedral_group(), mu=1)
+
+
+class TestTToOAndI:
+    def test_gamma_and_rho(self, free_t_orbit):
+        config = Configuration(free_t_orbit)
+        assert str(config.rotation_group.spec) == "T"
+        assert {str(s) for s in symmetricity(config).maximal} == {"T"}
+
+    @pytest.mark.parametrize("target_name", ["cuboctahedron",
+                                             "icosahedron"])
+    def test_embedding_aligns_t_on_free_axes(self, free_t_orbit,
+                                             target_name):
+        config = Configuration(free_t_orbit)
+        target = named_pattern(target_name)
+        embedded = embed_target(config, target)
+        # Every rotation of γ(P) = T must preserve the embedded copy.
+        center = config.center
+        slack = 1e-5 * config.radius
+        for mat in config.rotation_group.elements:
+            for p in embedded:
+                image = center + mat @ (p - center)
+                assert any(np.linalg.norm(image - q) <= slack
+                           for q in embedded)
+
+    @pytest.mark.parametrize("target_name", ["cuboctahedron",
+                                             "icosahedron"])
+    def test_formation_random_frames(self, free_t_orbit, target_name):
+        result = form_pattern(free_t_orbit, named_pattern(target_name),
+                              seed=1)
+        assert result.reached
+
+    @pytest.mark.parametrize("target_name", ["cuboctahedron",
+                                             "icosahedron"])
+    def test_formation_sigma_t_frames(self, free_t_orbit, target_name):
+        config = Configuration(free_t_orbit)
+        rho = symmetricity(config)
+        spec = next(s for s in rho.maximal if str(s) == "T")
+        frames = symmetric_frames(config, rho.witness(spec),
+                                  np.random.default_rng(3))
+        result = form_pattern(free_t_orbit, named_pattern(target_name),
+                              frames=frames)
+        assert result.reached
+
+
+class TestOFreeOrbit:
+    def test_free_o_orbit_to_itself_rotated(self):
+        from repro.geometry.rotations import rotation_about_axis
+
+        points = transitive_set(octahedral_group(), mu=1)
+        rot = rotation_about_axis([1.0, 2.0, 3.0], 0.8)
+        target = [2.0 * (rot @ p) for p in points]
+        result = form_pattern(points, target, seed=2)
+        assert result.reached
+
+    def test_free_o_orbit_to_tripled_octahedron(self):
+        points = transitive_set(octahedral_group(), mu=1)
+        target = named_pattern("octahedron") * 4
+        result = form_pattern(points, target, seed=4)
+        assert result.reached

@@ -1,0 +1,156 @@
+"""Tests for the matching M(P, F̃) (Section 6.2, Lemmas 13–14)."""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.errors import MatchingError
+from repro.patterns import polyhedra
+from repro.patterns.library import named_pattern
+from repro.robots.adversary import random_frames
+from repro.robots.algorithms.embedding import embed_target
+from repro.robots.algorithms.matching import match_configuration_to_pattern
+from repro.robots.algorithms.sym import is_sym_terminal, psi_sym
+from repro.robots.scheduler import FsyncScheduler
+from tests.conftest import generic_cloud
+
+
+def terminal_config(points, seed=0) -> Configuration:
+    frames = random_frames(len(points), np.random.default_rng(seed))
+    scheduler = FsyncScheduler(psi_sym, frames)
+    return scheduler.run(points, stop_condition=is_sym_terminal,
+                         max_rounds=20).final
+
+
+def assert_perfect_matching(config, embedded, destinations):
+    """Destinations must be a bijection onto the embedded multiset."""
+    remaining = [np.asarray(p, dtype=float) for p in embedded]
+    for d in destinations:
+        hit = None
+        for i, q in enumerate(remaining):
+            if float(np.linalg.norm(d - q)) <= 1e-6 * max(
+                    config.radius, 1.0):
+                hit = i
+                break
+        assert hit is not None, "destination not in the embedded pattern"
+        remaining.pop(hit)
+    assert not remaining
+
+
+class TestPerfectMatching:
+    @pytest.mark.parametrize("initial,target_factory", [
+        ("cube", lambda: named_pattern("octagon")),
+        ("cube", lambda: named_pattern("square_antiprism")),
+        ("octahedron", lambda: polyhedra.prism(3)),
+        ("icosahedron", lambda: polyhedra.antiprism(6)),
+    ])
+    def test_bijection(self, initial, target_factory):
+        target = target_factory()
+        config = terminal_config(named_pattern(initial))
+        embedded = embed_target(config, target)
+        destinations = match_configuration_to_pattern(config, embedded)
+        assert len(destinations) == config.n
+        assert_perfect_matching(config, embedded, destinations)
+
+    def test_c1_case(self):
+        config = Configuration(generic_cloud(8, seed=7))
+        embedded = embed_target(config, named_pattern("cube"))
+        destinations = match_configuration_to_pattern(config, embedded)
+        assert_perfect_matching(config, embedded, destinations)
+
+    def test_identity_case_nobody_moves(self, cube):
+        config = Configuration(cube)
+        destinations = match_configuration_to_pattern(config, cube)
+        for d, p in zip(destinations, config.points):
+            assert np.allclose(d, p)
+
+    def test_gather_case(self, octagon):
+        config = Configuration(octagon)
+        target = [config.center] * 8
+        destinations = match_configuration_to_pattern(config, target)
+        assert all(np.allclose(d, config.center) for d in destinations)
+
+    def test_size_mismatch(self, cube):
+        config = Configuration(cube)
+        with pytest.raises(MatchingError):
+            match_configuration_to_pattern(config, cube[:-1])
+
+
+class TestConflictResolution:
+    def test_paper_figure31_conflict(self):
+        """The expanded-cube / truncated-cube conflict of Figure 31.
+
+        Robots sit near octahedron face centers (expanded cube), and
+        targets sit near cube vertices rotated so each robot has two
+        equally-near targets; the chirality rule must resolve the
+        cycle into a perfect matching.
+        """
+        from repro.groups.catalog import octahedral_group
+        from repro.geometry.rotations import rotation_about_axis
+
+        group = octahedral_group()
+        # Robots: free O-orbit clustered near the 3-fold axes (like the
+        # expanded cube).
+        diagonal = np.array([1.0, 1.0, 1.0]) / np.sqrt(3)
+        seed_p = diagonal + 0.12 * np.array([1.0, -1.0, 0.0]) / np.sqrt(2)
+        robots = group.orbit(seed_p / np.linalg.norm(seed_p))
+        config = Configuration(robots)
+        # Targets: the O-orbit of the seed rotated 60 degrees about its
+        # diagonal — every robot ends up equidistant from the two
+        # neighbouring targets of its 6-cycle around the diagonal.
+        spin = rotation_about_axis(diagonal, np.pi / 3.0)
+        seed_f = spin @ (seed_p / np.linalg.norm(seed_p))
+        targets = group.orbit(seed_f)
+        assert len(targets) == len(robots) == 24
+        destinations = match_configuration_to_pattern(config, targets)
+        assert_perfect_matching(config, targets, destinations)
+
+    def test_multiplicity_capacity(self):
+        # 24 robots (free O-orbit) onto cube vertices x3.
+        from repro.groups.catalog import octahedral_group
+        from repro.patterns.orbits import transitive_set
+
+        initial = transitive_set(octahedral_group(), mu=1)
+        config = Configuration(initial)
+        embedded = embed_target(config, named_pattern("cube") * 3)
+        destinations = match_configuration_to_pattern(config, embedded)
+        # Each vertex must receive exactly 3 robots.
+        counts = {}
+        for d in destinations:
+            key = tuple(np.round(d, 5))
+            counts[key] = counts.get(key, 0) + 1
+        assert sorted(counts.values()) == [3] * 8
+
+
+class TestRankPreservation:
+    def test_orbit_ranks_match(self):
+        # Two-orbit initial (octahedron+cube composite after psi_sym)
+        # onto a two-ring planar target: inner orbit must map to the
+        # inner ring.
+        from repro.patterns.library import compose_shells
+        from repro.geometry.polygons import regular_polygon
+
+        initial = compose_shells(named_pattern("octahedron"),
+                                 named_pattern("cube"))
+        config = terminal_config(initial, seed=4)
+        target = regular_polygon(7, radius=0.5)
+        target += regular_polygon(7, radius=1.0, phase=0.2)
+        # n mismatch guard: composite has 14 robots, target 14 points.
+        assert config.n == len(target)
+        embedded = embed_target(config, target)
+        destinations = match_configuration_to_pattern(config, embedded)
+        center = config.center
+        # Both rings are fully used.
+        dest_radii = sorted(round(float(np.linalg.norm(d - center))
+                                  / config.radius, 3)
+                            for d in destinations)
+        assert dest_radii == [0.5] * 7 + [1.0] * 7
+        # The strictly inner robots (the broken octahedron shell) must
+        # land on the inner ring — orbit rank preserves radius order.
+        radii = [float(np.linalg.norm(p - center))
+                 for p in config.points]
+        threshold = (min(radii) + max(radii)) / 2.0
+        for i, r in enumerate(radii):
+            if r < threshold:
+                d = float(np.linalg.norm(destinations[i] - center))
+                assert d == pytest.approx(0.5 * config.radius, rel=1e-6)

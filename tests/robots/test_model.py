@@ -1,0 +1,82 @@
+"""Tests for local frames and observations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.geometry.rotations import rotation_about_axis
+from repro.robots.model import OBLIVIOUS_STAY, LocalFrame, Observation
+
+
+class TestLocalFrame:
+    def test_identity_frame(self):
+        frame = LocalFrame()
+        assert np.allclose(frame.observe([1, 2, 3], [0, 0, 0]), [1, 2, 3])
+
+    def test_observe_is_relative_to_position(self):
+        frame = LocalFrame()
+        assert np.allclose(frame.observe([3, 0, 0], [1, 0, 0]), [2, 0, 0])
+
+    def test_scale_divides_observation(self):
+        frame = LocalFrame(scale=2.0)
+        assert np.allclose(frame.observe([4, 0, 0], [0, 0, 0]), [2, 0, 0])
+
+    def test_rotation_applies_inverse_on_observe(self):
+        rot = rotation_about_axis([0, 0, 1], np.pi / 2)
+        frame = LocalFrame(rotation=rot)
+        # World +y is local +x when the frame's x-axis points at +y.
+        assert np.allclose(frame.observe([0, 1, 0], [0, 0, 0]), [1, 0, 0],
+                           atol=1e-12)
+
+    def test_round_trip(self, rng):
+        frame = LocalFrame.random(rng)
+        position = rng.normal(size=3)
+        world = rng.normal(size=3)
+        local = frame.observe(world, position)
+        assert np.allclose(frame.to_world(local, position), world,
+                           atol=1e-9)
+
+    def test_self_observation_is_origin(self, rng):
+        frame = LocalFrame.random(rng)
+        p = rng.normal(size=3)
+        assert np.allclose(frame.observe(p, p), [0, 0, 0], atol=1e-12)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(SimulationError):
+            LocalFrame(scale=-1.0)
+
+    def test_left_handed_frame_rejected(self):
+        with pytest.raises(SimulationError):
+            LocalFrame(rotation=np.diag([1.0, 1.0, -1.0]))
+
+    def test_composed_with(self, rng):
+        frame = LocalFrame.random(rng)
+        rot = rotation_about_axis([1, 0, 0], 0.5)
+        composed = frame.composed_with(rot)
+        assert np.allclose(composed.rotation, rot @ frame.rotation)
+        assert composed.scale == frame.scale
+
+    def test_random_frame_scale_range(self, rng):
+        for _ in range(20):
+            frame = LocalFrame.random(rng, scale_range=(0.5, 2.0))
+            assert 0.5 <= frame.scale <= 2.0
+
+
+class TestObservation:
+    def test_basic(self):
+        obs = Observation([[0, 0, 0], [1, 0, 0]], self_index=0)
+        assert obs.n == 2
+        assert np.allclose(obs.own_position(), [0, 0, 0])
+
+    def test_self_must_be_origin(self):
+        with pytest.raises(SimulationError):
+            Observation([[1, 0, 0], [0, 0, 0]], self_index=0)
+
+    def test_target_is_stored(self):
+        obs = Observation([[0, 0, 0]], self_index=0,
+                          target=[[1, 2, 3]])
+        assert np.allclose(obs.target[0], [1, 2, 3])
+
+    def test_stay_algorithm(self):
+        obs = Observation([[0, 0, 0], [1, 1, 1]], self_index=0)
+        assert np.allclose(OBLIVIOUS_STAY(obs), [0, 0, 0])

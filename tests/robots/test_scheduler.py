@@ -1,0 +1,99 @@
+"""Tests for the FSYNC scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.errors import SimulationError
+from repro.robots.adversary import identity_frames, random_frames
+from repro.robots.model import OBLIVIOUS_STAY, Observation
+from repro.robots.scheduler import FsyncScheduler
+from tests.conftest import generic_cloud
+
+
+def go_toward_centroid(observation: Observation) -> np.ndarray:
+    """Test algorithm: move halfway toward the observed centroid."""
+    centroid = np.mean(observation.points, axis=0)
+    return centroid / 2.0
+
+
+class TestStep:
+    def test_stay_keeps_positions(self, cube):
+        scheduler = FsyncScheduler(OBLIVIOUS_STAY, identity_frames(8))
+        after = scheduler.step(cube)
+        for a, b in zip(after, cube):
+            assert np.allclose(a, b)
+
+    def test_synchronous_semantics(self):
+        # All robots observe P(t), none observes a partial move: with
+        # the centroid algorithm and two robots, both must land at
+        # symmetric midpoints simultaneously.
+        pts = [np.array([0.0, 0, 0]), np.array([4.0, 0, 0])]
+        scheduler = FsyncScheduler(go_toward_centroid, identity_frames(2))
+        after = scheduler.step(pts)
+        assert np.allclose(after[0], [1.0, 0, 0])
+        assert np.allclose(after[1], [3.0, 0, 0])
+
+    def test_frame_invariance_of_contraction(self, rng):
+        # The centroid algorithm is similarity-equivariant, so the
+        # global trajectory must be frame-independent.
+        pts = generic_cloud(6, seed=3)
+        a = FsyncScheduler(go_toward_centroid,
+                           identity_frames(6)).step(pts)
+        b = FsyncScheduler(go_toward_centroid,
+                           random_frames(6, rng)).step(pts)
+        for x, y in zip(a, b):
+            assert np.allclose(x, y, atol=1e-9)
+
+    def test_frame_count_mismatch(self, cube):
+        scheduler = FsyncScheduler(OBLIVIOUS_STAY, identity_frames(5))
+        with pytest.raises(SimulationError):
+            scheduler.step(cube)
+
+    def test_bad_algorithm_output_rejected(self, cube):
+        scheduler = FsyncScheduler(lambda obs: np.array([np.inf, 0, 0]),
+                                   identity_frames(8))
+        with pytest.raises(SimulationError):
+            scheduler.step(cube)
+
+
+class TestRun:
+    def test_stop_condition_checked_on_initial(self, cube):
+        scheduler = FsyncScheduler(OBLIVIOUS_STAY, identity_frames(8))
+        result = scheduler.run(cube, stop_condition=lambda c: True)
+        assert result.reached
+        assert result.rounds == 0
+
+    def test_fixpoint_detection(self, cube):
+        scheduler = FsyncScheduler(OBLIVIOUS_STAY, identity_frames(8))
+        result = scheduler.run(cube, stop_condition=lambda c: False,
+                               max_rounds=5)
+        assert result.fixpoint
+        assert not result.reached
+        assert result.rounds == 1
+
+    def test_timeout_raises_with_stop_condition(self):
+        pts = generic_cloud(4, seed=1)
+        scheduler = FsyncScheduler(go_toward_centroid, identity_frames(4))
+        with pytest.raises(SimulationError):
+            scheduler.run(pts, stop_condition=lambda c: False,
+                          max_rounds=3)
+
+    def test_open_run_returns_trace(self):
+        pts = generic_cloud(4, seed=1)
+        scheduler = FsyncScheduler(go_toward_centroid, identity_frames(4))
+        result = scheduler.run(pts, max_rounds=3)
+        assert result.rounds == 3
+        assert len(result.configurations) == 4
+        assert isinstance(result.final, Configuration)
+
+    def test_target_passed_to_observation(self, cube):
+        seen = []
+
+        def probe(obs: Observation) -> np.ndarray:
+            seen.append(obs.target is not None)
+            return obs.own_position()
+
+        scheduler = FsyncScheduler(probe, identity_frames(8), target=cube)
+        scheduler.step(cube)
+        assert all(seen)
