@@ -1,0 +1,30 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint bench bench-smoke bench-json
+
+test:
+	$(PYTHON) -m pytest -q
+
+# Lint is best-effort: ruff ships via the `lint` extra and is not part
+# of the runtime image, so the target degrades to a no-op (with a
+# notice) when it is missing rather than breaking `make`.
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks; \
+	elif command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed (pip install -e .[lint]); skipping lint"; \
+	fi
+
+bench:
+	$(PYTHON) -m pytest benchmarks --benchmark-only
+
+# Fast correctness pass over the detection benchmarks: runs each
+# benchmarked callable once with timing disabled.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks -k detection --benchmark-disable -q
+
+bench-json:
+	$(PYTHON) benchmarks/run_benchmarks.py

@@ -25,7 +25,7 @@ from repro.robots.algorithms.pattern_formation import (
 from repro.robots.scheduler import FsyncScheduler
 
 
-@pytest.mark.parametrize("n", [8, 16, 32, 64])
+@pytest.mark.parametrize("n", [8, 16, 32, 64, 128, 256])
 def test_detection_scaling(benchmark, n):
     rng = np.random.default_rng(n)
     points = [rng.normal(size=3) for _ in range(n)]
@@ -36,13 +36,39 @@ def test_detection_scaling(benchmark, n):
 @pytest.mark.parametrize("name", ["cube", "icosahedron",
                                   "icosidodecahedron"])
 def test_symmetricity_scaling(benchmark, name):
+    """Cold ϱ(P) cost: pattern construction happens in setup, never
+    inside the timed region, and the congruence caches are cleared
+    before each round so every measurement is a full computation."""
+    from repro import perf
     from repro.patterns.library import named_pattern
 
-    config = Configuration(named_pattern(name))
-    rho = benchmark.pedantic(
-        lambda: symmetricity(Configuration(named_pattern(name))),
-        rounds=3, iterations=1)
+    points = named_pattern(name)
+
+    def setup():
+        perf.clear_caches()
+        return (Configuration(points),), {}
+
+    rho = benchmark.pedantic(symmetricity, setup=setup,
+                             rounds=3, iterations=1)
     assert rho.maximal
+
+
+@pytest.mark.parametrize("name", ["cube", "icosahedron"])
+def test_symmetricity_scaling_warm(benchmark, name):
+    """Warm ϱ(P) cost: the congruence class is already cached, so the
+    timed region covers alignment plus conjugation only."""
+    from repro import perf
+    from repro.patterns.library import named_pattern
+
+    points = named_pattern(name)
+    perf.clear_caches()
+    symmetricity(Configuration(points))  # populate the class entry
+
+    rho = benchmark.pedantic(
+        lambda: symmetricity(Configuration(points)),
+        rounds=3, iterations=2)
+    assert rho.maximal
+    assert perf.cache_stats()["symmetry"]["hits"] >= 1
 
 
 @pytest.mark.parametrize("n", [6, 10, 16])

@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Run the scaling benchmarks and emit a dated ``BENCH_<date>.json``.
+
+Thin driver around pytest-benchmark::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py
+    PYTHONPATH=src python benchmarks/run_benchmarks.py \
+        --baseline BENCH_2026-08-01.json --output BENCH_2026-08-06.json
+
+The emitted file condenses the pytest-benchmark JSON into one record
+per benchmark (mean/stddev/rounds, in milliseconds) so successive
+files diff cleanly; ``--baseline`` embeds a previous file's numbers
+next to the fresh ones with the speedup factor.  See
+``docs/PERFORMANCE.md`` for how to read the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_pytest_benchmarks(selector: str) -> dict:
+    """Run the benchmark suite, returning the pytest-benchmark JSON."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        raw_path = Path(handle.name)
+    command = [
+        sys.executable, "-m", "pytest", selector,
+        "--benchmark-only", f"--benchmark-json={raw_path}",
+        "-q", "-p", "no:cacheprovider",
+    ]
+    result = subprocess.run(command, cwd=REPO_ROOT)
+    if result.returncode != 0:
+        raise SystemExit(f"benchmark run failed (exit {result.returncode})")
+    data = json.loads(raw_path.read_text())
+    raw_path.unlink(missing_ok=True)
+    return data
+
+
+def condense(raw: dict) -> list[dict]:
+    """One compact record per benchmark, times in milliseconds."""
+    records = []
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        records.append({
+            "name": bench["name"],
+            "group": bench.get("group"),
+            "mean_ms": round(stats["mean"] * 1000.0, 4),
+            "stddev_ms": round(stats["stddev"] * 1000.0, 4),
+            "min_ms": round(stats["min"] * 1000.0, 4),
+            "rounds": stats["rounds"],
+        })
+    records.sort(key=lambda r: r["name"])
+    return records
+
+
+def attach_baseline(records: list[dict], baseline_path: Path) -> None:
+    """Embed baseline means and speedups into ``records`` in place."""
+    baseline = json.loads(baseline_path.read_text())
+    baseline_records = baseline.get("benchmarks", baseline)
+    if isinstance(baseline_records, dict):
+        baseline_records = baseline_records.get("benchmarks", [])
+    by_name = {}
+    for entry in baseline_records:
+        mean = entry.get("mean_ms")
+        if mean is None and "stats" in entry:  # raw pytest-benchmark file
+            mean = entry["stats"]["mean"] * 1000.0
+        if mean is not None:
+            by_name[entry["name"]] = float(mean)
+    for record in records:
+        base = by_name.get(record["name"])
+        if base is None:
+            continue
+        record["baseline_mean_ms"] = round(base, 4)
+        if record["mean_ms"] > 0:
+            record["speedup"] = round(base / record["mean_ms"], 2)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--select", default="benchmarks/bench_scaling.py",
+        help="pytest selector for the benchmarks to run")
+    parser.add_argument(
+        "--output", default=None,
+        help="output path (default: BENCH_<today>.json in the repo root)")
+    parser.add_argument(
+        "--baseline", default=None,
+        help="previous BENCH_*.json (or raw pytest-benchmark JSON) to "
+             "embed as before-numbers with speedup factors")
+    args = parser.parse_args(argv)
+
+    date = datetime.date.today().isoformat()
+    output = Path(args.output) if args.output else \
+        REPO_ROOT / f"BENCH_{date}.json"
+
+    raw = run_pytest_benchmarks(args.select)
+    records = condense(raw)
+    if args.baseline:
+        attach_baseline(records, Path(args.baseline))
+
+    payload = {
+        "date": date,
+        "selector": args.select,
+        "machine": raw.get("machine_info", {}).get("machine"),
+        "python": raw.get("machine_info", {}).get("python_version"),
+        "benchmarks": records,
+    }
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+    for record in records:
+        line = f"  {record['name']:45s} {record['mean_ms']:10.2f} ms"
+        if "speedup" in record:
+            line += (f"  (was {record['baseline_mean_ms']:.2f} ms, "
+                     f"{record['speedup']}x)")
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,7 +74,24 @@ def _cmd_detect(args) -> int:
     if rho is not None:
         print(f"varrho(P) maximal = "
               f"{{{', '.join(str(s) for s in rho.maximal)}}}")
+    if args.cache_stats:
+        _print_cache_stats()
     return 0
+
+
+def _print_cache_stats() -> None:
+    from repro.perf import cache_stats
+
+    stats = cache_stats()
+    print("congruence caches "
+          f"({'enabled' if stats['enabled'] else 'disabled'}):")
+    for name in ("symmetry", "symmetricity", "subgroups"):
+        counters = stats[name]
+        extras = ", ".join(f"{k}={v}" for k, v in sorted(counters.items())
+                           if k not in ("hits", "misses"))
+        line = (f"  {name:12s} hits={counters['hits']} "
+                f"misses={counters['misses']}")
+        print(line + (f" {extras}" if extras else ""))
 
 
 def _cmd_check(args) -> int:
@@ -101,6 +118,8 @@ def _cmd_form(args) -> int:
         render_execution_svg(result.configurations, args.svg,
                              target=target)
         print(f"execution rendered to {args.svg}")
+    if args.cache_stats:
+        _print_cache_stats()
     return 0 if result.reached else 1
 
 
@@ -140,6 +159,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     detect = sub.add_parser("detect", help="gamma(P) and varrho(P)")
     detect.add_argument("pattern")
+    detect.add_argument("--cache-stats", action="store_true",
+                        help="print congruence-cache hit/miss counters")
     detect.set_defaults(func=_cmd_detect)
 
     check = sub.add_parser("check", help="Theorem 1.1 formability test")
@@ -153,6 +174,8 @@ def build_parser() -> argparse.ArgumentParser:
     form.add_argument("--seed", type=int, default=0)
     form.add_argument("--max-rounds", type=int, default=30)
     form.add_argument("--svg", help="render the execution to an SVG file")
+    form.add_argument("--cache-stats", action="store_true",
+                      help="print congruence-cache hit/miss counters")
     form.set_defaults(func=_cmd_form)
 
     sub.add_parser("tables", help="regenerate the paper's tables"

@@ -16,7 +16,7 @@ from repro.errors import ConfigurationError
 from repro.geometry.balls import Ball, innermost_empty_ball, smallest_enclosing_ball
 from repro.geometry.tolerance import DEFAULT_TOL, Tolerance
 from repro.geometry.transforms import Similarity, are_similar
-from repro.groups.detection import SymmetryReport, detect_rotation_group
+from repro.groups.detection import SymmetryReport
 from repro.groups.group import RotationGroup
 
 __all__ = ["Configuration"]
@@ -91,8 +91,17 @@ class Configuration:
 
     @cached_property
     def symmetry(self) -> SymmetryReport:
-        """Full symmetry report (computes ``γ(P)``)."""
-        return detect_rotation_group(self._points, self._tol)
+        """Full symmetry report (computes ``γ(P)``).
+
+        Served through the congruence cache (:mod:`repro.perf`): the
+        scheduler observes each configuration once per robot in
+        rotated/scaled local frames, and all those observations share
+        one congruence class.  The precomputed enclosing ball is handed
+        down so detection never repeats the Welzl pass.
+        """
+        from repro.perf import cached_symmetry
+
+        return cached_symmetry(self._points, self._tol, ball=self.ball)
 
     @property
     def rotation_group(self) -> RotationGroup | None:

@@ -36,7 +36,24 @@ def local_view(config: Configuration, index: int) -> tuple:
 
     The view of a robot at ``b(P)`` is a sentinel smaller than every
     other view (its axis is undefined; it is alone in its orbit).
+
+    Views are memoized on the configuration object: orbit ordering and
+    the formation algorithms ask for the same robot's view repeatedly,
+    and each view costs a full pass over the configuration.
     """
+    cache = getattr(config, "_view_cache", None)
+    if cache is None:
+        cache = {}
+        config._view_cache = cache
+    cached = cache.get(index)
+    if cached is not None:
+        return cached
+    view = _compute_local_view(config, index)
+    cache[index] = view
+    return view
+
+
+def _compute_local_view(config: Configuration, index: int) -> tuple:
     rel = config.relative_points()
     scale = max(config.radius, 1e-300)
     radii = [float(np.linalg.norm(p)) / scale for p in rel]

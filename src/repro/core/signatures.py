@@ -34,6 +34,7 @@ __all__ = [
     "line_signature",
     "frame_signature",
     "group_arrangement_signature",
+    "congruence_signature",
 ]
 
 _DECIMALS = 6
@@ -115,6 +116,26 @@ def frame_signature(rel_points, multiplicities, frame) -> tuple:
                      _rounded(coords[2]), int(m)))
     rows.sort()
     return tuple(rows)
+
+
+def congruence_signature(n: int, multiplicities) -> tuple:
+    """Similarity-invariant *structural* signature of a point multiset.
+
+    Two configurations related by a similarity transform (rotation,
+    translation, uniform scaling) always produce equal signatures, so
+    the signature can key a cache of per-congruence-class results
+    (``γ(P)``, ``ϱ(P)``).  It deliberately contains **only exact
+    integers** — total cardinality ``n``, support size, and the sorted
+    multiplicity profile — never rounded floats: rounding a continuous
+    quantity would split one congruence class across two keys whenever
+    it straddles a rounding boundary.  The continuous part of the class
+    (the radius profile) is compared tolerantly, entry by entry, by
+    :mod:`repro.perf`, and candidate matches are certified by an
+    explicit alignment rotation, so hash collisions here cost time but
+    never correctness.
+    """
+    profile = tuple(sorted(int(m) for m in multiplicities))
+    return (int(n), len(profile), profile)
 
 
 def group_arrangement_signature(rel_points, multiplicities, group) -> tuple:

@@ -104,8 +104,11 @@ def symmetricity_of_multiset(config: Configuration,
     if report.kind == "degenerate":
         return _degenerate_symmetricity(config, report)
     if report.kind == "collinear":
-        return _collinear_symmetricity(config, report)
-    return _finite_symmetricity(config, report, tol)
+        return _collinear_symmetricity(config, report, tol)
+    from repro.perf import cached_symmetricity
+
+    return cached_symmetricity(config, report, tol,
+                               compute=_finite_symmetricity)
 
 
 def _trivial() -> GroupSpec:
@@ -128,7 +131,7 @@ def _finite_symmetricity(config: Configuration, report: SymmetryReport,
         if report.center_occupied:
             if is_set:
                 continue
-            center_mult = _center_multiplicity(report)
+            center_mult = _center_multiplicity(report, tol)
             if center_mult % sub.order != 0:
                 continue
         if is_set:
@@ -143,8 +146,9 @@ def _finite_symmetricity(config: Configuration, report: SymmetryReport,
                         witnesses=witnesses, report=report)
 
 
-def _center_multiplicity(report: SymmetryReport) -> int:
-    slack = 1e-6 * max(report.radius, 1.0)
+def _center_multiplicity(report: SymmetryReport,
+                         tol: Tolerance = DEFAULT_TOL) -> int:
+    slack = tol.geometric_slack(report.radius)
     for p, m in zip(report.distinct_points, report.multiplicities):
         if float(np.linalg.norm(np.asarray(p) - report.center)) <= slack:
             return m
@@ -163,7 +167,8 @@ def _multiset_valid(report: SymmetryReport, sub: RotationGroup,
 
 
 def _collinear_symmetricity(config: Configuration,
-                            report: SymmetryReport) -> Symmetricity:
+                            report: SymmetryReport,
+                            tol: Tolerance = DEFAULT_TOL) -> Symmetricity:
     """Symmetricity of a configuration on a line through ``b(P)``.
 
     Only finitely many finite rotation groups can act with unoccupied
@@ -174,10 +179,11 @@ def _collinear_symmetricity(config: Configuration,
     """
     specs: set[GroupSpec] = {_trivial()}
     mults = report.multiplicities
-    center_mult = _center_multiplicity(report)
+    center_mult = _center_multiplicity(report, tol)
+    slack = tol.geometric_slack(report.radius)
     line_mults = [m for p, m in zip(report.distinct_points, mults)
                   if float(np.linalg.norm(np.asarray(p) - report.center))
-                  > 1e-6 * max(report.radius, 1.0)]
+                  > slack]
     gcd_all = int(np.gcd.reduce(line_mults + [center_mult or 0])) \
         if line_mults else max(center_mult, 1)
     symmetric = report.infinite_kind is InfiniteGroupKind.D_INF

@@ -8,6 +8,7 @@ contains no point of ``P`` (at least one point of ``P`` lies on it).
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 
@@ -63,6 +64,18 @@ def _ball_from_points(points: list[np.ndarray]) -> Ball:
     return _circumball_tetrahedron(points[0], points[1], points[2], points[3])
 
 
+def _cross3(u, v) -> tuple[float, float, float]:
+    """Cross product of two 3-tuples in scalar arithmetic.
+
+    ``np.cross`` pays two orders of magnitude of call overhead on
+    3-vectors, and the circumball helpers sit in Welzl's innermost
+    recursion.
+    """
+    return (u[1] * v[2] - u[2] * v[1],
+            u[2] * v[0] - u[0] * v[2],
+            u[0] * v[1] - u[1] * v[0])
+
+
 def _circumball_triangle(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> Ball:
     """Smallest ball whose sphere passes through three points.
 
@@ -70,20 +83,28 @@ def _circumball_triangle(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> Ball:
     Degenerate (collinear) triples fall back to the longest-edge
     diametral ball.
     """
-    ab = b - a
-    ac = c - a
-    cross = np.cross(ab, ac)
-    denom = 2.0 * float(np.dot(cross, cross))
+    ax, ay, az = a.tolist()
+    bx, by, bz = b.tolist()
+    cx, cy, cz = c.tolist()
+    ab = (bx - ax, by - ay, bz - az)
+    ac = (cx - ax, cy - ay, cz - az)
+    cross = _cross3(ab, ac)
+    denom = 2.0 * (cross[0] ** 2 + cross[1] ** 2 + cross[2] ** 2)
     if denom < 1e-18:
         # Collinear: diametral ball of the farthest pair.
         pairs = [(a, b), (a, c), (b, c)]
         far = max(pairs, key=lambda pq: float(np.linalg.norm(pq[0] - pq[1])))
         center = (far[0] + far[1]) / 2.0
         return Ball(center=center, radius=float(np.linalg.norm(far[0] - center)))
-    rel = (float(np.dot(ac, ac)) * np.cross(cross, ab)
-           + float(np.dot(ab, ab)) * np.cross(ac, cross)) / denom
-    center = a + rel
-    radius = float(np.linalg.norm(rel))
+    ab_sq = ab[0] ** 2 + ab[1] ** 2 + ab[2] ** 2
+    ac_sq = ac[0] ** 2 + ac[1] ** 2 + ac[2] ** 2
+    cross_ab = _cross3(cross, ab)
+    ac_cross = _cross3(ac, cross)
+    rel = ((ac_sq * cross_ab[0] + ab_sq * ac_cross[0]) / denom,
+           (ac_sq * cross_ab[1] + ab_sq * ac_cross[1]) / denom,
+           (ac_sq * cross_ab[2] + ab_sq * ac_cross[2]) / denom)
+    center = np.array([ax + rel[0], ay + rel[1], az + rel[2]])
+    radius = math.hypot(*rel)
     return Ball(center=center, radius=radius)
 
 
@@ -128,18 +149,33 @@ def smallest_enclosing_ball(points, tol: Tolerance = DEFAULT_TOL,
     rng = random.Random(seed)
     shuffled = pts[:]
     rng.shuffle(shuffled)
-    return _welzl(shuffled, [], tol)
+    return _welzl(np.asarray(shuffled, dtype=float), [], tol)
 
 
-def _welzl(points: list[np.ndarray], boundary: list[np.ndarray],
+def _welzl(points: np.ndarray, boundary: list[np.ndarray],
            tol: Tolerance) -> Ball:
-    """Iterative Welzl with explicit work list (avoids deep recursion)."""
+    """Welzl's recursion with a vectorized violation scan.
+
+    Instead of testing containment point by point in Python, each pass
+    finds the first point outside the current ball with one batched
+    distance computation; the recursion (and therefore the computed
+    ball) is identical to the sequential formulation.
+    """
     if len(boundary) == 4:
         return _ball_from_points(boundary)
     ball = _ball_from_points(boundary)
-    for i, p in enumerate(points):
-        if not ball.contains(p, tol):
-            ball = _welzl(points[:i], boundary + [p], tol)
+    start = 0
+    while start < len(points):
+        tail = points[start:]
+        distances = np.linalg.norm(tail - ball.center, axis=1)
+        limit = (ball.radius + tol.abs_tol
+                 + tol.rel_tol * max(ball.radius, 1.0))
+        violations = np.nonzero(distances > limit)[0]
+        if violations.size == 0:
+            break
+        first = start + int(violations[0])
+        ball = _welzl(points[:first], boundary + [points[first]], tol)
+        start = first + 1
     return ball
 
 
@@ -151,13 +187,14 @@ def innermost_empty_ball(points, center=None,
     ``center`` overrides the ball center (defaults to ``b(P)``).
     If a point of ``P`` sits exactly at the center, the radius is 0.
     """
-    pts = [np.asarray(p, dtype=float) for p in points]
-    if not pts:
+    pts = np.asarray([np.asarray(p, dtype=float) for p in points],
+                     dtype=float)
+    if pts.size == 0:
         raise GeometryError("innermost empty ball of an empty set")
     if center is None:
-        center = smallest_enclosing_ball(pts, tol).center
+        center = smallest_enclosing_ball(list(pts), tol).center
     center = np.asarray(center, dtype=float)
-    radius = min(float(np.linalg.norm(p - center)) for p in pts)
+    radius = float(np.linalg.norm(pts - center, axis=1).min())
     return Ball(center=center, radius=radius)
 
 

@@ -57,6 +57,19 @@ class Tolerance:
         return Tolerance(abs_tol=self.abs_tol * max(scale, 1.0),
                          rel_tol=self.rel_tol)
 
+    def geometric_slack(self, scale: float) -> float:
+        """Distance slack for clustering / incidence tests at ``scale``.
+
+        Used by symmetry detection and symmetricity to decide when two
+        points coincide, when a point sits on an axis, and so on.  The
+        factor 10 absorbs the error accumulated by chained float
+        operations (differences, cross products, rotations) between the
+        raw coordinates and the compared quantity.  With the default
+        tolerances this equals the historical ``1e-6 * max(scale, 1)``
+        slack, but it now follows a caller-supplied :class:`Tolerance`.
+        """
+        return 10.0 * max(self.abs_tol, self.rel_tol * max(scale, 1.0))
+
 
 DEFAULT_TOL = Tolerance()
 

@@ -18,24 +18,37 @@ The detector enumerates *all* rotations preserving ``P``:
 
 Degenerate inputs (all points coincident, collinear configurations
 with their infinite groups) are reported explicitly.
+
+The inner loops are batched: the distinct points live in one ``(m, 3)``
+array, all candidate rotations are generated and applied with a single
+einsum, and the tolerant nearest-neighbour matching that verifies each
+candidate runs through one k-d tree query per batch instead of a
+per-point Python scan.  A cheap probe pass over the most constrained
+shell rejects most wrong candidates before the full-multiset check.
 """
 
 from __future__ import annotations
 
 import math
+
 from dataclasses import dataclass, field
 
 import numpy as np
+from scipy.spatial import cKDTree
 
 from repro.errors import DetectionError
 from repro.geometry.balls import smallest_enclosing_ball
 from repro.geometry.tolerance import DEFAULT_TOL, Tolerance
 from repro.groups.axes import RotationAxis
-from repro.groups.group import RotationGroup, GroupSpec, GroupKind
+from repro.groups.group import RotationGroup, GroupSpec, GroupKind, element_key
 from repro.groups.infinite import InfiniteGroupKind, detect_collinear_kind
 from repro.geometry.rotations import rotation_about_axis
 
-__all__ = ["SymmetryReport", "detect_rotation_group"]
+__all__ = ["SymmetryReport", "detect_rotation_group", "align_rotation"]
+
+# Cap on the number of (candidate, point) products held in memory at
+# once while verifying candidate rotations; batches are chunked to it.
+_VERIFY_BLOCK = 2_000_000
 
 
 @dataclass
@@ -88,95 +101,104 @@ class SymmetryReport:
         return any(m > 1 for m in self.multiplicities)
 
 
-class _PointIndex:
-    """Grid hash of a point multiset supporting tolerant lookups."""
-
-    def __init__(self, points, multiplicities, cell: float) -> None:
-        self.cell = cell
-        self.table: dict[tuple, list[tuple[np.ndarray, int]]] = {}
-        for p, m in zip(points, multiplicities):
-            key = self._key(p)
-            self.table.setdefault(key, []).append((np.asarray(p, float), m))
-
-    def _key(self, p) -> tuple:
-        arr = np.asarray(p, dtype=float)
-        return tuple(int(math.floor(c / self.cell)) for c in arr)
-
-    def find(self, p, slack: float) -> tuple[np.ndarray, int] | None:
-        """Nearest stored point within ``slack`` plus its multiplicity."""
-        base = self._key(p)
-        best = None
-        best_d = None
-        for dx in (-1, 0, 1):
-            for dy in (-1, 0, 1):
-                for dz in (-1, 0, 1):
-                    key = (base[0] + dx, base[1] + dy, base[2] + dz)
-                    for stored, mult in self.table.get(key, ()):
-                        d = float(np.linalg.norm(stored - np.asarray(p)))
-                        if d <= slack and (best_d is None or d < best_d):
-                            best = (stored, mult)
-                            best_d = d
-        return best
-
-
 def _collapse_multiset(points, slack: float):
-    """Distinct points with multiplicities (tolerant clustering)."""
-    distinct: list[np.ndarray] = []
-    multiplicities: list[int] = []
-    for p in points:
-        arr = np.asarray(p, dtype=float)
-        matched = False
-        for i, q in enumerate(distinct):
-            if float(np.linalg.norm(arr - q)) <= slack:
-                multiplicities[i] += 1
-                matched = True
-                break
-        if not matched:
-            distinct.append(arr)
-            multiplicities.append(1)
-    return distinct, multiplicities
+    """Distinct points with multiplicities (tolerant clustering).
 
-
-def detect_rotation_group(points, tol: Tolerance = DEFAULT_TOL
-                          ) -> SymmetryReport:
-    """Compute ``γ(P)`` and related symmetry data for a point multiset.
-
-    See the module docstring for the strategy.  The returned report's
-    group has ``occupied`` flags set on every axis (an axis is occupied
-    when its line contains a point of ``P``; a point at the center
-    occupies every axis).
+    Pairs within ``slack`` are found with one k-d tree range query and
+    merged by union-find (each cluster keeps its first point as the
+    representative, matching the historical sequential clustering for
+    the well-separated clusters the model admits).
     """
-    pts = [np.asarray(p, dtype=float) for p in points]
-    if not pts:
+    pts = np.asarray(points, dtype=float).reshape(-1, 3)
+    n = len(pts)
+    pairs = cKDTree(pts).query_pairs(slack, output_type="ndarray")
+    if pairs.size == 0:
+        return pts.copy(), np.ones(n, dtype=np.int64)
+
+    parent = np.arange(n)
+
+    def find(i: int) -> int:
+        root = i
+        while parent[root] != root:
+            root = parent[root]
+        while parent[i] != root:
+            parent[i], i = root, parent[i]
+        return root
+
+    for i, j in pairs:
+        ri, rj = find(int(i)), find(int(j))
+        if ri != rj:
+            # Union by min index: the representative stays the first
+            # point of the cluster in input order.
+            if ri < rj:
+                parent[rj] = ri
+            else:
+                parent[ri] = rj
+    roots = np.fromiter((find(k) for k in range(n)), dtype=np.int64,
+                        count=n)
+    reps, counts = np.unique(roots, return_counts=True)
+    return pts[reps].copy(), counts.astype(np.int64)
+
+
+@dataclass
+class _Prepared:
+    """Shared precomputation for detection and the congruence cache."""
+
+    ball: object
+    slack: float
+    distinct: np.ndarray
+    mults: np.ndarray
+    rel: np.ndarray
+    radii: np.ndarray
+
+
+def _prepare_multiset(points, tol: Tolerance, ball=None) -> _Prepared:
+    """Enclosing ball, distinct support, and center-relative geometry."""
+    pts = np.asarray([np.asarray(p, dtype=float) for p in points],
+                     dtype=float)
+    if pts.size == 0:
         raise DetectionError("cannot detect symmetry of an empty set")
-    ball = smallest_enclosing_ball(pts, tol)
-    center = ball.center
-    scale = max(ball.radius, 1.0)
-    slack = 1e-6 * scale
+    if ball is None:
+        ball = smallest_enclosing_ball(list(pts), tol)
+    slack = tol.geometric_slack(ball.radius)
     distinct, mults = _collapse_multiset(pts, slack)
-    rel = [p - center for p in distinct]
-    radii = [float(np.linalg.norm(r)) for r in rel]
+    rel = distinct - ball.center
+    radii = np.linalg.norm(rel, axis=1)
+    return _Prepared(ball=ball, slack=slack, distinct=distinct,
+                     mults=mults, rel=rel, radii=radii)
 
+
+def _base_report(pre: _Prepared, tol: Tolerance) -> SymmetryReport:
+    """Report with the kind decided; the finite group not yet computed."""
     report = SymmetryReport(
-        kind="finite", center=center, radius=ball.radius,
-        distinct_points=distinct, multiplicities=mults)
-    report.center_occupied = any(r <= slack for r in radii)
+        kind="finite", center=pre.ball.center, radius=pre.ball.radius,
+        distinct_points=list(pre.distinct),
+        multiplicities=[int(m) for m in pre.mults])
+    report.center_occupied = bool((pre.radii <= pre.slack).any())
 
-    if all(r <= slack for r in radii):
+    if bool((pre.radii <= pre.slack).all()):
         report.kind = "degenerate"
         return report
 
-    line = _common_line(rel, radii, slack)
+    line = _common_line(pre.rel, pre.radii, pre.slack)
     if line is not None:
         report.kind = "collinear"
         report.line_direction = line
-        report.infinite_kind = detect_collinear_kind(rel, mults, tol)
-        return report
+        report.infinite_kind = detect_collinear_kind(
+            list(pre.rel), list(pre.mults), tol)
+    return report
 
-    elements = _symmetry_rotations(rel, mults, radii, slack, scale)
+
+def _finish_finite_report(report: SymmetryReport, pre: _Prepared,
+                          tol: Tolerance) -> SymmetryReport:
+    """Run the full finite-group detection and attach it to ``report``."""
+    scale = max(pre.ball.radius, 1.0)
+    elements = _symmetry_rotations(pre.rel, pre.mults, pre.radii,
+                                   pre.slack, scale)
     group = RotationGroup(elements, tol=tol)
     group.axes = [
-        axis.with_occupied(_axis_occupied(axis, rel, radii, slack,
+        axis.with_occupied(_axis_occupied(axis, pre.rel, pre.radii,
+                                          pre.slack,
                                           report.center_occupied))
         for axis in group.axes
     ]
@@ -184,17 +206,33 @@ def detect_rotation_group(points, tol: Tolerance = DEFAULT_TOL
     return report
 
 
+def detect_rotation_group(points, tol: Tolerance = DEFAULT_TOL,
+                          ball=None) -> SymmetryReport:
+    """Compute ``γ(P)`` and related symmetry data for a point multiset.
+
+    See the module docstring for the strategy.  The returned report's
+    group has ``occupied`` flags set on every axis (an axis is occupied
+    when its line contains a point of ``P``; a point at the center
+    occupies every axis).  ``ball`` lets callers that already hold the
+    smallest enclosing ball skip recomputing it.
+    """
+    pre = _prepare_multiset(points, tol, ball)
+    report = _base_report(pre, tol)
+    if report.kind != "finite":
+        return report
+    return _finish_finite_report(report, pre, tol)
+
+
 def _common_line(rel, radii, slack: float) -> np.ndarray | None:
     """Unit direction if all points lie on one line through the origin."""
-    direction = None
-    for r, rad in zip(rel, radii):
-        if rad <= slack:
-            continue
-        if direction is None:
-            direction = r / rad
-            continue
-        if np.linalg.norm(np.cross(direction, r)) > slack * 10:
-            return None
+    off = radii > slack
+    if not off.any():
+        return None
+    first = int(np.argmax(off))
+    direction = rel[first] / radii[first]
+    perp = np.linalg.norm(np.cross(direction, rel[off]), axis=1)
+    if bool((perp > slack * 10).any()):
+        return None
     return direction
 
 
@@ -203,116 +241,163 @@ def _axis_occupied(axis: RotationAxis, rel, radii, slack: float,
     """True if the axis line contains a point of the configuration."""
     if center_occupied:
         return True
-    for r, rad in zip(rel, radii):
-        if rad <= slack:
-            continue
-        perp = float(np.linalg.norm(np.cross(axis.direction, r)))
-        if perp <= 10 * slack:
-            return True
-    return False
+    perp = np.linalg.norm(np.cross(axis.direction, rel), axis=1)
+    return bool(((radii > slack) & (perp <= 10 * slack)).any())
 
 
-def _shells(rel, radii, mults, slack: float) -> list[list[int]]:
-    """Indices of distinct points grouped by (radius, multiplicity)."""
-    buckets: list[tuple[float, int, list[int]]] = []
-    for i, (rad, m) in enumerate(zip(radii, mults)):
-        if rad <= slack:
-            continue  # center point constrains nothing
-        placed = False
-        for brad, bm, idxs in buckets:
-            if abs(brad - rad) <= 10 * slack and bm == m:
-                idxs.append(i)
-                placed = True
-                break
-        if not placed:
-            buckets.append((rad, m, [i]))
-    return [idxs for _, _, idxs in buckets]
+def _shells(radii, mults, slack: float) -> list[np.ndarray]:
+    """Indices of distinct points grouped by (radius, multiplicity).
+
+    Off-center points are sorted by (multiplicity, radius) and split
+    where the multiplicity changes or the radius gap exceeds the shell
+    tolerance — equivalent to the sequential bucketing for the
+    well-separated shells the model admits.
+    """
+    idx = np.nonzero(radii > slack)[0]
+    if idx.size == 0:
+        return []
+    order = np.lexsort((radii[idx], mults[idx]))
+    idx = idx[order]
+    r_sorted = radii[idx]
+    m_sorted = mults[idx]
+    breaks = np.nonzero((np.diff(r_sorted) > 10 * slack)
+                        | (np.diff(m_sorted) != 0))[0] + 1
+    return [np.asarray(g) for g in np.split(idx, breaks)]
+
+
+class _BatchVerifier:
+    """Batched check that candidate rotations preserve the multiset.
+
+    A rotation preserves ``P`` when the image of every distinct point
+    lands (within ``check_slack``) on a distinct point of equal
+    multiplicity.  Images of a whole batch of candidates are produced
+    by one einsum and matched with one k-d tree query; a probe pass
+    over the most constrained shell cheaply rejects bad candidates
+    before the full check.
+    """
+
+    def __init__(self, rel, mults, check_slack: float,
+                 probe: np.ndarray | None = None) -> None:
+        self.rel = rel
+        self.mults = mults
+        self.check_slack = check_slack
+        self.tree = cKDTree(rel)
+        self.probe = probe if probe is not None and len(probe) < len(rel) \
+            else None
+
+    def _check(self, rots: np.ndarray, subset) -> np.ndarray:
+        points = self.rel if subset is None else self.rel[subset]
+        mults = self.mults if subset is None else self.mults[subset]
+        count, m = len(rots), len(points)
+        ok = np.zeros(count, dtype=bool)
+        block = max(1, _VERIFY_BLOCK // max(m, 1))
+        for start in range(0, count, block):
+            chunk = rots[start:start + block]
+            images = np.einsum("cij,mj->cmi", chunk, points)
+            dist, idx = self.tree.query(
+                images.reshape(-1, 3), k=1,
+                distance_upper_bound=self.check_slack * (1.0 + 1e-9))
+            dist = dist.reshape(len(chunk), m)
+            idx = idx.reshape(len(chunk), m)
+            good = dist <= self.check_slack
+            safe = np.where(good, idx, 0)
+            good &= self.mults[safe] == mults[None, :]
+            ok[start:start + len(chunk)] = good.all(axis=1)
+        return ok
+
+    def __call__(self, rots) -> np.ndarray:
+        rots = np.asarray(rots, dtype=float).reshape(-1, 3, 3)
+        if len(rots) == 0:
+            return np.zeros(0, dtype=bool)
+        if self.probe is not None and len(rots) > 1:
+            mask = self._check(rots, self.probe)
+            result = np.zeros(len(rots), dtype=bool)
+            if mask.any():
+                result[mask] = self._check(rots[mask], None)
+            return result
+        return self._check(rots, None)
+
+    def preserves(self, rot) -> bool:
+        """Scalar convenience wrapper."""
+        return bool(self(np.asarray(rot)[None])[0])
 
 
 def _symmetry_rotations(rel, mults, radii, slack: float,
                         scale: float) -> list[np.ndarray]:
     """All rotations about the origin preserving the multiset."""
-    index = _PointIndex(rel, mults, cell=max(20 * slack, 1e-9))
     check_slack = 20 * slack
 
-    def preserves(rot: np.ndarray) -> bool:
-        for p, m in zip(rel, mults):
-            hit = index.find(rot @ p, check_slack)
-            if hit is None or hit[1] != m:
-                return False
-        return True
-
-    shells = _shells(rel, radii, mults, slack)
+    shells = _shells(radii, mults, slack)
     if not shells:
         raise DetectionError("no off-center points in finite detection")
     shells.sort(key=len)
     anchor_shell = shells[0]
+    verifier = _BatchVerifier(rel, mults, check_slack, probe=anchor_shell)
     p1 = rel[anchor_shell[0]]
-    r1 = float(np.linalg.norm(p1))
+    r1 = float(radii[anchor_shell[0]])
 
     if len(anchor_shell) == 1:
         return _cyclic_about_fixed_point(p1, rel, radii, mults, slack,
-                                         preserves)
+                                         verifier)
 
     # Second reference: not parallel to p1; prefer the anchor shell.
-    p2 = None
+    p2_index = second_shell = None
     for shell in [anchor_shell] + shells[1:]:
-        for idx in shell:
-            cand = rel[idx]
-            if np.linalg.norm(np.cross(p1, cand)) > check_slack * r1:
-                p2 = cand
-                break
-        if p2 is not None:
+        norms = np.linalg.norm(np.cross(p1, rel[shell]), axis=1)
+        independent = np.nonzero(norms > check_slack * r1)[0]
+        if independent.size:
+            p2_index = int(shell[independent[0]])
             second_shell = shell
             break
-    if p2 is None:
+    if p2_index is None:
         raise DetectionError("configuration unexpectedly collinear")
-    r2 = float(np.linalg.norm(p2))
+    p2 = rel[p2_index]
+    r2 = float(radii[p2_index])
     dot12 = float(np.dot(p1, p2))
+    threshold = check_slack * max(
+        1.0, r1 * r2 / max(scale, 1e-12)) * scale
+
+    # Candidate images: anchor-shell × second-shell pairs whose inner
+    # product matches the reference pair's (rotations preserve it).
+    first_points = rel[anchor_shell]
+    second_points = rel[second_shell]
+    dots = first_points @ second_points.T
+    ii, jj = np.nonzero(np.abs(dots - dot12) <= threshold)
+    candidates = _rotations_from_pairs(p1, p2, first_points[ii],
+                                       second_points[jj])
 
     elements: dict[tuple, np.ndarray] = {}
-    from repro.groups.group import element_key
-
     identity = np.eye(3)
     elements[element_key(identity)] = identity
-    for i in anchor_shell:
-        q1 = rel[i]
-        for j in second_shell:
-            q2 = rel[j]
-            if abs(float(np.dot(q1, q2)) - dot12) > check_slack * max(
-                    1.0, r1 * r2 / max(scale, 1e-12)) * scale:
-                continue
-            rot = _rotation_from_pairs(p1, p2, q1, q2)
-            if rot is None:
+    if len(candidates):
+        # Dedupe candidates on the same rounded key used for group
+        # elements, then batch-verify the survivors.
+        keys = np.round(candidates.reshape(len(candidates), 9), 5) + 0.0
+        _, first_of = np.unique(keys, axis=0, return_index=True)
+        unique = candidates[np.sort(first_of)]
+        verified = verifier(unique)
+        for rot, good in zip(unique, verified):
+            if not good:
                 continue
             key = element_key(rot)
-            if key in elements:
-                continue
-            if preserves(rot):
+            if key not in elements:
                 elements[key] = rot
     return list(elements.values())
 
 
-def _cyclic_about_fixed_point(p1, rel, radii, mults, slack, preserves):
+def _cyclic_about_fixed_point(p1, rel, radii, mults, slack, verifier):
     """All symmetries fix ``p1``: the group is cyclic about its axis."""
     axis = p1 / float(np.linalg.norm(p1))
-    off_counts = []
-    shell_map = _shells(rel, radii, mults, slack)
-    for shell in shell_map:
-        off = 0
-        for idx in shell:
-            perp = float(np.linalg.norm(np.cross(axis, rel[idx])))
-            if perp > 10 * slack:
-                off += 1
-        if off:
-            off_counts.append(off)
+    off = np.linalg.norm(np.cross(axis, rel), axis=1) > 10 * slack
+    off_counts = [int(off[shell].sum()) for shell in
+                  _shells(radii, mults, slack) if off[shell].any()]
     bound = math.gcd(*off_counts) if off_counts else 1
     elements = [np.eye(3)]
     for k in range(bound, 1, -1):
         if bound % k != 0:
             continue
         rot = rotation_about_axis(axis, 2.0 * np.pi / k)
-        if preserves(rot):
+        if verifier.preserves(rot):
             for i in range(1, k):
                 elements.append(rotation_about_axis(
                     axis, 2.0 * np.pi * i / k))
@@ -320,19 +405,30 @@ def _cyclic_about_fixed_point(p1, rel, radii, mults, slack, preserves):
     return elements
 
 
-def _rotation_from_pairs(p1, p2, q1, q2) -> np.ndarray | None:
-    """Rotation with ``R p1 = q1`` and ``R p2 = q2``, if one exists."""
+def _rotations_from_pairs(p1, p2, q1s, q2s) -> np.ndarray:
+    """Rotations with ``R p1 = q1`` and ``R p2 = q2``, batched.
+
+    Degenerate image pairs (parallel within float noise) are dropped;
+    the result is a ``(k, 3, 3)`` stack.
+    """
     n_p = np.cross(p1, p2)
-    n_q = np.cross(q1, q2)
     ln_p = float(np.linalg.norm(n_p))
-    ln_q = float(np.linalg.norm(n_q))
-    if ln_p < 1e-12 or ln_q < 1e-12:
-        return None
     frame_p = _orthoframe(p1, n_p)
-    frame_q = _orthoframe(q1, n_q)
-    if frame_p is None or frame_q is None:
-        return None
-    return frame_q @ frame_p.T
+    if ln_p < 1e-12 or frame_p is None:
+        return np.zeros((0, 3, 3))
+    q1s = np.asarray(q1s, dtype=float).reshape(-1, 3)
+    q2s = np.asarray(q2s, dtype=float).reshape(-1, 3)
+    n_q = np.cross(q1s, q2s)
+    ln_q = np.linalg.norm(n_q, axis=1)
+    l_q1 = np.linalg.norm(q1s, axis=1)
+    valid = (ln_q >= 1e-12) & (l_q1 >= 1e-12)
+    if not valid.any():
+        return np.zeros((0, 3, 3))
+    e0 = q1s[valid] / l_q1[valid, None]
+    e2 = n_q[valid] / ln_q[valid, None]
+    e1 = np.cross(e2, e0)
+    frames_q = np.stack([e0, e1, e2], axis=2)
+    return frames_q @ frame_p.T
 
 
 def _orthoframe(x, n) -> np.ndarray | None:
@@ -344,3 +440,81 @@ def _orthoframe(x, n) -> np.ndarray | None:
     e2 = n / ln
     e1 = np.cross(e2, e0)
     return np.column_stack([e0, e1, e2])
+
+
+def align_rotation(src_rel, src_mults, src_radii,
+                   dst_rel, dst_mults, dst_radii,
+                   slack: float, scale: float = 1.0) -> np.ndarray | None:
+    """A rotation ``R`` with ``R · src ≈ dst`` as multisets, or None.
+
+    Both point sets are given relative to their centers (distinct
+    points with parallel multiplicity arrays).  Candidates come from
+    mapping a reference pair of ``src`` onto compatible pairs of
+    ``dst`` — same pair-generation and batched verification as
+    :func:`detect_rotation_group`, so a returned rotation is certified
+    on the whole multiset.  The congruence cache uses this to re-align
+    a stored canonical symmetry report onto a congruent query.
+    """
+    src_rel = np.asarray(src_rel, dtype=float).reshape(-1, 3)
+    dst_rel = np.asarray(dst_rel, dtype=float).reshape(-1, 3)
+    src_mults = np.asarray(src_mults, dtype=np.int64)
+    dst_mults = np.asarray(dst_mults, dtype=np.int64)
+    if len(src_rel) != len(dst_rel):
+        return None
+    check_slack = 20 * slack
+
+    shells = _shells(src_radii, src_mults, slack)
+    if not shells:
+        return None
+    shells.sort(key=len)
+    anchor = shells[0]
+    p1 = src_rel[anchor[0]]
+    r1 = float(src_radii[anchor[0]])
+    p2_index = None
+    for shell in [anchor] + shells[1:]:
+        norms = np.linalg.norm(np.cross(p1, src_rel[shell]), axis=1)
+        independent = np.nonzero(norms > check_slack * r1)[0]
+        if independent.size:
+            p2_index = int(shell[independent[0]])
+            break
+    if p2_index is None:
+        return None  # collinear sources have no finite alignment here
+    p2 = src_rel[p2_index]
+    r2 = float(src_radii[p2_index])
+    dot12 = float(np.dot(p1, p2))
+    mult1 = int(src_mults[anchor[0]])
+    mult2 = int(src_mults[p2_index])
+
+    q1_mask = (np.abs(dst_radii - r1) <= 20 * slack) & (dst_mults == mult1)
+    q2_mask = (np.abs(dst_radii - r2) <= 20 * slack) & (dst_mults == mult2)
+    if not q1_mask.any() or not q2_mask.any():
+        return None
+    q1s = dst_rel[q1_mask]
+    q2s = dst_rel[q2_mask]
+    dots = q1s @ q2s.T
+    threshold = check_slack * max(1.0, r1 * r2 / max(scale, 1e-12)) * scale
+    ii, jj = np.nonzero(np.abs(dots - dot12) <= threshold)
+    if ii.size == 0:
+        return None
+    candidates = _rotations_from_pairs(p1, p2, q1s[ii], q2s[jj])
+    if not len(candidates):
+        return None
+
+    tree = cKDTree(dst_rel)
+    m = len(src_rel)
+    block = max(1, _VERIFY_BLOCK // max(m, 1))
+    for start in range(0, len(candidates), block):
+        chunk = candidates[start:start + block]
+        images = np.einsum("cij,mj->cmi", chunk, src_rel)
+        dist, idx = tree.query(
+            images.reshape(-1, 3), k=1,
+            distance_upper_bound=check_slack * (1.0 + 1e-9))
+        dist = dist.reshape(len(chunk), m)
+        idx = idx.reshape(len(chunk), m)
+        good = dist <= check_slack
+        safe = np.where(good, idx, 0)
+        good &= dst_mults[safe] == src_mults[None, :]
+        hits = np.nonzero(good.all(axis=1))[0]
+        if hits.size:
+            return np.asarray(chunk[int(hits[0])])
+    return None

@@ -117,6 +117,64 @@ def element_key(mat, decimals: int = 5) -> tuple:
                                  decimals).tolist())
 
 
+def batch_rotation_angles(stack: np.ndarray) -> np.ndarray:
+    """Rotation angles of a ``(k, 3, 3)`` stack of rotation matrices."""
+    traces = np.einsum("kii->k", stack)
+    return np.arccos(np.clip((traces - 1.0) / 2.0, -1.0, 1.0))
+
+
+def batch_axis_line_keys(stack: np.ndarray, angles: np.ndarray,
+                         tol: Tolerance, decimals: int = 5):
+    """Axis line keys for non-identity rotations, computed in batch.
+
+    Returns ``(indices, directions, keys)``: the indices into ``stack``
+    of the non-identity elements, their unit axis directions with the
+    canonical line sign, and the corresponding hashable line keys.
+    Equivalent to ``axis_line_key(rotation_axis(m))`` per element, but
+    one vectorized pass for the (common) non-half-turn case.
+    """
+    nonid = np.nonzero(angles > tol.abs_tol)[0]
+    if nonid.size == 0:
+        return nonid, np.zeros((0, 3)), []
+    sub = stack[nonid]
+    # Antisymmetric-part axis for generic angles.
+    directions = np.stack([
+        sub[:, 2, 1] - sub[:, 1, 2],
+        sub[:, 0, 2] - sub[:, 2, 0],
+        sub[:, 1, 0] - sub[:, 0, 1],
+    ], axis=1)
+    half_turn = np.abs(angles[nonid] - np.pi) <= max(
+        tol.abs_tol, tol.rel_tol * np.pi)
+    if half_turn.any():
+        # Half turns have a vanishing antisymmetric part; use the
+        # symmetric-part formula ``R = 2 u u^T - I`` with the
+        # per-element canonical sign convention of ``rotation_axis``.
+        sym = (sub[half_turn] + np.eye(3)) / 2.0
+        count = len(sym)
+        rows = np.arange(count)
+        best_col = np.argmax(sym[:, [0, 1, 2], [0, 1, 2]], axis=1)
+        cols = sym[rows, :, best_col]
+        cols = cols / np.linalg.norm(cols, axis=1)[:, None]
+        significant = np.abs(cols) > tol.abs_tol
+        lead = cols[rows, np.argmax(significant, axis=1)]
+        cols = np.where((lead < 0.0)[:, None], -cols, cols)
+        directions[half_turn] = cols
+    norms = np.linalg.norm(directions, axis=1)
+    directions = directions / norms[:, None]
+    # Keys use the canonical line sign (first coordinate above
+    # threshold positive); the returned directions keep the per-element
+    # sign convention of ``rotation_axis`` so callers that store them
+    # behave as before.
+    canonical = directions.copy()
+    significant = np.abs(canonical) > 1e3 * tol.abs_tol
+    first = np.argmax(significant, axis=1)
+    lead = canonical[np.arange(len(canonical)), first]
+    canonical = np.where((lead < 0.0)[:, None], -canonical, canonical)
+    rounded = np.round(canonical, decimals) + 0.0
+    keys = [tuple(row) for row in rounded.tolist()]
+    return nonid, directions, keys
+
+
 class RotationGroup:
     """A finite subgroup of SO(3) fixing the origin.
 
@@ -137,20 +195,39 @@ class RotationGroup:
                  tol: Tolerance = DEFAULT_TOL,
                  validate: bool = False) -> None:
         self._tol = tol
+        stacked = np.asarray([np.asarray(mat, dtype=float)
+                              for mat in elements], dtype=float)
+        if stacked.size and stacked.shape[1:] != (3, 3):
+            raise GroupError("group element is not a rotation matrix")
         mats: list[np.ndarray] = []
-        seen: set[tuple] = set()
-        for mat in elements:
-            arr = np.asarray(mat, dtype=float)
-            if not is_rotation_matrix(arr, tol):
+        key_index: dict[tuple, int] = {}
+        if stacked.size:
+            # Validate the whole batch at once: orthogonality and
+            # determinant checks are two vectorized passes instead of
+            # one np.allclose call per element.
+            residual = stacked @ stacked.transpose(0, 2, 1) - np.eye(3)
+            ortho = np.abs(residual).max(axis=(1, 2)) <= 10 * tol.abs_tol
+            dets = np.linalg.det(stacked)
+            proper = np.abs(dets - 1.0) <= np.maximum(
+                tol.abs_tol, tol.rel_tol * np.maximum(np.abs(dets), 1.0))
+            if not bool((ortho & proper).all()):
                 raise GroupError("group element is not a rotation matrix")
-            key = element_key(arr)
-            if key not in seen:
-                seen.add(key)
-                mats.append(arr)
-        if not any(np.allclose(m, np.eye(3), atol=1e-6) for m in mats):
-            mats.append(np.eye(3))
+            keys = np.round(stacked.reshape(len(stacked), 9), 5) + 0.0
+            for row, arr in zip(keys.tolist(), stacked):
+                key = tuple(row)
+                if key not in key_index:
+                    key_index[key] = len(mats)
+                    mats.append(arr)
+        has_identity = bool(mats) and bool(
+            (np.abs(np.asarray(mats) - np.eye(3)).max(axis=(1, 2))
+             <= 1e-6).any())
+        if not has_identity:
+            identity = np.eye(3)
+            key_index[element_key(identity)] = len(mats)
+            mats.append(identity)
         self.elements: list[np.ndarray] = mats
-        self._element_keys = {element_key(m) for m in mats}
+        self._stack = np.asarray(mats, dtype=float).reshape(-1, 3, 3)
+        self._element_keys = set(key_index)
         if validate:
             self._check_closure()
         self.axes: list[RotationAxis] = (
@@ -190,14 +267,13 @@ class RotationGroup:
         in by :func:`repro.groups.subgroups.annotate_orientations`
         after classification; here they default to False.
         """
+        angles = batch_rotation_angles(self._stack)
+        _, directions, keys = batch_axis_line_keys(
+            self._stack, angles, self._tol)
         lines: dict[tuple, dict] = {}
-        for mat in self.elements:
-            angle = rotation_angle(mat, self._tol)
-            if self._tol.zero(angle):
-                continue
-            axis = rotation_axis(mat, self._tol)
-            key = axis_line_key(axis)
-            entry = lines.setdefault(key, {"direction": axis, "count": 0})
+        for direction, key in zip(directions, keys):
+            entry = lines.setdefault(key, {"direction": direction,
+                                           "count": 0})
             entry["count"] += 1
         axes = []
         for entry in lines.values():
@@ -285,11 +361,12 @@ class RotationGroup:
     def orbit(self, point, decimals: int = 6) -> list[np.ndarray]:
         """Orbit of ``point`` under the group (distinct images)."""
         p = np.asarray(point, dtype=float)
+        images = self._stack @ p
+        keys = np.round(images, decimals) + 0.0
         seen: set[tuple] = set()
         result = []
-        for mat in self.elements:
-            image = mat @ p
-            key = tuple(canonical_round(image, decimals).tolist())
+        for image, key_row in zip(images, keys.tolist()):
+            key = tuple(key_row)
             if key not in seen:
                 seen.add(key)
                 result.append(image)
@@ -298,13 +375,9 @@ class RotationGroup:
     def stabilizer_size(self, point, decimals: int = 6) -> int:
         """Folding ``μ(p)``: number of elements fixing ``point``."""
         p = np.asarray(point, dtype=float)
-        key = tuple(canonical_round(p, decimals).tolist())
-        count = 0
-        for mat in self.elements:
-            image_key = tuple(canonical_round(mat @ p, decimals).tolist())
-            if image_key == key:
-                count += 1
-        return count
+        key = np.round(p, decimals) + 0.0
+        image_keys = np.round(self._stack @ p, decimals) + 0.0
+        return int((image_keys == key).all(axis=1).sum())
 
     def transformed(self, rotation) -> "RotationGroup":
         """Conjugate group ``R G R^T`` (the arrangement rotated by R)."""

@@ -19,17 +19,14 @@ import itertools
 import numpy as np
 
 from repro.errors import GroupError
-from repro.geometry.rotations import (
-    rotation_about_axis,
-    rotation_angle,
-    rotation_axis,
-)
+from repro.geometry.rotations import rotation_about_axis
 from repro.geometry.tolerance import DEFAULT_TOL, Tolerance
-from repro.groups.axes import axis_line_key
 from repro.groups.group import (
     GroupKind,
     GroupSpec,
     RotationGroup,
+    batch_axis_line_keys,
+    batch_rotation_angles,
     element_key,
 )
 
@@ -62,16 +59,15 @@ def classify_elements(elements, tol: Tolerance = DEFAULT_TOL) -> GroupSpec:
         If the element set is not one of the five families (which
         means it was not a rotation group to begin with).
     """
-    mats = [np.asarray(m, dtype=float) for m in elements]
-    order = len(mats)
+    stack = np.asarray([np.asarray(m, dtype=float) for m in elements],
+                       dtype=float).reshape(-1, 3, 3)
+    order = len(stack)
     if order == 1:
         return GroupSpec(GroupKind.CYCLIC, 1)
+    angles = batch_rotation_angles(stack)
+    _, _, keys = batch_axis_line_keys(stack, angles, tol)
     lines: dict[tuple, int] = {}
-    for mat in mats:
-        angle = rotation_angle(mat, tol)
-        if tol.zero(angle):
-            continue
-        key = axis_line_key(rotation_axis(mat, tol))
+    for key in keys:
         lines[key] = lines.get(key, 0) + 1
     folds = sorted((count + 1 for count in lines.values()), reverse=True)
     if len(lines) == 1:
@@ -151,8 +147,16 @@ def enumerate_concrete_subgroups(group: RotationGroup,
 
     Cyclic and dihedral groups use their known structure (so large
     parameters stay cheap); polyhedral groups use generic closure of
-    pairwise joins, which is fast at orders ≤ 60.
+    pairwise joins, which is fast at orders ≤ 60.  Results are
+    memoized per exact arrangement via :mod:`repro.perf`.
     """
+    from repro.perf import cached_subgroups
+
+    return cached_subgroups(group, tol, _enumerate_subgroups)
+
+
+def _enumerate_subgroups(group: RotationGroup,
+                         tol: Tolerance) -> list[RotationGroup]:
     if group.spec.kind is GroupKind.CYCLIC:
         return _cyclic_subgroups(group, tol)
     if group.spec.kind is GroupKind.DIHEDRAL:
@@ -251,24 +255,56 @@ def _generic_subgroups(group: RotationGroup,
         if key not in index_of:
             raise GroupError("element set is not closed under products")
         table[flat] = index_of[key]
-    table = table.reshape(order, order)
+    rows = table.reshape(order, order).tolist()
     identity = index_of[element_key(np.eye(3))]
+    full = frozenset(range(order))
+    divisors = [d for d in range(1, order + 1) if order % d == 0]
 
-    def close(seed: frozenset) -> frozenset:
-        current = np.zeros(order, dtype=bool)
-        current[list(seed)] = True
-        current[identity] = True
-        while True:
-            idx = np.nonzero(current)[0]
-            prods = table[np.ix_(idx, idx)].ravel()
-            before = int(current.sum())
-            current[prods] = True
-            if int(current.sum()) == before:
-                return frozenset(np.nonzero(current)[0].tolist())
+    def _forced_full(size: int) -> bool:
+        # Lagrange: the closure's order divides ``order`` and is at
+        # least ``size``; if the only such divisor is ``order`` itself
+        # the closure must be the whole group.
+        return next(d for d in divisors if d >= size) == order
+
+    def close(seed) -> frozenset:
+        # Plain-set closure: at order <= 60 the sets are tiny, so
+        # Python-level products beat array indexing by a wide margin.
+        current = set(seed)
+        current.add(identity)
+        if _forced_full(len(current)):
+            return full
+        frontier = list(current)
+        while frontier:
+            fresh = []
+            members = list(current)
+            for i in frontier:
+                row = rows[i]
+                for j in members:
+                    k = row[j]
+                    if k not in current:
+                        current.add(k)
+                        fresh.append(k)
+                    k = rows[j][i]
+                    if k not in current:
+                        current.add(k)
+                        fresh.append(k)
+            if fresh and _forced_full(len(current)):
+                return full
+            frontier = fresh
+        return frozenset(current)
+
+    def powers(i: int) -> frozenset:
+        # <E_i> directly via the Cayley table.
+        current = {identity}
+        j = i
+        while j not in current:
+            current.add(j)
+            j = rows[j][i]
+        return frozenset(current)
 
     subgroups: set[frozenset] = {frozenset([identity])}
-    cyclics = [close(frozenset([i])) for i in range(order)]
-    subgroups.update(cyclics)
+    subgroups.update(powers(i) for i in range(order))
+    join_cache: dict[frozenset, frozenset] = {}
     changed = True
     while changed:
         changed = False
@@ -276,7 +312,11 @@ def _generic_subgroups(group: RotationGroup,
         for sub_a, sub_b in itertools.combinations(current, 2):
             if sub_a <= sub_b or sub_b <= sub_a:
                 continue
-            joined = close(sub_a | sub_b)
+            union = sub_a | sub_b
+            joined = join_cache.get(union)
+            if joined is None:
+                joined = close(union)
+                join_cache[union] = joined
             if joined not in subgroups:
                 subgroups.add(joined)
                 changed = True

@@ -1,0 +1,35 @@
+"""Congruence-keyed memoization of the expensive symmetry pipeline.
+
+Every robot in the FSYNC model observes the *same* configuration up to
+a similarity transform (its local frame rotates and scales the global
+one), so within one Look–Compute–Move round the scheduler triggers
+``n + 1`` symmetry detections of mutually congruent point sets.  The
+caches in this package key results by a similarity-invariant signature
+(:func:`repro.core.signatures.congruence_signature`), re-align the
+stored canonical result onto the query with one certified rotation,
+and therefore pay the full ``γ(P)`` / ``ϱ(P)`` cost only once per
+congruence class per round.
+
+See ``docs/PERFORMANCE.md`` for the design and the argument for why
+congruence-invariant keys are safe.
+"""
+
+from repro.perf.cache import (
+    cache_stats,
+    cached_subgroups,
+    cached_symmetricity,
+    cached_symmetry,
+    clear_caches,
+    is_enabled,
+    set_enabled,
+)
+
+__all__ = [
+    "cache_stats",
+    "cached_subgroups",
+    "cached_symmetricity",
+    "cached_symmetry",
+    "clear_caches",
+    "is_enabled",
+    "set_enabled",
+]

@@ -1,0 +1,237 @@
+"""The congruence-class caches behind :mod:`repro.perf`.
+
+Three caches, all invalidated together by :func:`clear_caches`:
+
+* **symmetry** — ``γ(P)`` reports keyed by congruence class.  An entry
+  stores the detected group and the distinct points of the *first*
+  configuration of the class (unit-scaled, center-relative: the
+  canonical frame).  A query of the same class is served by finding one
+  rotation ``R`` aligning the canonical points onto the query points
+  (:func:`repro.groups.detection.align_rotation`) and conjugating the
+  stored group by ``R``.  ``R`` is verified against the full multiset
+  before use, so a cache hit is *certified*, never heuristic; when no
+  alignment verifies, the query falls back to full detection and is
+  appended as a sibling entry under the same structural key.
+* **symmetricity** — ``ϱ(P)`` results attached to symmetry entries.
+  Specs are congruence invariants and are shared; witness arrangements
+  are stored in the canonical frame and conjugated per query.
+* **subgroups** — concrete subgroup enumerations keyed by the exact
+  element-key set of the group arrangement.
+
+Keys contain only exact integers (plus the tolerance parameters);
+continuous data is compared tolerantly per entry.  See
+``docs/PERFORMANCE.md`` for why this split is load-bearing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.signatures import congruence_signature
+from repro.geometry.tolerance import DEFAULT_TOL, Tolerance
+from repro.groups import detection as _detection
+
+__all__ = [
+    "cache_stats",
+    "cached_subgroups",
+    "cached_symmetricity",
+    "cached_symmetry",
+    "clear_caches",
+    "is_enabled",
+    "set_enabled",
+]
+
+# Upper bound on retained congruence classes (and on memoized subgroup
+# enumerations).  Formation runs touch a handful of classes per round;
+# the bound only matters for long-lived processes scanning many
+# patterns.
+_MAX_CLASSES = 256
+
+_enabled = True
+
+_symmetry_cache: OrderedDict[tuple, list] = OrderedDict()
+_subgroup_cache: OrderedDict[tuple, list] = OrderedDict()
+
+_stats = {
+    "symmetry": {"hits": 0, "misses": 0, "bypass": 0},
+    "symmetricity": {"hits": 0, "misses": 0},
+    "subgroups": {"hits": 0, "misses": 0},
+}
+
+
+@dataclass
+class _ClassEntry:
+    """Canonical data for one congruence class of configurations."""
+
+    rel_unit: np.ndarray
+    mults: np.ndarray
+    radii_unit: np.ndarray
+    radii_sorted: np.ndarray
+    group: object
+    symmetricity: tuple | None = field(default=None)
+
+
+def set_enabled(flag: bool) -> None:
+    """Globally enable or disable the congruence caches."""
+    global _enabled
+    _enabled = bool(flag)
+
+
+def is_enabled() -> bool:
+    """True when the congruence caches are active."""
+    return _enabled
+
+
+def clear_caches() -> None:
+    """Drop every cached entry and reset the hit/miss counters."""
+    _symmetry_cache.clear()
+    _subgroup_cache.clear()
+    for counters in _stats.values():
+        for name in counters:
+            counters[name] = 0
+
+
+def cache_stats() -> dict:
+    """Snapshot of cache effectiveness.
+
+    Returns a plain dict (one sub-dict per cache with ``hits`` /
+    ``misses`` counters, plus entry counts and the enabled flag) so
+    callers — the CLI, the scheduler, tests — can diff snapshots
+    without touching cache internals.
+    """
+    snapshot = {name: dict(counters) for name, counters in _stats.items()}
+    snapshot["symmetry"]["classes"] = sum(
+        len(bucket) for bucket in _symmetry_cache.values())
+    snapshot["subgroups"]["entries"] = len(_subgroup_cache)
+    snapshot["enabled"] = _enabled
+    return snapshot
+
+
+def _trim(cache: OrderedDict) -> None:
+    while len(cache) > _MAX_CLASSES:
+        cache.popitem(last=False)
+
+
+def _tol_key(tol: Tolerance) -> tuple:
+    return (float(tol.abs_tol), float(tol.rel_tol))
+
+
+def cached_symmetry(points, tol: Tolerance = DEFAULT_TOL, ball=None):
+    """``detect_rotation_group`` memoized per congruence class.
+
+    Collinear and degenerate configurations bypass the cache — their
+    reports are cheap (no candidate enumeration) and carry
+    query-specific data (the line direction) anyway.
+    """
+    if not _enabled:
+        return _detection.detect_rotation_group(points, tol, ball=ball)
+
+    pre = _detection._prepare_multiset(points, tol, ball)
+    report = _detection._base_report(pre, tol)
+    if report.kind != "finite":
+        _stats["symmetry"]["bypass"] += 1
+        return report
+
+    scale = max(pre.ball.radius, 1e-300)
+    rel_unit = pre.rel / scale
+    radii_unit = pre.radii / scale
+    slack = tol.geometric_slack(1.0)
+    mults = np.asarray(pre.mults, dtype=np.int64)
+    key = congruence_signature(len(points), mults) + (_tol_key(tol),)
+
+    bucket = _symmetry_cache.get(key)
+    if bucket is not None:
+        radii_sorted = np.sort(radii_unit)
+        for entry in bucket:
+            if np.abs(entry.radii_sorted - radii_sorted).max() > 10 * slack:
+                continue
+            rotation = _detection.align_rotation(
+                entry.rel_unit, entry.mults, entry.radii_unit,
+                rel_unit, mults, radii_unit, slack)
+            if rotation is None:
+                continue
+            _stats["symmetry"]["hits"] += 1
+            _symmetry_cache.move_to_end(key)
+            report.group = entry.group.transformed(rotation)
+            report._perf_entry = entry
+            report._perf_rotation = rotation
+            return report
+
+    _stats["symmetry"]["misses"] += 1
+    _detection._finish_finite_report(report, pre, tol)
+    entry = _ClassEntry(rel_unit=rel_unit, mults=mults,
+                        radii_unit=radii_unit,
+                        radii_sorted=np.sort(radii_unit),
+                        group=report.group)
+    if bucket is None:
+        _symmetry_cache[key] = [entry]
+    else:
+        bucket.append(entry)
+    _symmetry_cache.move_to_end(key)
+    _trim(_symmetry_cache)
+    report._perf_entry = entry
+    report._perf_rotation = np.eye(3)
+    return report
+
+
+def cached_symmetricity(config, report, tol: Tolerance, compute):
+    """Serve ``ϱ(P)`` from the report's congruence-class entry.
+
+    ``compute`` is the uncached finite-case implementation
+    (dependency-injected to keep the import graph acyclic).  The first
+    call of a class runs it and stores the result with witnesses
+    rotated back into the canonical frame; later calls of the class
+    conjugate the stored witnesses by the query's alignment rotation.
+    """
+    entry = getattr(report, "_perf_entry", None)
+    if not _enabled or entry is None:
+        return compute(config, report, tol)
+    from repro.core.symmetricity import Symmetricity
+
+    rotation = report._perf_rotation
+    if entry.symmetricity is None:
+        _stats["symmetricity"]["misses"] += 1
+        result = compute(config, report, tol)
+        inverse = rotation.T
+        canonical_witnesses = {
+            spec: [w.transformed(inverse) for w in arrangements]
+            for spec, arrangements in result.witnesses.items()
+        }
+        entry.symmetricity = (frozenset(result.specs),
+                              tuple(result.maximal),
+                              canonical_witnesses)
+        return result
+    _stats["symmetricity"]["hits"] += 1
+    specs, maximal, canonical_witnesses = entry.symmetricity
+    witnesses = {
+        spec: [w.transformed(rotation) for w in arrangements]
+        for spec, arrangements in canonical_witnesses.items()
+    }
+    return Symmetricity(specs=set(specs), maximal=list(maximal),
+                        witnesses=witnesses, report=report)
+
+
+def cached_subgroups(group, tol: Tolerance, compute) -> list:
+    """Memoize subgroup enumeration by the exact element-key set.
+
+    Unlike the congruence caches this key is *arrangement*-exact
+    (rounded element matrices), so it only deduplicates repeat
+    enumerations of identical arrangements — e.g. the paper's tables,
+    or re-detected canonical groups — without any alignment step.
+    """
+    if not _enabled:
+        return compute(group, tol)
+    key = (frozenset(group._element_keys), _tol_key(tol))
+    cached = _subgroup_cache.get(key)
+    if cached is not None:
+        _stats["subgroups"]["hits"] += 1
+        _subgroup_cache.move_to_end(key)
+        return list(cached)
+    _stats["subgroups"]["misses"] += 1
+    result = compute(group, tol)
+    _subgroup_cache[key] = list(result)
+    _trim(_subgroup_cache)
+    return list(result)

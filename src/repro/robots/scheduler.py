@@ -20,6 +20,24 @@ from repro.robots.model import LocalFrame, Observation
 __all__ = ["ExecutionResult", "FsyncScheduler"]
 
 
+def _stats_delta(before: dict) -> dict:
+    """Per-run difference of two :func:`repro.perf.cache_stats` calls."""
+    from repro.perf import cache_stats
+
+    after = cache_stats()
+    delta: dict = {}
+    for cache_name, counters in after.items():
+        if not isinstance(counters, dict):
+            continue
+        base = before.get(cache_name, {})
+        delta[cache_name] = {
+            counter: value - base.get(counter, 0)
+            for counter, value in counters.items()
+            if isinstance(value, int)
+        }
+    return delta
+
+
 @dataclass
 class ExecutionResult:
     """Trace of an FSYNC execution.
@@ -34,11 +52,18 @@ class ExecutionResult:
         True if the run ended because no robot moved for a round.
     rounds:
         Number of Look–Compute–Move cycles executed.
+    cache_stats:
+        Congruence-cache activity attributable to this run: the
+        difference of :func:`repro.perf.cache_stats` snapshots taken
+        around the execution.  A healthy run shows at most one
+        symmetry-cache miss per congruence class per round; the robots'
+        ``n`` local observations of each round are hits.
     """
 
     configurations: list[Configuration]
     reached: bool
     fixpoint: bool
+    cache_stats: dict = field(default_factory=dict)
 
     @property
     def rounds(self) -> int:
@@ -111,10 +136,14 @@ class FsyncScheduler:
             terminate in a small constant number of rounds, so hitting
             the cap indicates a bug.
         """
+        from repro.perf import cache_stats
+
+        before = cache_stats()
         points = [np.asarray(p, dtype=float) for p in initial_points]
         trace = [Configuration(points)]
         if stop_condition is not None and stop_condition(trace[-1]):
-            return ExecutionResult(trace, reached=True, fixpoint=False)
+            return ExecutionResult(trace, reached=True, fixpoint=False,
+                                   cache_stats=_stats_delta(before))
         for _ in range(max_rounds):
             new_points = self.step(points)
             moved = any(
@@ -124,10 +153,13 @@ class FsyncScheduler:
             points = new_points
             trace.append(Configuration(points))
             if stop_condition is not None and stop_condition(trace[-1]):
-                return ExecutionResult(trace, reached=True, fixpoint=False)
+                return ExecutionResult(trace, reached=True, fixpoint=False,
+                                       cache_stats=_stats_delta(before))
             if not moved:
-                return ExecutionResult(trace, reached=False, fixpoint=True)
+                return ExecutionResult(trace, reached=False, fixpoint=True,
+                                       cache_stats=_stats_delta(before))
         if stop_condition is None:
-            return ExecutionResult(trace, reached=False, fixpoint=False)
+            return ExecutionResult(trace, reached=False, fixpoint=False,
+                                   cache_stats=_stats_delta(before))
         raise SimulationError(
             f"execution did not terminate within {max_rounds} rounds")

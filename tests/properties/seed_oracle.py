@@ -1,0 +1,381 @@
+"""Reference (pre-vectorization) implementation of γ(P) and ϱ(P).
+
+A frozen copy of the repository's original sequential detection and
+symmetricity code, kept as an *oracle*: the randomized equivalence
+suite replays hundreds of configurations through both this module and
+the production pipeline (vectorized kernels + congruence cache) and
+requires identical answers.  Do not "improve" this file — its value is
+that it does not share code paths with what it checks.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import DetectionError
+from repro.geometry.balls import smallest_enclosing_ball
+from repro.geometry.rotations import rotation_about_axis
+from repro.geometry.tolerance import DEFAULT_TOL, Tolerance
+from repro.groups.group import GroupKind, GroupSpec, RotationGroup, element_key
+from repro.groups.infinite import InfiniteGroupKind, detect_collinear_kind
+from repro.groups.subgroups import (
+    enumerate_concrete_subgroups,
+    maximal_elements,
+    proper_abstract_subgroups,
+)
+
+
+class _PointIndex:
+    """Grid hash of a point multiset supporting tolerant lookups."""
+
+    def __init__(self, points, multiplicities, cell: float) -> None:
+        self.cell = cell
+        self.table: dict[tuple, list[tuple[np.ndarray, int]]] = {}
+        for p, m in zip(points, multiplicities):
+            key = self._key(p)
+            self.table.setdefault(key, []).append((np.asarray(p, float), m))
+
+    def _key(self, p) -> tuple:
+        arr = np.asarray(p, dtype=float)
+        return tuple(int(math.floor(c / self.cell)) for c in arr)
+
+    def find(self, p, slack: float):
+        base = self._key(p)
+        best = None
+        best_d = None
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for dz in (-1, 0, 1):
+                    key = (base[0] + dx, base[1] + dy, base[2] + dz)
+                    for stored, mult in self.table.get(key, ()):
+                        d = float(np.linalg.norm(stored - np.asarray(p)))
+                        if d <= slack and (best_d is None or d < best_d):
+                            best = (stored, mult)
+                            best_d = d
+        return best
+
+
+def _collapse_multiset(points, slack: float):
+    distinct: list[np.ndarray] = []
+    multiplicities: list[int] = []
+    for p in points:
+        arr = np.asarray(p, dtype=float)
+        matched = False
+        for i, q in enumerate(distinct):
+            if float(np.linalg.norm(arr - q)) <= slack:
+                multiplicities[i] += 1
+                matched = True
+                break
+        if not matched:
+            distinct.append(arr)
+            multiplicities.append(1)
+    return distinct, multiplicities
+
+
+def oracle_detect(points, tol: Tolerance = DEFAULT_TOL) -> dict:
+    """Seed detection; returns a plain dict of comparable facts."""
+    pts = [np.asarray(p, dtype=float) for p in points]
+    if not pts:
+        raise DetectionError("cannot detect symmetry of an empty set")
+    ball = smallest_enclosing_ball(pts, tol)
+    center = ball.center
+    scale = max(ball.radius, 1.0)
+    slack = 1e-6 * scale
+    distinct, mults = _collapse_multiset(pts, slack)
+    rel = [p - center for p in distinct]
+    radii = [float(np.linalg.norm(r)) for r in rel]
+
+    facts = {
+        "kind": "finite",
+        "center": center,
+        "radius": ball.radius,
+        "center_occupied": any(r <= slack for r in radii),
+        "mult_profile": tuple(sorted(mults)),
+        "distinct": distinct,
+        "mults": mults,
+        "spec": None,
+        "axis_profile": None,
+        "infinite_kind": None,
+        "group": None,
+    }
+
+    if all(r <= slack for r in radii):
+        facts["kind"] = "degenerate"
+        return facts
+
+    line = _common_line(rel, radii, slack)
+    if line is not None:
+        facts["kind"] = "collinear"
+        facts["infinite_kind"] = detect_collinear_kind(rel, mults, tol)
+        return facts
+
+    elements = _symmetry_rotations(rel, mults, radii, slack, scale)
+    group = RotationGroup(elements, tol=tol)
+    group.axes = [
+        axis.with_occupied(_axis_occupied(axis, rel, radii, slack,
+                                          facts["center_occupied"]))
+        for axis in group.axes
+    ]
+    facts["spec"] = group.spec
+    facts["axis_profile"] = tuple(sorted(
+        (a.fold, a.occupied) for a in group.axes))
+    facts["group"] = group
+    return facts
+
+
+def _common_line(rel, radii, slack: float):
+    direction = None
+    for r, rad in zip(rel, radii):
+        if rad <= slack:
+            continue
+        if direction is None:
+            direction = r / rad
+            continue
+        if np.linalg.norm(np.cross(direction, r)) > slack * 10:
+            return None
+    return direction
+
+
+def _axis_occupied(axis, rel, radii, slack: float,
+                   center_occupied: bool) -> bool:
+    if center_occupied:
+        return True
+    for r, rad in zip(rel, radii):
+        if rad <= slack:
+            continue
+        perp = float(np.linalg.norm(np.cross(axis.direction, r)))
+        if perp <= 10 * slack:
+            return True
+    return False
+
+
+def _shells(rel, radii, mults, slack: float) -> list[list[int]]:
+    buckets: list[tuple[float, int, list[int]]] = []
+    for i, (rad, m) in enumerate(zip(radii, mults)):
+        if rad <= slack:
+            continue
+        placed = False
+        for brad, bm, idxs in buckets:
+            if abs(brad - rad) <= 10 * slack and bm == m:
+                idxs.append(i)
+                placed = True
+                break
+        if not placed:
+            buckets.append((rad, m, [i]))
+    return [idxs for _, _, idxs in buckets]
+
+
+def _symmetry_rotations(rel, mults, radii, slack: float,
+                        scale: float) -> list[np.ndarray]:
+    index = _PointIndex(rel, mults, cell=max(20 * slack, 1e-9))
+    check_slack = 20 * slack
+
+    def preserves(rot: np.ndarray) -> bool:
+        for p, m in zip(rel, mults):
+            hit = index.find(rot @ p, check_slack)
+            if hit is None or hit[1] != m:
+                return False
+        return True
+
+    shells = _shells(rel, radii, mults, slack)
+    if not shells:
+        raise DetectionError("no off-center points in finite detection")
+    shells.sort(key=len)
+    anchor_shell = shells[0]
+    p1 = rel[anchor_shell[0]]
+    r1 = float(np.linalg.norm(p1))
+
+    if len(anchor_shell) == 1:
+        return _cyclic_about_fixed_point(p1, rel, radii, mults, slack,
+                                         preserves)
+
+    p2 = None
+    second_shell = None
+    for shell in [anchor_shell] + shells[1:]:
+        for idx in shell:
+            cand = rel[idx]
+            if np.linalg.norm(np.cross(p1, cand)) > check_slack * r1:
+                p2 = cand
+                break
+        if p2 is not None:
+            second_shell = shell
+            break
+    if p2 is None:
+        raise DetectionError("configuration unexpectedly collinear")
+    r2 = float(np.linalg.norm(p2))
+    dot12 = float(np.dot(p1, p2))
+
+    elements: dict[tuple, np.ndarray] = {}
+    identity = np.eye(3)
+    elements[element_key(identity)] = identity
+    for i in anchor_shell:
+        q1 = rel[i]
+        for j in second_shell:
+            q2 = rel[j]
+            if abs(float(np.dot(q1, q2)) - dot12) > check_slack * max(
+                    1.0, r1 * r2 / max(scale, 1e-12)) * scale:
+                continue
+            rot = _rotation_from_pairs(p1, p2, q1, q2)
+            if rot is None:
+                continue
+            key = element_key(rot)
+            if key in elements:
+                continue
+            if preserves(rot):
+                elements[key] = rot
+    return list(elements.values())
+
+
+def _cyclic_about_fixed_point(p1, rel, radii, mults, slack, preserves):
+    axis = p1 / float(np.linalg.norm(p1))
+    off_counts = []
+    for shell in _shells(rel, radii, mults, slack):
+        off = 0
+        for idx in shell:
+            perp = float(np.linalg.norm(np.cross(axis, rel[idx])))
+            if perp > 10 * slack:
+                off += 1
+        if off:
+            off_counts.append(off)
+    bound = math.gcd(*off_counts) if off_counts else 1
+    elements = [np.eye(3)]
+    for k in range(bound, 1, -1):
+        if bound % k != 0:
+            continue
+        rot = rotation_about_axis(axis, 2.0 * np.pi / k)
+        if preserves(rot):
+            for i in range(1, k):
+                elements.append(rotation_about_axis(
+                    axis, 2.0 * np.pi * i / k))
+            break
+    return elements
+
+
+def _rotation_from_pairs(p1, p2, q1, q2):
+    n_p = np.cross(p1, p2)
+    n_q = np.cross(q1, q2)
+    ln_p = float(np.linalg.norm(n_p))
+    ln_q = float(np.linalg.norm(n_q))
+    if ln_p < 1e-12 or ln_q < 1e-12:
+        return None
+    frame_p = _orthoframe(p1, n_p)
+    frame_q = _orthoframe(q1, n_q)
+    if frame_p is None or frame_q is None:
+        return None
+    return frame_q @ frame_p.T
+
+
+def _orthoframe(x, n):
+    lx = float(np.linalg.norm(x))
+    ln = float(np.linalg.norm(n))
+    if lx < 1e-12 or ln < 1e-12:
+        return None
+    e0 = x / lx
+    e2 = n / ln
+    e1 = np.cross(e2, e0)
+    return np.column_stack([e0, e1, e2])
+
+
+# ----------------------------------------------------------------------
+# Seed symmetricity (specs and maximal elements only)
+# ----------------------------------------------------------------------
+
+def oracle_symmetricity(points, facts: dict,
+                        tol: Tolerance = DEFAULT_TOL) -> tuple:
+    """Seed ϱ(P) computation from oracle detection ``facts``.
+
+    Returns ``(frozenset of spec strings, tuple of maximal strings)``.
+    """
+    n = len(points)
+    if facts["kind"] == "degenerate":
+        specs = _degenerate_specs(n)
+    elif facts["kind"] == "collinear":
+        specs = _collinear_specs(facts)
+    else:
+        specs = _finite_specs(facts, tol)
+    return (frozenset(str(s) for s in specs),
+            tuple(str(s) for s in maximal_elements(specs)))
+
+
+def _trivial() -> GroupSpec:
+    return GroupSpec(GroupKind.CYCLIC, 1)
+
+
+def _center_multiplicity(facts: dict) -> int:
+    slack = 1e-6 * max(facts["radius"], 1.0)
+    for p, m in zip(facts["distinct"], facts["mults"]):
+        if float(np.linalg.norm(np.asarray(p) - facts["center"])) <= slack:
+            return m
+    return 0
+
+
+def _finite_specs(facts: dict, tol: Tolerance) -> set:
+    gamma = facts["group"]
+    center = facts["center"]
+    is_set = all(m == 1 for m in facts["mults"])
+    unoccupied_lines = {axis.line_key() for axis in gamma.axes
+                        if not axis.occupied}
+    specs = {_trivial()}
+    for sub in enumerate_concrete_subgroups(gamma, tol):
+        if sub.is_trivial:
+            continue
+        if facts["center_occupied"]:
+            if is_set:
+                continue
+            if _center_multiplicity(facts) % sub.order != 0:
+                continue
+        if is_set:
+            valid = all(axis.line_key() in unoccupied_lines
+                        for axis in sub.axes)
+        else:
+            valid = all(
+                m % sub.stabilizer_size(np.asarray(p) - center) == 0
+                for p, m in zip(facts["distinct"], facts["mults"]))
+        if valid:
+            specs.add(sub.spec)
+    return specs
+
+
+def _collinear_specs(facts: dict) -> set:
+    specs = {_trivial()}
+    center_mult = _center_multiplicity(facts)
+    line_mults = [m for p, m in zip(facts["distinct"], facts["mults"])
+                  if float(np.linalg.norm(np.asarray(p) - facts["center"]))
+                  > 1e-6 * max(facts["radius"], 1.0)]
+    gcd_all = int(np.gcd.reduce(line_mults + [center_mult or 0])) \
+        if line_mults else max(center_mult, 1)
+    symmetric = facts["infinite_kind"] is InfiniteGroupKind.D_INF
+
+    for k in range(2, max(gcd_all, 1) + 1):
+        if gcd_all % k == 0:
+            specs.add(GroupSpec(GroupKind.CYCLIC, k))
+    if symmetric:
+        if center_mult % 2 == 0:
+            specs.add(GroupSpec(GroupKind.CYCLIC, 2))
+        for l in range(2, max(gcd_all, 2) + 1):
+            if gcd_all % l == 0 and center_mult % (2 * l) == 0:
+                specs.add(GroupSpec(GroupKind.DIHEDRAL, l))
+    closed = set()
+    for spec in specs:
+        closed.add(spec)
+        closed.update(proper_abstract_subgroups(spec))
+    return closed
+
+
+def _degenerate_specs(n: int) -> set:
+    specs = {_trivial()}
+    for k in range(2, n + 1):
+        if n % k == 0:
+            specs.add(GroupSpec(GroupKind.CYCLIC, k))
+    for l in range(2, n // 2 + 1):
+        if n % (2 * l) == 0:
+            specs.add(GroupSpec(GroupKind.DIHEDRAL, l))
+    if n % 12 == 0:
+        specs.add(GroupSpec(GroupKind.TETRAHEDRAL))
+    if n % 24 == 0:
+        specs.add(GroupSpec(GroupKind.OCTAHEDRAL))
+    if n % 60 == 0:
+        specs.add(GroupSpec(GroupKind.ICOSAHEDRAL))
+    return specs

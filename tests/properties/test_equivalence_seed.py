@@ -1,0 +1,157 @@
+"""Randomized equivalence: vectorized pipeline vs the seed oracle.
+
+Roughly 200 seeded configurations — generic clouds, symmetric
+polyhedra in random poses, multisets, center-occupied sets, collinear
+chains, degenerate stacks — are pushed through both the production
+``γ(P)`` / ``ϱ(P)`` pipeline (vectorized kernels, congruence cache ON
+and OFF) and the frozen pre-vectorization implementation in
+``seed_oracle``.  Every comparable fact must agree exactly.
+"""
+
+import numpy as np
+import pytest
+
+from seed_oracle import oracle_detect, oracle_symmetricity
+
+from repro import perf
+from repro.core.configuration import Configuration
+from repro.core.symmetricity import symmetricity_of_multiset
+from repro.groups.detection import detect_rotation_group
+from repro.patterns import polyhedra
+from repro.patterns.library import named_pattern, pattern_names
+
+
+def _random_rotation(rng) -> np.ndarray:
+    q = rng.normal(size=4)
+    q /= np.linalg.norm(q)
+    w, x, y, z = q
+    return np.array([
+        [1 - 2 * (y * y + z * z), 2 * (x * y - w * z), 2 * (x * z + w * y)],
+        [2 * (x * y + w * z), 1 - 2 * (x * x + z * z), 2 * (y * z - w * x)],
+        [2 * (x * z - w * y), 2 * (y * z + w * x), 1 - 2 * (x * x + y * y)],
+    ])
+
+
+def _posed(points, rng):
+    rot = _random_rotation(rng)
+    scale = float(rng.uniform(0.5, 3.0))
+    shift = rng.normal(size=3)
+    return [rot @ (scale * np.asarray(p, dtype=float)) + shift
+            for p in points]
+
+
+def _make_config(seed: int) -> list[np.ndarray]:
+    """Deterministic config zoo indexed by seed (8 families)."""
+    rng = np.random.default_rng(seed)
+    family = seed % 8
+    if family == 0:  # generic cloud
+        n = int(rng.integers(4, 25))
+        return [rng.normal(size=3) for _ in range(n)]
+    if family == 1:  # library polyhedron in a random pose
+        name = pattern_names()[seed % len(pattern_names())]
+        return _posed(named_pattern(name), rng)
+    if family == 2:  # prism / antiprism / pyramid family
+        k = int(rng.integers(3, 9))
+        builder = (polyhedra.prism, polyhedra.antiprism,
+                   polyhedra.pyramid)[seed % 3]
+        return _posed(builder(k), rng)
+    if family == 3:  # multiset: polyhedron with uniform multiplicity
+        name = pattern_names()[seed % len(pattern_names())]
+        mult = 2 + seed % 3
+        base = _posed(named_pattern(name), rng)
+        return [p for p in base for _ in range(mult)]
+    if family == 4:  # center-occupied set
+        name = pattern_names()[seed % len(pattern_names())]
+        base = [np.asarray(p, dtype=float) for p in named_pattern(name)]
+        center = np.mean(base, axis=0)
+        return _posed(base + [center], rng)
+    if family == 5:  # symmetric collinear chain (D_inf)
+        k = int(rng.integers(1, 5))
+        heights = sorted(float(rng.uniform(0.2, 2.0)) for _ in range(k))
+        pts = [np.array([0.0, 0.0, h]) for h in heights]
+        pts += [np.array([0.0, 0.0, -h]) for h in heights]
+        if seed % 2:
+            pts.append(np.zeros(3))
+        return _posed(pts, rng)
+    if family == 6:  # asymmetric collinear chain (C_inf), multiplicities
+        k = int(rng.integers(2, 6))
+        heights = np.sort(rng.uniform(-2.0, 2.0, size=k))
+        mult = 1 + seed % 3
+        pts = [np.array([0.0, 0.0, float(h)]) for h in heights
+               for _ in range(mult)]
+        return _posed(pts, rng)
+    # family == 7: degenerate stack
+    n = int(rng.integers(2, 9))
+    p = rng.normal(size=3)
+    return [p.copy() for _ in range(n)]
+
+
+def _facts_from_report(report) -> dict:
+    facts = {
+        "kind": report.kind,
+        "center_occupied": report.center_occupied,
+        "mult_profile": tuple(sorted(report.multiplicities)),
+        "spec": report.spec,
+        "infinite_kind": report.infinite_kind,
+        "axis_profile": None,
+    }
+    if report.group is not None:
+        facts["axis_profile"] = tuple(sorted(
+            (a.fold, a.occupied) for a in report.group.axes))
+    return facts
+
+
+def _assert_matches(new_facts: dict, oracle_facts: dict, label: str):
+    assert new_facts["kind"] == oracle_facts["kind"], label
+    assert new_facts["center_occupied"] == \
+        oracle_facts["center_occupied"], label
+    assert new_facts["mult_profile"] == oracle_facts["mult_profile"], label
+    assert new_facts["spec"] == oracle_facts["spec"], label
+    assert new_facts["axis_profile"] == oracle_facts["axis_profile"], label
+    assert new_facts["infinite_kind"] == oracle_facts["infinite_kind"], label
+
+
+@pytest.mark.parametrize("seed", range(200))
+def test_pipeline_matches_seed_implementation(seed):
+    points = _make_config(seed)
+    oracle_facts = oracle_detect(points)
+    oracle_rho = oracle_symmetricity(points, oracle_facts)
+
+    # Uncached vectorized detection.
+    perf.set_enabled(False)
+    try:
+        direct = detect_rotation_group(points)
+        config_off = Configuration(points)
+        rho_off = symmetricity_of_multiset(config_off)
+    finally:
+        perf.set_enabled(True)
+    _assert_matches(_facts_from_report(direct), oracle_facts,
+                    f"seed={seed} uncached")
+    assert frozenset(str(s) for s in rho_off.specs) == oracle_rho[0], \
+        f"seed={seed} uncached rho"
+    assert tuple(str(s) for s in rho_off.maximal) == oracle_rho[1], \
+        f"seed={seed} uncached rho maximal"
+
+    # Cached pipeline: first call populates, a similarity-transformed
+    # copy must be served by alignment with identical invariants.
+    perf.clear_caches()
+    config = Configuration(points)
+    _assert_matches(_facts_from_report(config.symmetry), oracle_facts,
+                    f"seed={seed} cached-miss")
+    rho = symmetricity_of_multiset(config)
+    assert frozenset(str(s) for s in rho.specs) == oracle_rho[0], \
+        f"seed={seed} cached rho"
+    assert tuple(str(s) for s in rho.maximal) == oracle_rho[1], \
+        f"seed={seed} cached rho maximal"
+
+    rng = np.random.default_rng(seed + 10_000)
+    twin = Configuration(_posed(points, rng))
+    _assert_matches(_facts_from_report(twin.symmetry), oracle_facts,
+                    f"seed={seed} cached-hit twin")
+    rho_twin = symmetricity_of_multiset(twin)
+    assert frozenset(str(s) for s in rho_twin.specs) == oracle_rho[0], \
+        f"seed={seed} twin rho"
+    if oracle_facts["kind"] == "finite":
+        stats = perf.cache_stats()
+        assert stats["symmetry"]["hits"] >= 1, \
+            f"seed={seed}: congruent twin was not served from the cache"
