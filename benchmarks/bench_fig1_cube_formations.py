@@ -10,9 +10,10 @@ from conftest import print_table
 from repro.analysis.experiments import figure1_experiment
 
 
-def test_figure1(benchmark):
+def test_figure1(benchmark, jobs):
     rows = benchmark.pedantic(
-        lambda: figure1_experiment(trials=3), rounds=1, iterations=1)
+        lambda: figure1_experiment(trials=3, jobs=jobs),
+        rounds=1, iterations=1)
     print_table("Figure 1 — cube formations", rows)
     for row in rows:
         assert row["formed"] == row["trials"], row

@@ -10,8 +10,9 @@ from conftest import print_table
 from repro.analysis.experiments import lemma7_experiment
 
 
-def test_lemma7(benchmark):
+def test_lemma7(benchmark, jobs):
     rows = benchmark.pedantic(
-        lambda: lemma7_experiment(trials=3), rounds=1, iterations=1)
+        lambda: lemma7_experiment(trials=3, jobs=jobs),
+        rounds=1, iterations=1)
     print_table("Lemma 7 — go-to-center outcomes", rows)
     assert all(row["all_in_rho"] for row in rows)

@@ -71,21 +71,50 @@ def test_symmetricity_scaling_warm(benchmark, name):
     assert perf.cache_stats()["symmetry"]["hits"] >= 1
 
 
-@pytest.mark.parametrize("n", [6, 10, 16])
-def test_formation_round_scaling(benchmark, n):
+def _formation_run(n):
     rng = np.random.default_rng(n)
     initial = [rng.normal(size=3) for _ in range(n)]
     target = polyhedra.regular_polygon_pattern(n)
     frames = random_frames(n, rng)
     algorithm = make_pattern_formation_algorithm(target)
     scheduler = FsyncScheduler(algorithm, frames, target=target)
+    return lambda: scheduler.run(
+        initial, stop_condition=lambda c: c.is_similar_to(target),
+        max_rounds=30)
 
-    result = benchmark.pedantic(
-        lambda: scheduler.run(
-            initial, stop_condition=lambda c: c.is_similar_to(target),
-            max_rounds=30),
-        rounds=1, iterations=1)
+
+@pytest.mark.parametrize("n", [6, 10, 16])
+def test_formation_round_scaling(benchmark, n):
+    """Cold full ψ_PF run: the congruence caches are cleared in setup
+    (outside the timed region) before every round, so each measurement
+    pays the once-per-class detection/embedding/matching cost, and
+    enough rounds run for a real stddev."""
+    from repro import perf
+
+    run = _formation_run(n)
+
+    def setup():
+        perf.clear_caches()
+        return (), {}
+
+    result = benchmark.pedantic(run, setup=setup, rounds=5, iterations=1)
     assert result.reached
+
+
+@pytest.mark.parametrize("n", [6, 10, 16])
+def test_formation_round_scaling_warm(benchmark, n):
+    """Warm full ψ_PF run: every congruence class of the execution is
+    already cached, so the timed region covers the batched Look phase,
+    certified alignments, and payload conjugation only."""
+    from repro import perf
+
+    run = _formation_run(n)
+    perf.clear_caches()
+    run()  # populate every class the execution touches
+
+    result = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert result.reached
+    assert perf.cache_stats()["round"]["hits"] > 0
 
 
 def test_epsilon_ablation(benchmark):

@@ -11,8 +11,9 @@ from conftest import print_table
 from repro.analysis.experiments import theorem11_experiment
 
 
-def test_theorem11(benchmark):
-    rows = benchmark.pedantic(theorem11_experiment, rounds=1, iterations=1)
+def test_theorem11(benchmark, jobs):
+    rows = benchmark.pedantic(
+        lambda: theorem11_experiment(jobs=jobs), rounds=1, iterations=1)
     print_table("Theorem 1.1 — characterization sweep", [
         {"initial": r.initial, "target": r.target,
          "predicted": r.predicted_formable,

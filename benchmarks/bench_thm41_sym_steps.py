@@ -10,9 +10,10 @@ from conftest import print_table
 from repro.analysis.experiments import theorem41_experiment
 
 
-def test_theorem41(benchmark):
+def test_theorem41(benchmark, jobs):
     rows = benchmark.pedantic(
-        lambda: theorem41_experiment(trials=2), rounds=1, iterations=1)
+        lambda: theorem41_experiment(trials=2, jobs=jobs),
+        rounds=1, iterations=1)
     print_table("Theorem 4.1 — psi_SYM", rows)
     assert all(row["bound_7_holds"] for row in rows)
     assert all(row["gamma_in_rho"] for row in rows)

@@ -12,6 +12,20 @@ with ``-s`` (and are also recorded in EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs", action="store", type=int, default=1,
+        help="worker processes for experiment trial fan-out "
+             "(results are bit-identical for any value)")
+
+
+@pytest.fixture
+def jobs(request) -> int:
+    return request.config.getoption("--jobs")
+
 
 def print_table(title: str, rows: list[dict]) -> None:
     """Print result rows as an aligned text table."""

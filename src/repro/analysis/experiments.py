@@ -4,6 +4,12 @@ Each driver runs one of DESIGN.md's experiments (the paper's figures,
 lemmas and theorems) and returns structured result rows; the
 ``benchmarks/`` scripts print them in the same shape the paper
 reports, and EXPERIMENTS.md records paper-vs-measured.
+
+The randomized sweeps accept a ``jobs`` parameter: independent trials
+fan out over a process pool (:func:`repro.perf.parallel_map`).  Every
+trial derives its RNG as ``default_rng(seed + t)`` and starts from
+cleared congruence caches, so the returned rows are bit-identical for
+any ``jobs`` value, including the inline ``jobs=1`` reference path.
 """
 
 from __future__ import annotations
@@ -48,26 +54,35 @@ def _spec_of(config: Configuration) -> str:
     return str(report.spec) if report.kind == "finite" else report.kind
 
 
-def lemma7_experiment(trials: int = 10, seed: int = 0) -> list[dict]:
+def _lemma7_trial(payload):
+    name, trial_seed = payload
+    points = named_pattern(name)
+    rng = np.random.default_rng(trial_seed)
+    frames = random_frames(len(points), rng)
+    scheduler = FsyncScheduler(go_to_center_algorithm, frames)
+    after = Configuration(scheduler.step(points))
+    return after.symmetry.spec
+
+
+def lemma7_experiment(trials: int = 10, seed: int = 0,
+                      jobs: int = 1) -> list[dict]:
     """One go-to-center step from each of the seven polyhedra.
 
     Lemma 7 claims ``γ(P') ∈ ϱ(P)`` after a single synchronized step;
     each row records the distribution of ``γ(P')`` over random local
     frames and whether every outcome lies in ``ϱ(P)``.
     """
+    from repro.perf import parallel_map
+
+    items = [(name, seed + t)
+             for name in GOC_POLYHEDRA for t in range(trials)]
+    specs = parallel_map(_lemma7_trial, items, jobs=jobs)
     rows = []
-    for name in GOC_POLYHEDRA:
-        points = named_pattern(name)
-        config = Configuration(points)
-        rho = symmetricity(config)
+    for row_index, name in enumerate(GOC_POLYHEDRA):
+        rho = symmetricity(Configuration(named_pattern(name)))
         outcomes: dict[str, int] = {}
         all_in_rho = True
-        for t in range(trials):
-            rng = np.random.default_rng(seed + t)
-            frames = random_frames(len(points), rng)
-            scheduler = FsyncScheduler(go_to_center_algorithm, frames)
-            after = Configuration(scheduler.step(points))
-            spec = after.symmetry.spec
+        for spec in specs[row_index * trials:(row_index + 1) * trials]:
             outcomes[str(spec)] = outcomes.get(str(spec), 0) + 1
             if spec not in rho.specs:
                 all_in_rho = False
@@ -97,28 +112,45 @@ def _theorem41_cases() -> list[tuple[str, list[np.ndarray]]]:
     return cases
 
 
-def theorem41_experiment(trials: int = 5, seed: int = 0) -> list[dict]:
+def _theorem41_trial(payload):
+    case_index, trial_seed = payload
+    _, points = _theorem41_cases()[case_index]
+    rng = np.random.default_rng(trial_seed)
+    frames = random_frames(len(points), rng)
+    scheduler = FsyncScheduler(psi_sym, frames)
+    result = scheduler.run(points, stop_condition=is_sym_terminal,
+                           max_rounds=20)
+    final = result.final
+    return {
+        "spec": final.symmetry.spec,
+        "rounds": result.rounds,
+        "reached": result.reached,
+        "polygon_exception": _is_regular_polygon_exception(final),
+    }
+
+
+def theorem41_experiment(trials: int = 5, seed: int = 0,
+                         jobs: int = 1) -> list[dict]:
     """``ψ_SYM`` terminates with ``γ(P') ∈ ϱ(P)`` within 7 steps."""
+    from repro.perf import parallel_map
+
+    cases = _theorem41_cases()
+    items = [(case_index, seed + t)
+             for case_index in range(len(cases)) for t in range(trials)]
+    trial_rows = parallel_map(_theorem41_trial, items, jobs=jobs)
     rows = []
-    for name, points in _theorem41_cases():
-        config = Configuration(points)
-        rho = symmetricity(config)
+    for case_index, (name, points) in enumerate(cases):
+        rho = symmetricity(Configuration(points))
         max_rounds_seen = 0
         ok = True
         outcomes: dict[str, int] = {}
-        for t in range(trials):
-            rng = np.random.default_rng(seed + t)
-            frames = random_frames(len(points), rng)
-            scheduler = FsyncScheduler(psi_sym, frames)
-            result = scheduler.run(points, stop_condition=is_sym_terminal,
-                                   max_rounds=20)
-            max_rounds_seen = max(max_rounds_seen, result.rounds)
-            final = result.final
-            spec = final.symmetry.spec
+        for trial in trial_rows[case_index * trials:
+                                (case_index + 1) * trials]:
+            max_rounds_seen = max(max_rounds_seen, trial["rounds"])
+            spec = trial["spec"]
             outcomes[str(spec)] = outcomes.get(str(spec), 0) + 1
-            in_rho = (spec in rho.specs
-                      or _is_regular_polygon_exception(final))
-            ok = ok and result.reached and in_rho
+            in_rho = spec in rho.specs or trial["polygon_exception"]
+            ok = ok and trial["reached"] and in_rho
         rows.append({
             "initial": name,
             "n": len(points),
@@ -188,7 +220,33 @@ class Theorem11Row:
         return self.lower_bound_held is not False
 
 
-def theorem11_experiment(seed: int = 0) -> list[Theorem11Row]:
+def _theorem11_instance_row(payload) -> Theorem11Row:
+    index, seed = payload
+    p_name, p_points, f_name, f_points = _theorem11_instances()[index]
+    initial = Configuration(p_points)
+    target = Configuration(f_points)
+    report = formability_report(initial, target)
+    row = Theorem11Row(initial=p_name, target=f_name,
+                       predicted_formable=report.formable)
+    if report.formable:
+        row.formed_random, row.rounds = _run_formation(
+            p_points, f_points, random_frames(
+                len(p_points), np.random.default_rng(seed)))
+        witness_spec = report.initial_symmetricity.maximal[0]
+        witness = report.initial_symmetricity.witness(witness_spec)
+        if witness is not None:
+            frames = symmetric_frames(initial, witness,
+                                      np.random.default_rng(seed + 1))
+            row.formed_worst_case, _ = _run_formation(
+                p_points, f_points, frames)
+    else:
+        row.lower_bound_held = _check_lower_bound(
+            initial, f_points, report, seed)
+    return row
+
+
+def theorem11_experiment(seed: int = 0,
+                         jobs: int = 1) -> list[Theorem11Row]:
     """Both directions of Theorem 1.1 on a curated instance sweep.
 
     Solvable instances must be formed under random *and* worst-case
@@ -196,29 +254,11 @@ def theorem11_experiment(seed: int = 0) -> list[Theorem11Row]:
     blocking symmetry forever (checked for 10 rounds of ``ψ_PF``
     pressure with symmetric frames — Lemma 2's invariant).
     """
-    rows = []
-    for p_name, p_points, f_name, f_points in _theorem11_instances():
-        initial = Configuration(p_points)
-        target = Configuration(f_points)
-        report = formability_report(initial, target)
-        row = Theorem11Row(initial=p_name, target=f_name,
-                           predicted_formable=report.formable)
-        if report.formable:
-            row.formed_random, row.rounds = _run_formation(
-                p_points, f_points, random_frames(
-                    len(p_points), np.random.default_rng(seed)))
-            witness_spec = report.initial_symmetricity.maximal[0]
-            witness = report.initial_symmetricity.witness(witness_spec)
-            if witness is not None:
-                frames = symmetric_frames(initial, witness,
-                                          np.random.default_rng(seed + 1))
-                row.formed_worst_case, _ = _run_formation(
-                    p_points, f_points, frames)
-        else:
-            row.lower_bound_held = _check_lower_bound(
-                initial, f_points, report, seed)
-        rows.append(row)
-    return rows
+    from repro.perf import parallel_map
+
+    items = [(index, seed)
+             for index in range(len(_theorem11_instances()))]
+    return parallel_map(_theorem11_instance_row, items, jobs=jobs)
 
 
 def _run_formation(p_points, f_points, frames,
@@ -266,17 +306,32 @@ def _check_lower_bound(initial: Configuration, f_points, report,
     return True
 
 
-def figure1_experiment(trials: int = 5, seed: int = 0) -> list[dict]:
-    """Figure 1 — cube to regular octagon / square antiprism."""
+_FIGURE1_TARGETS = ("octagon", "square_antiprism")
+
+
+def _figure1_trial(payload):
+    target_name, trial_seed = payload
     cube = named_pattern("cube")
+    target = named_pattern(target_name)
+    frames = random_frames(8, np.random.default_rng(trial_seed))
+    return _run_formation(cube, target, frames)
+
+
+def figure1_experiment(trials: int = 5, seed: int = 0,
+                       jobs: int = 1) -> list[dict]:
+    """Figure 1 — cube to regular octagon / square antiprism."""
+    from repro.perf import parallel_map
+
+    cube = named_pattern("cube")
+    items = [(target_name, seed + t)
+             for target_name in _FIGURE1_TARGETS for t in range(trials)]
+    outcomes = parallel_map(_figure1_trial, items, jobs=jobs)
     rows = []
-    for target_name in ("octagon", "square_antiprism"):
+    for row_index, target_name in enumerate(_FIGURE1_TARGETS):
         target = named_pattern(target_name)
         formed = 0
         rounds = []
-        for t in range(trials):
-            frames = random_frames(8, np.random.default_rng(seed + t))
-            ok, r = _run_formation(cube, target, frames)
+        for ok, r in outcomes[row_index * trials:(row_index + 1) * trials]:
             formed += int(ok)
             rounds.append(r)
         initial = Configuration(cube)

@@ -6,6 +6,7 @@ Usage examples::
     python -m repro.cli detect cube
     python -m repro.cli check cube octagon
     python -m repro.cli form cube square_antiprism --seed 3 --svg out.svg
+    python -m repro.cli experiment lemma7 --trials 10 --jobs 4
     python -m repro.cli tables
 
 Patterns are named-library entries (``python -m repro.cli patterns``
@@ -85,7 +86,7 @@ def _print_cache_stats() -> None:
     stats = cache_stats()
     print("congruence caches "
           f"({'enabled' if stats['enabled'] else 'disabled'}):")
-    for name in ("symmetry", "symmetricity", "subgroups"):
+    for name in ("symmetry", "symmetricity", "subgroups", "round"):
         counters = stats[name]
         extras = ", ".join(f"{k}={v}" for k, v in sorted(counters.items())
                            if k not in ("hits", "misses"))
@@ -121,6 +122,27 @@ def _cmd_form(args) -> int:
     if args.cache_stats:
         _print_cache_stats()
     return 0 if result.reached else 1
+
+
+def _cmd_experiment(args) -> int:
+    from dataclasses import asdict, is_dataclass
+
+    from repro.analysis import experiments
+
+    drivers = {
+        "lemma7": lambda: experiments.lemma7_experiment(
+            trials=args.trials, seed=args.seed, jobs=args.jobs),
+        "theorem41": lambda: experiments.theorem41_experiment(
+            trials=args.trials, seed=args.seed, jobs=args.jobs),
+        "theorem11": lambda: experiments.theorem11_experiment(
+            seed=args.seed, jobs=args.jobs),
+        "figure1": lambda: experiments.figure1_experiment(
+            trials=args.trials, seed=args.seed, jobs=args.jobs),
+    }
+    rows = drivers[args.name]()
+    rows = [asdict(row) if is_dataclass(row) else row for row in rows]
+    print(json.dumps(rows, indent=2, default=str))
+    return 0
 
 
 def _cmd_tables(_args) -> int:
@@ -177,6 +199,19 @@ def build_parser() -> argparse.ArgumentParser:
     form.add_argument("--cache-stats", action="store_true",
                       help="print congruence-cache hit/miss counters")
     form.set_defaults(func=_cmd_form)
+
+    experiment = sub.add_parser(
+        "experiment", help="run one paper experiment, rows as JSON")
+    experiment.add_argument(
+        "name", choices=["lemma7", "theorem41", "theorem11", "figure1"])
+    experiment.add_argument("--trials", type=int, default=5,
+                            help="random trials per row (where applicable)")
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the trial fan-out; results are "
+             "bit-identical for any value")
+    experiment.set_defaults(func=_cmd_experiment)
 
     sub.add_parser("tables", help="regenerate the paper's tables"
                    ).set_defaults(func=_cmd_tables)

@@ -52,6 +52,11 @@ class Configuration:
         """Number of robots (multiset cardinality)."""
         return len(self._points)
 
+    @property
+    def tol(self) -> Tolerance:
+        """The tolerance this configuration was built with."""
+        return self._tol
+
     def __len__(self) -> int:
         return len(self._points)
 

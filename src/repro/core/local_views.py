@@ -10,7 +10,11 @@ lets all robots agree on a total ordering of the orbits.
 
 All view components are scale-invariant (amplitudes are normalized by
 ``rad(B(P))``), so a robot computes identical views from its own local
-observation regardless of its unit distance.
+observation regardless of its unit distance.  Because the views are
+similarity-invariant *tuples*, the agreed orbit ordering is served
+through the indexed round cache (:mod:`repro.perf.round`): all ``n``
+robots of a round ask for the ordering of mutually congruent
+configurations and share one computation.
 """
 
 from __future__ import annotations
@@ -54,62 +58,79 @@ def local_view(config: Configuration, index: int) -> tuple:
 
 
 def _compute_local_view(config: Configuration, index: int) -> tuple:
-    rel = config.relative_points()
+    """Array-at-once evaluation of one robot's view.
+
+    Candidate meridians are selected by the same order-dependent gap
+    clustering as always; the per-candidate spherical coordinates of
+    all ``n`` points are then produced by batched transforms instead
+    of a Python loop per point.
+    """
+    rel = np.asarray(config.relative_points(), dtype=float)
+    n = rel.shape[0]
     scale = max(config.radius, 1e-300)
-    radii = [float(np.linalg.norm(p)) / scale for p in rel]
+    radii = np.linalg.norm(rel, axis=1) / scale
     slack = 1e-6
-    own_r = radii[index]
+    own_r = float(radii[index])
     if own_r <= slack:
-        return ((-1.0,), tuple(sorted(_round(r) for r in radii)))
+        return ((-1.0,), tuple(sorted(_round(float(r)) for r in radii)))
     axis = rel[index] / (own_r * scale)
 
     inner_r = config.inner_ball.radius / scale
-    candidates = []
+    scaled = rel / scale
+    proj = scaled @ axis
+    perp = scaled - proj[:, None] * axis
+    perp_len = np.linalg.norm(perp, axis=1)
+    gaps = np.abs(radii - inner_r)
+
+    candidates: list[int] = []
     best_gap = None
-    for j, p in enumerate(rel):
-        perp = p / scale - float(np.dot(p / scale, axis)) * axis
-        perp_len = float(np.linalg.norm(perp))
-        if perp_len <= slack:
+    for j in range(n):
+        if perp_len[j] <= slack:
             continue
-        gap = abs(radii[j] - inner_r)
+        gap = float(gaps[j])
         if best_gap is None or gap < best_gap - slack:
             best_gap = gap
-            candidates = [(j, perp / perp_len)]
+            candidates = [j]
         elif abs(gap - best_gap) <= slack:
-            candidates.append((j, perp / perp_len))
+            candidates.append(j)
     if not candidates:
         # Every other robot is on the axis: encode the heights only.
-        heights = sorted(_round(float(np.dot(p, axis)) / scale) for p in rel)
+        heights = sorted(_round(float(h)) for h in proj)
         return ((_round(own_r),), tuple(heights))
 
+    off_axis = radii > slack
+    units = np.zeros_like(scaled)
+    units[off_axis] = rel[off_axis] / (radii[off_axis, None] * scale)
+    heights = np.clip(units @ axis, -1.0, 1.0)
+    latitudes = np.arcsin(heights)
+    perp_units = units - heights[:, None] * axis
+    perp_unit_len = np.linalg.norm(perp_units, axis=1)
+
+    meridians = perp[candidates] / perp_len[candidates, None]   # (c, 3)
+    binormals = np.cross(np.broadcast_to(axis, meridians.shape),
+                         meridians)                             # (c, 3)
+    longitudes = np.arctan2(perp_units @ binormals.T,
+                            perp_units @ meridians.T)           # (n, c)
+    longitudes %= 2.0 * np.pi
+    # Collapse the 2π wraparound: an angle of -1e-16 must encode as
+    # 0.0, not 6.283185 (observers would differ).
+    longitudes[longitudes >= 2.0 * np.pi - 5e-7] = 0.0
+    longitudes[perp_unit_len <= slack, :] = 0.0
+
+    radii_r = canonical_round(radii, _DECIMALS)
+    lat_r = canonical_round(latitudes, _DECIMALS)
+    lon_r = canonical_round(longitudes, _DECIMALS)
+
     best_view: tuple | None = None
-    for meridian_index, u in candidates:
-        v = np.cross(axis, u)
-        entries = []
-        for j, p in enumerate(rel):
-            r = radii[j]
-            if r <= slack:
-                entries.append((0.0, 0.0, 0.0))
-                continue
-            unit = p / (r * scale)
-            height = float(np.clip(np.dot(unit, axis), -1.0, 1.0))
-            latitude = float(np.arcsin(height))
-            perp = unit - height * axis
-            perp_len = float(np.linalg.norm(perp))
-            if perp_len <= slack:
-                longitude = 0.0
-            else:
-                longitude = float(np.arctan2(np.dot(perp, v),
-                                             np.dot(perp, u)))
-                longitude %= 2.0 * np.pi
-                # Collapse the 2π wraparound: an angle of -1e-16 must
-                # encode as 0.0, not 6.283185 (observers would differ).
-                if longitude >= 2.0 * np.pi - 5e-7:
-                    longitude = 0.0
-            entries.append((_round(r), _round(longitude), _round(latitude)))
+    for c, meridian_index in enumerate(candidates):
+        entries = [
+            (0.0, 0.0, 0.0) if not off_axis[j]
+            else (float(radii_r[j]), float(lon_r[j, c]), float(lat_r[j]))
+            for j in range(n)
+        ]
         own = entries[index]
         meridian = entries[meridian_index]
-        rest = sorted(entries[j] for j in range(len(entries))
+        rest = sorted(entries[j] for j in range(n)
                       if j not in (index, meridian_index))
         view = (own, meridian, tuple(rest))
         if best_view is None or view < best_view:
@@ -129,12 +150,34 @@ def ordered_orbits(config: Configuration, group: RotationGroup,
     local view of the orbit members, which differs across orbits by
     Theorem 3.1.
 
+    When called with the configuration's own full rotation group (the
+    only caller pattern on the hot path), both the orbit partition and
+    the ordering are similarity invariants — congruent configurations
+    share them index-for-index — so the result is served through the
+    indexed round cache and computed once per congruence class.
+
     Raises
     ------
     ConfigurationError
         If two distinct orbits cannot be separated (only possible for
         multisets, which the paper excludes from this agreement).
     """
+    report = config.__dict__.get("symmetry")
+    if (orbits is None and center is None and report is not None
+            and getattr(report, "group", None) is group):
+        from repro.perf import cached_invariant, round_view
+
+        cached = cached_invariant(
+            round_view(config), ("ordered_orbits",),
+            lambda: tuple(tuple(o) for o in
+                          _ordered_orbits_impl(config, group, None, None)))
+        return [list(orbit) for orbit in cached]
+    return _ordered_orbits_impl(config, group, orbits, center)
+
+
+def _ordered_orbits_impl(config: Configuration, group: RotationGroup,
+                         orbits: list[list[int]] | None,
+                         center) -> list[list[int]]:
     from repro.core.decomposition import orbit_decomposition
 
     if orbits is None:

@@ -70,6 +70,19 @@ class Tolerance:
         """
         return 10.0 * max(self.abs_tol, self.rel_tol * max(scale, 1.0))
 
+    def motion_slack(self, scale: float) -> float:
+        """Displacement below which a robot counts as *not moved*.
+
+        Fixpoint detection must sit far below the geometric slack:
+        a robot whose destination differs from its position by mere
+        conjugation/rounding noise (~1e-12 relative) has stayed put,
+        while any deliberate move of the paper's procedures is a
+        macroscopic fraction of the configuration's radius.  With the
+        default tolerances this equals the historical
+        ``1e-12 * max(scale, 1)`` threshold of the FSYNC scheduler.
+        """
+        return 1e-5 * max(self.abs_tol, self.rel_tol * max(scale, 1.0))
+
 
 DEFAULT_TOL = Tolerance()
 

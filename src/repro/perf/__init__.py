@@ -23,13 +23,24 @@ from repro.perf.cache import (
     is_enabled,
     set_enabled,
 )
+from repro.perf.parallel import parallel_map, seeded_trials
+from repro.perf.round import (
+    cached_equivariant_points,
+    cached_invariant,
+    round_view,
+)
 
 __all__ = [
     "cache_stats",
+    "cached_equivariant_points",
+    "cached_invariant",
     "cached_subgroups",
     "cached_symmetricity",
     "cached_symmetry",
     "clear_caches",
     "is_enabled",
+    "parallel_map",
+    "round_view",
+    "seeded_trials",
     "set_enabled",
 ]

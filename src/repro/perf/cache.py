@@ -87,8 +87,11 @@ def is_enabled() -> bool:
 
 def clear_caches() -> None:
     """Drop every cached entry and reset the hit/miss counters."""
+    from repro.perf.round import clear_round_cache
+
     _symmetry_cache.clear()
     _subgroup_cache.clear()
+    clear_round_cache()
     for counters in _stats.values():
         for name in counters:
             counters[name] = 0
@@ -102,10 +105,13 @@ def cache_stats() -> dict:
     callers — the CLI, the scheduler, tests — can diff snapshots
     without touching cache internals.
     """
+    from repro.perf.round import round_stats
+
     snapshot = {name: dict(counters) for name, counters in _stats.items()}
     snapshot["symmetry"]["classes"] = sum(
         len(bucket) for bucket in _symmetry_cache.values())
     snapshot["subgroups"]["entries"] = len(_subgroup_cache)
+    snapshot["round"] = round_stats()
     snapshot["enabled"] = _enabled
     return snapshot
 

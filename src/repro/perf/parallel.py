@@ -1,0 +1,91 @@
+"""Deterministic parallel fan-out for randomized experiment trials.
+
+The experiment drivers validate the paper's claims by randomized
+adversary sweeps: many independent trials, each seeded as
+``default_rng(seed + t)``.  Trials share no state, so they map onto a
+process pool — *provided* the fan-out cannot change the answer.  Two
+rules make results bit-identical for any worker count:
+
+* **per-trial seeding** — the trial index alone determines the RNG
+  stream; nothing is drawn from a shared generator whose consumption
+  order would depend on scheduling;
+* **per-trial cache reset** — each trial starts from empty congruence
+  caches, so a trial's float noise (conjugated cache hits vs direct
+  computation) does not depend on which trials happened to run in the
+  same worker before it.
+
+Workers that raise surface as a clean :class:`SimulationError` in the
+parent (with the worker traceback in the message) instead of a hung or
+poisoned pool; a hard worker death (``BrokenProcessPool``) is mapped
+to the same error type.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.errors import SimulationError
+
+__all__ = ["parallel_map", "seeded_trials"]
+
+
+def _guarded_call(payload):
+    """Top-level (picklable) wrapper catching worker exceptions."""
+    fn, item, fresh_caches = payload
+    try:
+        if fresh_caches:
+            from repro.perf import clear_caches
+
+            clear_caches()
+        return ("ok", fn(item))
+    except Exception as exc:  # noqa: BLE001 — reported to the parent
+        return ("err", f"{type(exc).__name__}: {exc}\n"
+                       f"{traceback.format_exc()}")
+
+
+def _unwrap(outcome):
+    status, value = outcome
+    if status == "err":
+        raise SimulationError(f"experiment trial failed in worker:\n{value}")
+    return value
+
+
+def parallel_map(fn, items, jobs: int = 1, *,
+                 fresh_caches: bool = True) -> list:
+    """``[fn(x) for x in items]`` over a process pool, order preserved.
+
+    ``fn`` must be picklable (a module-level function).  ``jobs <= 1``
+    runs inline — same code path, no pool — so a sequential run is the
+    exact reference for any parallel one.  ``fresh_caches`` clears the
+    congruence caches before every item (see the module docstring; pass
+    False only for workloads that are cache-state independent).
+    """
+    items = list(items)
+    jobs = max(1, int(jobs))
+    payloads = [(fn, item, fresh_caches) for item in items]
+    if jobs == 1 or len(items) <= 1:
+        return [_unwrap(_guarded_call(p)) for p in payloads]
+    chunksize = max(1, len(items) // (4 * jobs))
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            outcomes = list(pool.map(_guarded_call, payloads,
+                                     chunksize=chunksize))
+    except BrokenProcessPool as exc:
+        raise SimulationError(
+            "experiment worker process died unexpectedly "
+            "(crash or out-of-memory kill)") from exc
+    return [_unwrap(outcome) for outcome in outcomes]
+
+
+def seeded_trials(fn, trials: int, *, seed: int = 0,
+                  jobs: int = 1) -> list:
+    """Run ``fn(seed + t)`` for ``t in range(trials)``, fanned out.
+
+    The per-trial derived seed is the paper-sweep convention used by
+    every experiment driver; results come back ordered by ``t`` and
+    are bit-identical for any ``jobs`` value.
+    """
+    return parallel_map(fn, [int(seed) + t for t in range(int(trials))],
+                        jobs=jobs)

@@ -10,11 +10,18 @@ ties (which by Lemma 14 form cycles around a rotation axis) broken by
 a chirality rule: among tied targets ``f, f'`` the robot picks the one
 with positive triple product ``det[p - c, f - c, f' - c]`` — a
 rotation-invariant, handedness-aware rule all robots share.
+
+Point-set membership tests run on ``scipy.spatial.cKDTree`` and the
+distance/triple-product profiles on batched array kernels; the greedy
+orderings and the Lemma 14 tie-break are semantically identical to the
+straightforward quadratic loops (pinned by the property tests against
+the frozen oracle in ``tests/properties/round_oracle.py``).
 """
 
 from __future__ import annotations
 
 import numpy as np
+from scipy.spatial import cKDTree
 
 from repro.core.configuration import Configuration
 from repro.core.local_views import local_view, ordered_orbits
@@ -35,7 +42,7 @@ def match_configuration_to_pattern(config: Configuration,
     targets = [np.asarray(p, dtype=float) for p in embedded]
     if len(targets) != config.n:
         raise MatchingError("embedded pattern size must match the swarm")
-    slack = 1e-6 * max(config.radius, 1.0)
+    slack = config.tol.geometric_slack(config.radius)
 
     direct = _direct_cases(config, targets, slack)
     if direct is not None:
@@ -74,30 +81,51 @@ def _direct_cases(config, targets, slack) -> list[np.ndarray] | None:
 
 
 def _same_point_set(a, b, slack) -> bool:
-    remaining = [np.asarray(q, dtype=float) for q in b]
-    for p in a:
+    """Greedy multiset equality: each ``a`` point consumes the lowest-
+    indexed unconsumed ``b`` point within ``slack``."""
+    a_arr = np.asarray(a, dtype=float)
+    b_arr = np.asarray(b, dtype=float)
+    if a_arr.shape != b_arr.shape:
+        return False
+    candidates = cKDTree(b_arr).query_ball_point(a_arr, slack)
+    used = [False] * len(b_arr)
+    for near in candidates:
         hit = None
-        for i, q in enumerate(remaining):
-            if float(np.linalg.norm(p - q)) <= slack:
+        for i in sorted(near):
+            if not used[i]:
                 hit = i
                 break
         if hit is None:
             return False
-        remaining.pop(hit)
+        used[hit] = True
     return True
 
 
 def _collapse(points, slack):
+    """Distinct positions with multiplicities, earliest point first.
+
+    A point joins the earliest *representative* within ``slack`` (not
+    merely the earliest earlier point — the clustering is representative
+    -anchored, not chained), else becomes a new representative.
+    """
+    pts = np.asarray(points, dtype=float)
+    n = len(pts)
+    neighbors = cKDTree(pts).query_ball_point(pts, slack)
     distinct: list[np.ndarray] = []
     multiplicities: list[int] = []
-    for p in points:
-        for i, q in enumerate(distinct):
-            if float(np.linalg.norm(p - q)) <= slack:
-                multiplicities[i] += 1
+    slot_of: dict[int, int] = {}
+    for k in range(n):
+        hit = None
+        for j in sorted(neighbors[k]):
+            if j < k and j in slot_of:
+                hit = j
                 break
-        else:
-            distinct.append(p)
+        if hit is None:
+            slot_of[k] = len(distinct)
+            distinct.append(pts[k].copy())
             multiplicities.append(1)
+        else:
+            multiplicities[slot_of[hit]] += 1
     return distinct, multiplicities
 
 
@@ -113,6 +141,7 @@ def _target_position_orbits(config, group: RotationGroup, positions,
     position; ``capacity`` counts how many P-orbits the entry absorbs.
     """
     center = config.center
+    tree = cKDTree(np.asarray(positions, dtype=float))
     unassigned = list(range(len(positions)))
     orbits: list[list[int]] = []
     while unassigned:
@@ -120,7 +149,7 @@ def _target_position_orbits(config, group: RotationGroup, positions,
         members: list[int] = []
         for mat in group.elements:
             image = center + mat @ (positions[seed] - center)
-            idx = _find_index(positions, image, slack)
+            idx = _find_index(tree, image, slack)
             if idx is None:
                 raise MatchingError(
                     "gamma(P) does not act on the embedded pattern")
@@ -155,12 +184,6 @@ def _order_target_orbits(config, entries):
     distance profile to P (breaking ties between orbits that are
     symmetric inside F̃ but not relative to P)."""
     f_config = Configuration([p for e in entries for p in e["positions"]])
-    index_of = {}
-    flat = 0
-    for ei, e in enumerate(entries):
-        for _ in e["positions"]:
-            index_of[flat] = ei
-            flat += 1
     views: dict[int, tuple] = {}
     flat = 0
     for ei, e in enumerate(entries):
@@ -173,16 +196,18 @@ def _order_target_orbits(config, entries):
 
     center = config.center
     scale = max(config.radius, 1e-300)
+    points = np.asarray(config.points, dtype=float)
 
     def key(ei):
         e = entries[ei]
+        pos = np.asarray(e["positions"], dtype=float)
         radius = float(canonical_round(
-            np.linalg.norm(e["positions"][0] - center) / scale, 6))
-        profile = sorted(
-            tuple(sorted(float(canonical_round(
-                np.linalg.norm(f - p) / scale, 6))
-                for p in config.points))
-            for f in e["positions"])
+            np.linalg.norm(pos[0] - center) / scale, 6))
+        dists = canonical_round(np.linalg.norm(
+            pos[:, None, :] - points[None, :, :], axis=2) / scale, 6)
+        dists = np.atleast_2d(dists)
+        dists.sort(axis=1)
+        profile = sorted(map(tuple, dists.tolist()))
         return (radius, views[ei], tuple(profile))
 
     order = sorted(range(len(entries)), key=key)
@@ -213,42 +238,49 @@ def _order_target_orbits(config, entries):
 
 def _orbit_chiral_key(config, positions) -> tuple:
     """Rotation-invariant, reflection-sensitive key of a target orbit
-    relative to the robots (triple-product profile)."""
+    relative to the robots (triple-product profile).
+
+    For each target position the profile holds, per robot pair, the
+    pair's (distance-to-target, radius) keys in sorted order and the
+    triple product ``det[f, p, q]`` with ``p, q`` in key order (made
+    unsigned when the keys tie — the sign is then not agreed).  All
+    pairs are evaluated at once: the determinants are the dot products
+    of ``f`` with the precomputed pairwise cross products.
+    """
     center = config.center
     scale = max(config.radius, 1e-300)
-    rel_p = [(p - center) / scale for p in config.points]
-    radii = [float(canonical_round(np.linalg.norm(r), 6)) for r in rel_p]
+    rel_p = (np.asarray(config.points, dtype=float) - center) / scale
+    n = len(rel_p)
+    radii = canonical_round(np.linalg.norm(rel_p, axis=1), 6)
+    iu, ju = np.triu_indices(n, k=1)
+    cross = np.cross(rel_p[iu], rel_p[ju])
+    r_i, r_j = radii[iu], radii[ju]
     profile = []
     for f in positions:
-        rel_f = (f - center) / scale
-        entries = []
-        for i, p in enumerate(rel_p):
-            for j in range(i + 1, len(rel_p)):
-                q = rel_p[j]
-                key_i = (float(canonical_round(
-                    np.linalg.norm(rel_f - p), 6)), radii[i])
-                key_j = (float(canonical_round(
-                    np.linalg.norm(rel_f - q), 6)), radii[j])
-                if key_i < key_j:
-                    first, second, ka, kb = p, q, key_i, key_j
-                else:
-                    first, second, ka, kb = q, p, key_j, key_i
-                det = float(np.linalg.det(
-                    np.column_stack([rel_f, first, second])))
-                if key_i == key_j:
-                    det = abs(det)
-                entries.append((ka, kb, float(canonical_round(det, 5))))
-        entries.sort()
-        profile.append(tuple(entries))
+        rel_f = (np.asarray(f, dtype=float) - center) / scale
+        d = canonical_round(np.linalg.norm(rel_p - rel_f, axis=1), 6)
+        d_i, d_j = d[iu], d[ju]
+        swap = (d_j < d_i) | ((d_j == d_i) & (r_j < r_i))
+        equal = (d_j == d_i) & (r_j == r_i)
+        dets = cross @ rel_f
+        dets = np.where(swap, -dets, dets)
+        dets = np.where(equal, np.abs(dets), dets)
+        dets = canonical_round(dets, 5)
+        ka_d = np.where(swap, d_j, d_i)
+        ka_r = np.where(swap, r_j, r_i)
+        kb_d = np.where(swap, d_i, d_j)
+        kb_r = np.where(swap, r_i, r_j)
+        rows = sorted(zip(ka_d.tolist(), ka_r.tolist(), kb_d.tolist(),
+                          kb_r.tolist(), np.atleast_1d(dets).tolist()))
+        profile.append(tuple(
+            ((ad, ar), (bd, br), det) for ad, ar, bd, br, det in rows))
     profile.sort()
     return tuple(profile)
 
 
-def _find_index(points, image, slack) -> int | None:
-    for i, p in enumerate(points):
-        if float(np.linalg.norm(p - image)) <= 10 * slack:
-            return i
-    return None
+def _find_index(tree: cKDTree, image, slack) -> int | None:
+    near = tree.query_ball_point(np.asarray(image, dtype=float), 10 * slack)
+    return min(near) if near else None
 
 
 # ----------------------------------------------------------------------
@@ -278,17 +310,14 @@ def _assign_orbits(config, group, p_orbits, f_entries):
 def _match_within_orbit(config, group, orbit, positions, per_position,
                         destinations, slack):
     center = config.center
-    nearest: dict[int, list[int]] = {}
-    for robot in orbit:
-        p = config.points[robot]
-        dists = [float(np.linalg.norm(p - f)) for f in positions]
-        d_min = min(dists)
-        ties = [j for j, d in enumerate(dists) if d <= d_min + 10 * slack]
-        nearest[robot] = ties
+    pts = np.asarray([config.points[r] for r in orbit], dtype=float)
+    pos = np.asarray(positions, dtype=float)
+    dists = np.linalg.norm(pts[:, None, :] - pos[None, :, :], axis=2)
+    tied_mask = dists <= dists.min(axis=1, keepdims=True) + 10 * slack
 
     chosen: dict[int, int] = {}
-    for robot in orbit:
-        ties = nearest[robot]
+    for row, robot in enumerate(orbit):
+        ties = np.nonzero(tied_mask[row])[0].tolist()
         if len(ties) == 1:
             chosen[robot] = ties[0]
         elif len(ties) == 2:

@@ -48,12 +48,33 @@ def make_pattern_formation_algorithm(
         if target is None:
             raise SimulationError("psi_pf needs the target pattern F")
         config = Configuration(observation.points)
-        if config.is_similar_to(target):
+
+        # Within a round all robots observe similarity images of one
+        # world configuration (with identical robot indexing), so the
+        # frame-independent parts of Compute are served through the
+        # indexed round cache: the two phase predicates are similarity
+        # invariants, and the ψ_PF destination list is equivariant —
+        # computed once per congruence class in the first observer's
+        # frame, conjugated into each later observer's frame by its
+        # certified alignment.  ψ_SYM itself stays per-robot: its
+        # destinations deliberately depend on the local frame
+        # (symmetry breaking).
+        from repro.perf import (cached_equivariant_points, cached_invariant,
+                                round_view)
+
+        view = round_view(config)
+        target_arr = np.asarray(target, dtype=float)
+        target_key = (target_arr.shape, target_arr.tobytes())
+        if cached_invariant(view, ("is_similar", target_key),
+                            lambda: bool(config.is_similar_to(target))):
             return observation.own_position()
-        if not is_sym_terminal(config):
+        if not cached_invariant(view, ("sym_terminal",),
+                                lambda: bool(is_sym_terminal(config))):
             return psi_sym(observation)
-        embedded = embed_target(config, target)
-        destinations = match_configuration_to_pattern(config, embedded)
+        destinations = cached_equivariant_points(
+            view, ("psi_pf", target_key),
+            lambda: match_configuration_to_pattern(
+                config, embed_target(config, target)))
         return destinations[observation.self_index]
 
     return psi_pf

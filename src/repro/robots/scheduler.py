@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.configuration import Configuration
 from repro.errors import SimulationError
+from repro.geometry.tolerance import DEFAULT_TOL
 from repro.robots.model import LocalFrame, Observation
 
 __all__ = ["ExecutionResult", "FsyncScheduler"]
@@ -98,15 +99,33 @@ class FsyncScheduler:
         self.frames = list(frames)
         self.target = target
         self.movement = movement if movement is not None else RigidMovement()
+        # The frames are fixed for the whole run, so their rotations
+        # and unit distances are stacked once and the Look phase of
+        # every round becomes a single batched transform.
+        self._rotations = np.stack(
+            [f.rotation for f in self.frames]) if self.frames \
+            else np.zeros((0, 3, 3))
+        self._scales = np.asarray([f.scale for f in self.frames],
+                                  dtype=float)
 
     def step(self, points: list[np.ndarray]) -> list[np.ndarray]:
-        """One synchronized Look–Compute–Move cycle."""
+        """One synchronized Look–Compute–Move cycle.
+
+        The Look phase is batched: all ``n`` local views come from one
+        stacked transform ``local[i, k] = R_iᵀ (p_k - p_i) / s_i`` over
+        the ``n×n`` observation tensor instead of ``n²`` per-pair
+        ``frame.observe`` calls.
+        """
         if len(points) != len(self.frames):
             raise SimulationError("one frame per robot is required")
+        pts = np.asarray(points, dtype=float)
+        rel = pts[None, :, :] - pts[:, None, :]
+        local = np.einsum("nji,nkj->nki", self._rotations, rel)
+        local /= self._scales[:, None, None]
+        local.setflags(write=False)
         destinations = []
         for i, (pos, frame) in enumerate(zip(points, self.frames)):
-            local = [frame.observe(p, pos) for p in points]
-            observation = Observation(local, self_index=i,
+            observation = Observation(list(local[i]), self_index=i,
                                       target=self._local_target(frame))
             d = np.asarray(self.algorithm(observation), dtype=float)
             if d.shape != (3,) or not np.all(np.isfinite(d)):
@@ -147,8 +166,8 @@ class FsyncScheduler:
         for _ in range(max_rounds):
             new_points = self.step(points)
             moved = any(
-                float(np.linalg.norm(a - b)) > 1e-12 * max(
-                    1.0, float(np.linalg.norm(b)))
+                float(np.linalg.norm(a - b))
+                > DEFAULT_TOL.motion_slack(float(np.linalg.norm(b)))
                 for a, b in zip(new_points, points))
             points = new_points
             trace.append(Configuration(points))

@@ -1,0 +1,81 @@
+"""The parallel experiment runner (:mod:`repro.perf.parallel`).
+
+The load-bearing property: fanning trials over a process pool is
+*invisible* in the results — rows are byte-identical for any ``jobs``
+value — and worker failures surface as clean exceptions, never a hung
+or poisoned pool.
+"""
+
+import json
+import os
+from dataclasses import asdict
+
+import pytest
+
+from repro import perf
+from repro.analysis import experiments
+from repro.errors import SimulationError
+from repro.perf import parallel_map, seeded_trials
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    perf.clear_caches()
+    yield
+    perf.set_enabled(True)
+    perf.clear_caches()
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"trial {x} exploded")
+
+
+def _die(x):
+    os._exit(13)  # hard worker death, no exception to pickle
+
+
+class TestParallelMap:
+    def test_inline_and_pool_agree(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, jobs=1) == \
+            parallel_map(_square, items, jobs=4) == \
+            [x * x for x in items]
+
+    def test_order_is_preserved(self):
+        assert seeded_trials(_square, 7, seed=10, jobs=3) == \
+            [(10 + t) ** 2 for t in range(7)]
+
+    def test_worker_exception_raises_simulation_error(self):
+        with pytest.raises(SimulationError, match="trial 3 exploded"):
+            parallel_map(_boom, [3], jobs=1)
+        with pytest.raises(SimulationError, match="exploded"):
+            parallel_map(_boom, list(range(8)), jobs=4)
+
+    def test_worker_crash_is_clean_not_hung(self):
+        """A worker that dies outright (not an exception — the process
+        vanishes) must surface as SimulationError, not a deadlock."""
+        with pytest.raises(SimulationError, match="died"):
+            parallel_map(_die, list(range(4)), jobs=2)
+
+
+class TestDriverDeterminism:
+    def test_lemma7_rows_identical_for_any_jobs(self):
+        serial = experiments.lemma7_experiment(trials=3, seed=0, jobs=1)
+        fanned = experiments.lemma7_experiment(trials=3, seed=0, jobs=4)
+        assert json.dumps(serial, default=str) == \
+            json.dumps(fanned, default=str)
+
+    def test_figure1_rows_identical_for_any_jobs(self):
+        serial = experiments.figure1_experiment(trials=2, seed=1, jobs=1)
+        fanned = experiments.figure1_experiment(trials=2, seed=1, jobs=4)
+        assert json.dumps(serial, default=str) == \
+            json.dumps(fanned, default=str)
+
+    def test_theorem11_rows_identical_for_any_jobs(self):
+        serial = experiments.theorem11_experiment(seed=0, jobs=1)
+        fanned = experiments.theorem11_experiment(seed=0, jobs=4)
+        assert [asdict(r) for r in serial] == [asdict(r) for r in fanned]

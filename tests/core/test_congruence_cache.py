@@ -122,8 +122,11 @@ class TestSymmetricityCache:
 class TestSchedulerIntegration:
     def test_full_run_detects_once_per_class_per_round(self):
         """Acceptance check: a complete FSYNC formation run computes
-        ``γ(P)`` at most once per congruence class per round; all robot
-        observations of the round are congruent and hit the cache."""
+        ``γ(P)`` at most once per congruence class per round.  The
+        robots' per-observation work is served by the *indexed round
+        cache* (their whole Compute phase is hoisted), so the symmetry
+        cache sees only the once-per-class detections while the round
+        cache shows one miss plus ``n - 1`` certified hits per class."""
         n = 8
         rng = np.random.default_rng(11)
         initial = [rng.normal(size=3) for _ in range(n)]
@@ -135,14 +138,14 @@ class TestSchedulerIntegration:
             initial, stop_condition=lambda c: c.is_similar_to(target),
             max_rounds=30)
         assert result.reached
-        sym = result.cache_stats["symmetry"]
-        served = sym["hits"] + sym["misses"]
         # Per round the trace config plus n robot observations are all
         # congruent; distinct classes only appear when the swarm moves.
         classes_touched = result.rounds + 1
+        sym = result.cache_stats["symmetry"]
         assert sym["misses"] <= classes_touched
-        assert served > sym["misses"]  # robots actually hit the cache
-        assert sym["hits"] >= n - 1
+        rnd = result.cache_stats["round"]
+        assert rnd["misses"] <= classes_touched
+        assert rnd["hits"] >= n - 1  # robots share the round's Compute
 
     def test_run_stats_are_per_run_deltas(self):
         points = named_pattern("cube")

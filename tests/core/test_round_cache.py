@@ -1,0 +1,131 @@
+"""Behavior of the indexed round cache (:mod:`repro.perf.round`)."""
+
+import numpy as np
+import pytest
+
+from repro import perf
+from repro.core.configuration import Configuration
+from repro.geometry.rotations import rotation_about_axis
+from repro.patterns.library import named_pattern
+from repro.perf import cached_equivariant_points, cached_invariant, round_view
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    perf.clear_caches()
+    perf.set_enabled(True)
+    yield
+    perf.set_enabled(True)
+    perf.clear_caches()
+
+
+def _congruent_copy(points, seed: int):
+    rng = np.random.default_rng(seed)
+    rot = rotation_about_axis(rng.normal(size=3), float(rng.uniform(0, 3)))
+    scale = float(rng.uniform(0.5, 4.0))
+    shift = rng.normal(size=3)
+    return [rot @ (scale * np.asarray(p)) + shift for p in points]
+
+
+def _cloud(seed: int = 0, n: int = 9):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=3) for _ in range(n)]
+
+
+class TestRoundView:
+    def test_congruent_copies_share_one_entry(self):
+        points = _cloud()
+        first = round_view(Configuration(points))
+        assert first is not None
+        for seed in range(5):
+            view = round_view(Configuration(_congruent_copy(points, seed)))
+            assert view.entry is first.entry
+        stats = perf.cache_stats()["round"]
+        assert stats["misses"] == 1
+        assert stats["hits"] == 5
+
+    def test_alignment_is_certified_per_index(self):
+        """The view's similarity must map the canonical points onto the
+        query points robot-by-robot — not merely as multisets."""
+        points = _cloud(3)
+        round_view(Configuration(points))
+        twin_points = _congruent_copy(points, 11)
+        twin = Configuration(twin_points)
+        view = round_view(twin)
+        recovered = view.to_query(view.entry.rel_unit)
+        for i, p in enumerate(twin_points):
+            assert float(np.linalg.norm(recovered[i] - p)) <= 1e-5
+
+    def test_symmetric_configurations_keep_robot_identity(self):
+        """Regression guard for the coset ambiguity: on a symmetric
+        configuration a multiset alignment could map a robot onto any
+        orbit sibling; the indexed Kabsch alignment must not."""
+        points = named_pattern("cube")
+        round_view(Configuration(points))
+        twin_points = _congruent_copy(points, 5)
+        view = round_view(Configuration(twin_points))
+        recovered = view.to_query(view.entry.rel_unit)
+        for i, p in enumerate(twin_points):
+            assert float(np.linalg.norm(recovered[i] - np.asarray(p))) \
+                <= 1e-5
+
+    def test_distinct_classes_get_distinct_entries(self):
+        a = round_view(Configuration(_cloud(0)))
+        b = round_view(Configuration(_cloud(1)))
+        assert a.entry is not b.entry
+        assert perf.cache_stats()["round"]["misses"] == 2
+
+    def test_disabled_cache_returns_none(self):
+        perf.set_enabled(False)
+        assert round_view(Configuration(_cloud())) is None
+
+    def test_degenerate_configuration_bypasses(self):
+        stacked = Configuration([np.ones(3)] * 4)
+        assert round_view(stacked) is None
+        assert perf.cache_stats()["round"]["bypass"] == 1
+
+
+class TestPayloads:
+    def test_invariant_payload_computed_once(self):
+        points = _cloud()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return ("payload",)
+
+        view = round_view(Configuration(points))
+        assert cached_invariant(view, ("k",), compute) == ("payload",)
+        twin = round_view(Configuration(_congruent_copy(points, 2)))
+        assert cached_invariant(twin, ("k",), compute) == ("payload",)
+        assert len(calls) == 1
+
+    def test_equivariant_points_are_conjugated(self):
+        """A destination stored by one observer must come back in a
+        congruent observer's own coordinates."""
+        points = _cloud()
+        config = Configuration(points)
+        view = round_view(config)
+        # Destinations: every robot heads to the configuration center.
+        dest = np.tile(config.center, (config.n, 1))
+        served = cached_equivariant_points(view, ("d",), lambda: dest)
+        assert np.allclose(served, dest)
+
+        twin_points = _congruent_copy(points, 4)
+        twin = Configuration(twin_points)
+        twin_view = round_view(twin)
+        conjugated = cached_equivariant_points(
+            twin_view, ("d",),
+            lambda: pytest.fail("hit must not recompute"))
+        assert np.allclose(conjugated,
+                           np.tile(twin.center, (twin.n, 1)), atol=1e-6)
+
+    def test_compute_errors_are_not_cached(self):
+        view = round_view(Configuration(_cloud()))
+
+        def explode():
+            raise RuntimeError("no")
+
+        with pytest.raises(RuntimeError):
+            cached_invariant(view, ("e",), explode)
+        assert cached_invariant(view, ("e",), lambda: 42) == 42

@@ -1,0 +1,438 @@
+"""Reference (pre-batching) round-engine code, frozen as an oracle.
+
+Verbatim copies of the repository's serial Look phase, local-view
+computation, orbit ordering, and matching (``M(P, F̃)``) as they stood
+before the batched FSYNC round engine: per-robot ``frame.observe``
+loops, pure-Python O(n²) nearest/collapse scans, and no congruence
+caching of orbit or destination data.  The randomized equivalence
+suite replays hundreds of configurations through both this module and
+the production pipeline and requires matching answers.  Do not
+"improve" this file — its value is that it does not share code paths
+with what it checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.configuration import Configuration
+from repro.errors import ConfigurationError, MatchingError, SimulationError
+from repro.geometry.tolerance import canonical_round
+from repro.groups.group import RotationGroup
+from repro.robots.model import Observation
+
+_DECIMALS = 6
+
+
+def _round(x: float) -> float:
+    return float(canonical_round(x, _DECIMALS))
+
+
+# ----------------------------------------------------------------------
+# Serial Look phase (the pre-einsum FsyncScheduler.step)
+# ----------------------------------------------------------------------
+def oracle_step(algorithm, frames, points, target=None,
+                movement=None) -> list[np.ndarray]:
+    """One FSYNC cycle with the original per-robot observe loop."""
+    from repro.robots.movement import RigidMovement
+
+    movement = movement if movement is not None else RigidMovement()
+    if len(points) != len(frames):
+        raise SimulationError("one frame per robot is required")
+    destinations = []
+    for i, (pos, frame) in enumerate(zip(points, frames)):
+        local = [frame.observe(p, pos) for p in points]
+        observation = Observation(local, self_index=i, target=target)
+        d = np.asarray(algorithm(observation), dtype=float)
+        if d.shape != (3,) or not np.all(np.isfinite(d)):
+            raise SimulationError("algorithm must return a finite 3-vector")
+        destinations.append(movement.execute(pos, frame.to_world(d, pos)))
+    return destinations
+
+
+# ----------------------------------------------------------------------
+# Sequential local views (pre-vectorization core.local_views)
+# ----------------------------------------------------------------------
+def oracle_local_view(config: Configuration, index: int) -> tuple:
+    cache = getattr(config, "_oracle_view_cache", None)
+    if cache is None:
+        cache = {}
+        config._oracle_view_cache = cache
+    cached = cache.get(index)
+    if cached is not None:
+        return cached
+    view = _compute_local_view(config, index)
+    cache[index] = view
+    return view
+
+
+def _compute_local_view(config: Configuration, index: int) -> tuple:
+    rel = config.relative_points()
+    scale = max(config.radius, 1e-300)
+    radii = [float(np.linalg.norm(p)) / scale for p in rel]
+    slack = 1e-6
+    own_r = radii[index]
+    if own_r <= slack:
+        return ((-1.0,), tuple(sorted(_round(r) for r in radii)))
+    axis = rel[index] / (own_r * scale)
+
+    inner_r = config.inner_ball.radius / scale
+    candidates = []
+    best_gap = None
+    for j, p in enumerate(rel):
+        perp = p / scale - float(np.dot(p / scale, axis)) * axis
+        perp_len = float(np.linalg.norm(perp))
+        if perp_len <= slack:
+            continue
+        gap = abs(radii[j] - inner_r)
+        if best_gap is None or gap < best_gap - slack:
+            best_gap = gap
+            candidates = [(j, perp / perp_len)]
+        elif abs(gap - best_gap) <= slack:
+            candidates.append((j, perp / perp_len))
+    if not candidates:
+        heights = sorted(_round(float(np.dot(p, axis)) / scale) for p in rel)
+        return ((_round(own_r),), tuple(heights))
+
+    best_view: tuple | None = None
+    for meridian_index, u in candidates:
+        v = np.cross(axis, u)
+        entries = []
+        for j, p in enumerate(rel):
+            r = radii[j]
+            if r <= slack:
+                entries.append((0.0, 0.0, 0.0))
+                continue
+            unit = p / (r * scale)
+            height = float(np.clip(np.dot(unit, axis), -1.0, 1.0))
+            latitude = float(np.arcsin(height))
+            perp = unit - height * axis
+            perp_len = float(np.linalg.norm(perp))
+            if perp_len <= slack:
+                longitude = 0.0
+            else:
+                longitude = float(np.arctan2(np.dot(perp, v),
+                                             np.dot(perp, u)))
+                longitude %= 2.0 * np.pi
+                if longitude >= 2.0 * np.pi - 5e-7:
+                    longitude = 0.0
+            entries.append((_round(r), _round(longitude), _round(latitude)))
+        own = entries[index]
+        meridian = entries[meridian_index]
+        rest = sorted(entries[j] for j in range(len(entries))
+                      if j not in (index, meridian_index))
+        view = (own, meridian, tuple(rest))
+        if best_view is None or view < best_view:
+            best_view = view
+    return best_view
+
+
+def oracle_ordered_orbits(config: Configuration, group: RotationGroup,
+                          orbits=None, center=None) -> list[list[int]]:
+    from repro.core.decomposition import orbit_decomposition
+
+    if orbits is None:
+        orbits = orbit_decomposition(config, group, center)
+    c = np.asarray(center if center is not None else config.center,
+                   dtype=float)
+    scale = max(config.radius, 1e-300)
+
+    by_radius: dict[float, list[list[int]]] = {}
+    for orbit in orbits:
+        radius = _round(
+            float(np.linalg.norm(config.points[orbit[0]] - c)) / scale)
+        by_radius.setdefault(radius, []).append(orbit)
+    result: list[list[int]] = []
+    for radius in sorted(by_radius):
+        tied = by_radius[radius]
+        if len(tied) == 1:
+            result.extend(tied)
+            continue
+        keyed = sorted(
+            (min(oracle_local_view(config, j) for j in orbit), orbit)
+            for orbit in tied)
+        for (view_a, _), (view_b, _) in zip(keyed, keyed[1:]):
+            if view_a == view_b:
+                raise ConfigurationError(
+                    "orbits are not totally ordered (multiset ambiguity)")
+        result.extend(orbit for _, orbit in keyed)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Sequential matching M(P, F̃) (pre-kernel robots.algorithms.matching)
+# ----------------------------------------------------------------------
+def oracle_match(config: Configuration, embedded) -> list[np.ndarray]:
+    targets = [np.asarray(p, dtype=float) for p in embedded]
+    if len(targets) != config.n:
+        raise MatchingError("embedded pattern size must match the swarm")
+    slack = 1e-6 * max(config.radius, 1.0)
+
+    direct = _direct_cases(config, targets, slack)
+    if direct is not None:
+        return direct
+
+    group = config.rotation_group
+    if group is None:
+        raise MatchingError("matching requires a finite rotation group")
+
+    p_orbits = oracle_ordered_orbits(config, group)
+    positions, multiplicities = _collapse(targets, slack)
+    f_orbits = _target_position_orbits(config, group, positions,
+                                       multiplicities, slack)
+
+    assignments = _assign_orbits(config, group, p_orbits, f_orbits)
+    destinations: list[np.ndarray | None] = [None] * config.n
+    for orbit, (orbit_positions, per_position) in assignments:
+        _match_within_orbit(config, group, orbit, orbit_positions,
+                            per_position, destinations, slack)
+    assert all(d is not None for d in destinations)
+    return destinations  # type: ignore[return-value]
+
+
+def _direct_cases(config, targets, slack) -> list[np.ndarray] | None:
+    distinct, _ = _collapse(targets, slack)
+    if len(distinct) == 1:
+        return [distinct[0].copy() for _ in range(config.n)]
+    if len(distinct) == config.n and _same_point_set(
+            config.points, targets, slack):
+        return [p.copy() for p in config.points]
+    return None
+
+
+def _same_point_set(a, b, slack) -> bool:
+    remaining = [np.asarray(q, dtype=float) for q in b]
+    for p in a:
+        hit = None
+        for i, q in enumerate(remaining):
+            if float(np.linalg.norm(p - q)) <= slack:
+                hit = i
+                break
+        if hit is None:
+            return False
+        remaining.pop(hit)
+    return True
+
+
+def _collapse(points, slack):
+    distinct: list[np.ndarray] = []
+    multiplicities: list[int] = []
+    for p in points:
+        for i, q in enumerate(distinct):
+            if float(np.linalg.norm(p - q)) <= slack:
+                multiplicities[i] += 1
+                break
+        else:
+            distinct.append(p)
+            multiplicities.append(1)
+    return distinct, multiplicities
+
+
+def _target_position_orbits(config, group: RotationGroup, positions,
+                            multiplicities, slack):
+    center = config.center
+    unassigned = list(range(len(positions)))
+    orbits: list[list[int]] = []
+    while unassigned:
+        seed = unassigned[0]
+        members: list[int] = []
+        for mat in group.elements:
+            image = center + mat @ (positions[seed] - center)
+            idx = _find_index(positions, image, slack)
+            if idx is None:
+                raise MatchingError(
+                    "gamma(P) does not act on the embedded pattern")
+            if idx not in members:
+                members.append(idx)
+        if multiplicities[seed] != multiplicities[members[0]]:
+            raise MatchingError("inconsistent multiplicities on an orbit")
+        for idx in members:
+            if idx in unassigned:
+                unassigned.remove(idx)
+        orbits.append(sorted(members))
+
+    entries = []
+    for orbit in orbits:
+        stabilizer = group.order // len(orbit)
+        mult = multiplicities[orbit[0]]
+        if mult % stabilizer != 0:
+            raise MatchingError(
+                "multiplicity not divisible by the stabilizer size "
+                "(embedded pattern violates Definition 6)")
+        capacity = mult // stabilizer
+        entries.append({
+            "positions": [positions[i] for i in orbit],
+            "per_position": stabilizer,
+            "capacity": capacity,
+        })
+    return _order_target_orbits(config, entries)
+
+
+def _order_target_orbits(config, entries):
+    f_config = Configuration([p for e in entries for p in e["positions"]])
+    views: dict[int, tuple] = {}
+    flat = 0
+    for ei, e in enumerate(entries):
+        best = None
+        for _ in e["positions"]:
+            v = oracle_local_view(f_config, flat)
+            best = v if best is None or v < best else best
+            flat += 1
+        views[ei] = best
+
+    center = config.center
+    scale = max(config.radius, 1e-300)
+
+    def key(ei):
+        e = entries[ei]
+        radius = float(canonical_round(
+            np.linalg.norm(e["positions"][0] - center) / scale, 6))
+        profile = sorted(
+            tuple(sorted(float(canonical_round(
+                np.linalg.norm(f - p) / scale, 6))
+                for p in config.points))
+            for f in e["positions"])
+        return (radius, views[ei], tuple(profile))
+
+    order = sorted(range(len(entries)), key=key)
+    keys = [key(ei) for ei in order]
+    resolved: list[int] = []
+    i = 0
+    while i < len(order):
+        j = i
+        while j + 1 < len(order) and keys[j + 1] == keys[i]:
+            j += 1
+        if j == i:
+            resolved.append(order[i])
+        else:
+            tied = order[i:j + 1]
+            chiral = sorted(
+                (_orbit_chiral_key(config, entries[ei]["positions"]), ei)
+                for ei in tied)
+            for (a, _), (b, _) in zip(chiral, chiral[1:]):
+                if a == b:
+                    raise MatchingError(
+                        "embedded pattern orbits are not totally ordered")
+            resolved.extend(ei for _, ei in chiral)
+        i = j + 1
+    return [entries[ei] for ei in resolved]
+
+
+def _orbit_chiral_key(config, positions) -> tuple:
+    center = config.center
+    scale = max(config.radius, 1e-300)
+    rel_p = [(p - center) / scale for p in config.points]
+    radii = [float(canonical_round(np.linalg.norm(r), 6)) for r in rel_p]
+    profile = []
+    for f in positions:
+        rel_f = (f - center) / scale
+        entries = []
+        for i, p in enumerate(rel_p):
+            for j in range(i + 1, len(rel_p)):
+                q = rel_p[j]
+                key_i = (float(canonical_round(
+                    np.linalg.norm(rel_f - p), 6)), radii[i])
+                key_j = (float(canonical_round(
+                    np.linalg.norm(rel_f - q), 6)), radii[j])
+                if key_i < key_j:
+                    first, second, ka, kb = p, q, key_i, key_j
+                else:
+                    first, second, ka, kb = q, p, key_j, key_i
+                det = float(np.linalg.det(
+                    np.column_stack([rel_f, first, second])))
+                if key_i == key_j:
+                    det = abs(det)
+                entries.append((ka, kb, float(canonical_round(det, 5))))
+        entries.sort()
+        profile.append(tuple(entries))
+    profile.sort()
+    return tuple(profile)
+
+
+def _find_index(points, image, slack) -> int | None:
+    for i, p in enumerate(points):
+        if float(np.linalg.norm(p - image)) <= 10 * slack:
+            return i
+    return None
+
+
+def _assign_orbits(config, group, p_orbits, f_entries):
+    slots = []
+    for entry in f_entries:
+        for _ in range(entry["capacity"]):
+            slots.append((entry["positions"], entry["per_position"]))
+    if len(slots) != len(p_orbits):
+        raise MatchingError(
+            f"orbit count mismatch: {len(p_orbits)} robot orbits vs "
+            f"{len(slots)} target capacity slots")
+    for orbit, slot in zip(p_orbits, slots):
+        expected = slot[1] * len(slot[0])
+        if len(orbit) != expected:
+            raise MatchingError(
+                "orbit sizes do not line up with target capacities")
+    return list(zip(p_orbits, slots))
+
+
+def _match_within_orbit(config, group, orbit, positions, per_position,
+                        destinations, slack):
+    center = config.center
+    nearest: dict[int, list[int]] = {}
+    for robot in orbit:
+        p = config.points[robot]
+        dists = [float(np.linalg.norm(p - f)) for f in positions]
+        d_min = min(dists)
+        ties = [j for j, d in enumerate(dists) if d <= d_min + 10 * slack]
+        nearest[robot] = ties
+
+    chosen: dict[int, int] = {}
+    for robot in orbit:
+        ties = nearest[robot]
+        if len(ties) == 1:
+            chosen[robot] = ties[0]
+        elif len(ties) == 2:
+            chosen[robot] = _chirality_pick(
+                group,
+                config.points[robot] - center,
+                positions[ties[0]] - center,
+                positions[ties[1]] - center, ties, slack)
+        else:
+            raise MatchingError(
+                f"robot has {len(ties)} nearest targets; Lemma 14 "
+                "guarantees at most two for free orbits")
+
+    counts = [0] * len(positions)
+    for robot in orbit:
+        counts[chosen[robot]] += 1
+    if any(c != per_position for c in counts):
+        raise MatchingError(
+            "nearest matching is unbalanced; chirality rule failed "
+            f"(counts {counts}, expected {per_position} each)")
+    for robot in orbit:
+        destinations[robot] = positions[chosen[robot]].copy()
+
+
+def _chirality_pick(group, p_rel, f0_rel, f1_rel, ties, slack):
+    det = float(np.linalg.det(np.column_stack([p_rel, f0_rel, f1_rel])))
+    scale = (np.linalg.norm(p_rel) * np.linalg.norm(f0_rel)
+             * np.linalg.norm(f1_rel))
+    if abs(det) > 1e-7 * max(scale, 1e-300):
+        return ties[0] if det > 0 else ties[1]
+
+    from repro.geometry.rotations import rotation_angle, rotation_axis
+
+    picks = set()
+    for mat in group.elements:
+        if float(np.linalg.norm(mat @ f0_rel - f1_rel)) > 10 * slack:
+            continue
+        if rotation_angle(mat) < 1e-9:
+            continue
+        axis = rotation_axis(mat)
+        s0 = float(np.linalg.det(np.column_stack([axis, p_rel, f0_rel])))
+        s1 = float(np.linalg.det(np.column_stack([axis, p_rel, f1_rel])))
+        if abs(s0 - s1) <= 1e-9 * max(scale, 1e-300):
+            continue
+        picks.add(ties[0] if s0 > s1 else ties[1])
+    if len(picks) != 1:
+        raise MatchingError(
+            "degenerate chirality tie between nearest targets")
+    return picks.pop()

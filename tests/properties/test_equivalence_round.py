@@ -1,0 +1,244 @@
+"""Randomized equivalence: batched round engine vs the round oracle.
+
+Over 200 seeded configurations are replayed through both the
+production round pipeline (einsum Look phase, vectorized local views,
+KD-tree matching kernels, indexed round cache ON and OFF) and the
+frozen pre-batching implementation in ``round_oracle``.  Local views
+must agree *exactly* (they are rounded tuples); Look-phase and
+matching destinations must agree to float noise.
+
+The matching zoo deliberately includes the two delicate regimes named
+by the paper: multiset targets with ``k·j`` points on a ``k``-fold
+axis (Definition 6), and half-step rotated target orbits whose
+nearest-target ties exercise the Lemma 14 chirality rule.
+"""
+
+import numpy as np
+import pytest
+
+from round_oracle import (
+    oracle_local_view,
+    oracle_match,
+    oracle_ordered_orbits,
+    oracle_step,
+)
+
+from repro import perf
+from repro.core.configuration import Configuration
+from repro.core.local_views import local_view, ordered_orbits
+from repro.errors import ReproError
+from repro.geometry.rotations import rotation_about_axis
+from repro.patterns import polyhedra
+from repro.patterns.library import named_pattern, pattern_names
+from repro.robots.adversary import random_frames
+from repro.robots.algorithms.go_to_center import go_to_center_algorithm
+from repro.robots.algorithms.matching import match_configuration_to_pattern
+from repro.robots.algorithms.pattern_formation import (
+    make_pattern_formation_algorithm,
+)
+from repro.robots.scheduler import FsyncScheduler
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    perf.clear_caches()
+    perf.set_enabled(True)
+    yield
+    perf.set_enabled(True)
+    perf.clear_caches()
+
+
+def _random_rotation(rng) -> np.ndarray:
+    q = rng.normal(size=4)
+    q /= np.linalg.norm(q)
+    w, x, y, z = q
+    return np.array([
+        [1 - 2 * (y * y + z * z), 2 * (x * y - w * z), 2 * (x * z + w * y)],
+        [2 * (x * y + w * z), 1 - 2 * (x * x + z * z), 2 * (y * z - w * x)],
+        [2 * (x * z - w * y), 2 * (y * z + w * x), 1 - 2 * (x * x + y * y)],
+    ])
+
+
+def _posed(points, rng):
+    rot = _random_rotation(rng)
+    scale = float(rng.uniform(0.5, 3.0))
+    shift = rng.normal(size=3)
+    return [rot @ (scale * np.asarray(p, dtype=float)) + shift
+            for p in points], rot, scale, shift
+
+
+def _view_zoo(seed: int):
+    """Configuration families exercising every local-view branch."""
+    rng = np.random.default_rng(seed)
+    family = seed % 6
+    if family == 0:  # generic cloud
+        n = int(rng.integers(4, 25))
+        return [rng.normal(size=3) for _ in range(n)]
+    if family == 1:  # polyhedron in a random pose (orbit radius ties)
+        name = pattern_names()[seed % len(pattern_names())]
+        return _posed(named_pattern(name), rng)[0]
+    if family == 2:  # prism / antiprism / pyramid
+        k = int(rng.integers(3, 9))
+        builder = (polyhedra.prism, polyhedra.antiprism,
+                   polyhedra.pyramid)[seed % 3]
+        return _posed(builder(k), rng)[0]
+    if family == 3:  # center-occupied (the sentinel view)
+        n = int(rng.integers(4, 12))
+        pts = [rng.normal(size=3) for _ in range(n)]
+        center = Configuration(pts).center
+        return pts + [center]
+    if family == 4:  # near-axis points (meridian degeneracies)
+        k = int(rng.integers(3, 7))
+        pts = list(polyhedra.pyramid(k))
+        pts.append(np.array([0.0, 0.0, float(rng.uniform(0.2, 0.8))]))
+        return _posed(pts, rng)[0]
+    # family == 5: two concentric shells (inner-ball gap clustering)
+    k = int(rng.integers(3, 7))
+    inner = [0.5 * p for p in polyhedra.regular_polygon_pattern(k)]
+    outer = list(polyhedra.antiprism(k))
+    return _posed(inner + outer, rng)[0]
+
+
+@pytest.mark.parametrize("enabled", [True, False])
+@pytest.mark.parametrize("seed", range(72))
+def test_local_views_and_orbit_order_match_oracle(seed, enabled):
+    perf.set_enabled(enabled)
+    points = _view_zoo(seed)
+    config = Configuration(points)
+    for i in range(config.n):
+        assert local_view(config, i) == oracle_local_view(config, i)
+    report = config.symmetry
+    if report.kind == "finite":
+        try:
+            expected = oracle_ordered_orbits(config, report.group)
+        except ReproError:
+            expected = None
+        if expected is not None:
+            assert ordered_orbits(config, report.group) == expected
+
+
+def _step_zoo(seed: int):
+    """(algorithm, frames, points, target) for one Look-phase replay."""
+    rng = np.random.default_rng(seed)
+    if seed % 2 == 0:
+        n = int(rng.integers(4, 13))
+        points = [rng.normal(size=3) for _ in range(n)]
+        target = polyhedra.regular_polygon_pattern(n)
+        algorithm = make_pattern_formation_algorithm(target)
+    else:
+        name = ("cube", "octahedron", "icosahedron")[seed % 3]
+        points = list(named_pattern(name))
+        target = None
+        algorithm = go_to_center_algorithm
+    frames = random_frames(len(points), rng)
+    return algorithm, frames, points, target
+
+
+@pytest.mark.parametrize("enabled", [True, False])
+@pytest.mark.parametrize("seed", range(40))
+def test_batched_step_matches_serial_oracle(seed, enabled):
+    """The einsum Look phase must reproduce the per-robot observe loop
+    (same algorithm on both sides — the Compute phase is shared)."""
+    perf.set_enabled(enabled)
+    algorithm, frames, points, target = _step_zoo(seed)
+    scheduler = FsyncScheduler(algorithm, frames, target=target)
+    batched = scheduler.step(points)
+    perf.clear_caches()
+    serial = oracle_step(algorithm, frames, points, target=target)
+    scale = max(Configuration(points).radius, 1.0)
+    for a, b in zip(batched, serial):
+        assert float(np.linalg.norm(a - b)) <= 1e-7 * scale
+
+
+def _cyclic_instance(seed: int):
+    """A C_k-symmetric swarm and a compatible embedded target F̃.
+
+    ``P`` is a union of free C_k orbits of generic points; ``F̃``
+    rotates and re-scales each orbit about the axis.  Variants by
+    seed: half-step rotations (equidistant nearest-target ties →
+    Lemma 14 chirality rule) and a Definition 6 multiset orbit whose
+    ``k`` targets collapse onto the k-fold axis.
+    """
+    rng = np.random.default_rng(10_000 + seed)
+    k = int(rng.integers(3, 7))
+    orbit_count = int(rng.integers(2, 4))
+    tie_break = seed % 3 == 1
+    multiset_axis = seed % 3 == 2
+
+    axis = np.array([0.0, 0.0, 1.0])
+    points: list[np.ndarray] = []
+    targets: list[np.ndarray] = []
+    for o in range(orbit_count):
+        radius = float(rng.uniform(0.6, 2.0)) + o
+        height = float(rng.uniform(-0.8, 0.8))
+        phase = float(rng.uniform(0, 2 * np.pi))
+        base = np.array([radius * np.cos(phase),
+                         radius * np.sin(phase), height])
+        orbit = [rotation_about_axis(axis, 2 * np.pi * j / k) @ base
+                 for j in range(k)]
+        points.extend(orbit)
+        if multiset_axis and o == orbit_count - 1:
+            # k robots head to one point ON the k-fold axis: the
+            # stabilizer has size k, multiplicity k·1 (Definition 6).
+            targets.extend([np.array([0.0, 0.0, height + 0.3])] * k)
+        else:
+            angle = np.pi / k if tie_break else float(rng.uniform(0, 2))
+            twist = rotation_about_axis(axis, angle)
+            factor = 1.0 if tie_break else float(rng.uniform(0.7, 1.3))
+            targets.extend(_scale_about(twist @ p, axis, factor)
+                           for p in orbit)
+    pose_rot = _random_rotation(rng)
+    pose_shift = rng.normal(size=3)
+    points = [pose_rot @ p + pose_shift for p in points]
+    targets = [pose_rot @ f + pose_shift for f in targets]
+    return points, targets
+
+
+def _scale_about(p, axis, factor):
+    height = float(p @ axis)
+    return factor * (p - height * axis) + height * axis
+
+
+@pytest.mark.parametrize("enabled", [True, False])
+@pytest.mark.parametrize("seed", range(80))
+def test_matching_kernels_match_oracle(seed, enabled):
+    perf.set_enabled(enabled)
+    points, targets = _cyclic_instance(seed)
+    config = Configuration(points)
+    oracle_config = Configuration(points)
+    try:
+        expected = oracle_match(oracle_config, targets)
+        expected_error = None
+    except ReproError as exc:
+        expected, expected_error = None, type(exc)
+    if expected_error is not None:
+        with pytest.raises(expected_error):
+            match_configuration_to_pattern(config, targets)
+        return
+    actual = match_configuration_to_pattern(config, targets)
+    scale = max(config.radius, 1.0)
+    for a, b in zip(actual, expected):
+        assert float(np.linalg.norm(a - b)) <= 1e-7 * scale
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_psi_pf_destinations_cache_on_equals_cache_off(seed):
+    """The round cache's conjugated destinations must agree with the
+    direct per-robot computation for every robot of a round."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(4, 13))
+    points = [rng.normal(size=3) for _ in range(n)]
+    target = polyhedra.regular_polygon_pattern(n)
+    frames = random_frames(n, rng)
+    algorithm = make_pattern_formation_algorithm(target)
+    scheduler = FsyncScheduler(algorithm, frames, target=target)
+
+    perf.set_enabled(True)
+    perf.clear_caches()
+    cached = scheduler.step(points)
+    assert perf.cache_stats()["round"]["hits"] > 0
+    perf.set_enabled(False)
+    direct = scheduler.step(points)
+    scale = max(Configuration(points).radius, 1.0)
+    for a, b in zip(cached, direct):
+        assert float(np.linalg.norm(a - b)) <= 1e-6 * scale
