@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke bench-json
+.PHONY: test lint bench bench-smoke bench-smoke-json bench-json
 
 test:
 	$(PYTHON) -m pytest -q
@@ -25,6 +25,15 @@ bench:
 # benchmarked callable once with timing disabled.
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks -k detection --benchmark-disable -q
+
+# CI artifact: one quick timed pass over the same detection
+# benchmarks, condensed to bench-smoke.json at the repo root.
+# (--benchmark-disable produces no JSON, so this uses minimal rounds.)
+bench-smoke-json:
+	$(PYTHON) benchmarks/run_benchmarks.py --output bench-smoke.json \
+		--select "benchmarks/bench_scaling.py -k detection \
+		--benchmark-min-rounds=1 --benchmark-max-time=0.1 \
+		--benchmark-warmup=off"
 
 bench-json:
 	$(PYTHON) benchmarks/run_benchmarks.py

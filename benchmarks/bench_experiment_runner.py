@@ -1,0 +1,105 @@
+"""Experiment RUNNER — the cache hierarchy and the parallel fan-out.
+
+Times the experiment drivers through the zero-copy runner (the rows
+are asserted bit-identical for any ``--jobs``; see the equivalence
+suites) and the L3 cold-vs-warm cost of the catalog/lattice artifacts.
+Each benchmark records the post-run cache-hierarchy counters into
+``extra_info`` so the emitted ``BENCH_*.json`` carries hit/miss
+evidence next to the timings.
+"""
+
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro import perf
+from repro.analysis import experiments
+from repro.groups.catalog import icosahedral_group
+from repro.groups.subgroups import enumerate_concrete_subgroups
+from repro.perf import disk
+from repro.perf.stats import hierarchy_stats
+
+
+def _snapshot(benchmark) -> None:
+    stats = hierarchy_stats()
+    benchmark.extra_info["cache_stats"] = {
+        level: {k: v for k, v in counters.items()
+                if isinstance(v, (int, float))}
+        for level, counters in stats.items()
+    }
+
+
+@pytest.fixture()
+def isolated_l3(tmp_path):
+    disk.configure(root=tmp_path / "l3")
+    yield
+    disk.configure()
+
+
+def test_lemma7_runner(benchmark, jobs, isolated_l3):
+    def setup():
+        perf.clear_caches()
+        return (), {"trials": 6, "seed": 0, "jobs": jobs}
+
+    rows = benchmark.pedantic(experiments.lemma7_experiment,
+                              setup=setup, rounds=3, iterations=1)
+    assert all(row["all_in_rho"] for row in rows)
+    _snapshot(benchmark)
+
+
+def test_theorem11_runner(benchmark, jobs, isolated_l3):
+    def setup():
+        perf.clear_caches()
+        return (), {"seed": 0, "jobs": jobs}
+
+    rows = benchmark.pedantic(experiments.theorem11_experiment,
+                              setup=setup, rounds=3, iterations=1)
+    assert all(row.consistent for row in rows)
+    _snapshot(benchmark)
+
+
+def _catalog_and_lattice():
+    group = icosahedral_group()
+    return enumerate_concrete_subgroups(group)
+
+
+def test_catalog_lattice_cold(benchmark):
+    """Cold start: a fresh L3 root every round — full group closure
+    plus the full subgroup enumeration."""
+    roots = []
+
+    def setup():
+        perf.clear_caches()
+        root = Path(tempfile.mkdtemp(prefix="repro-bench-l3-"))
+        roots.append(root)
+        disk.configure(root=root)
+        return (), {}
+
+    try:
+        lattice = benchmark.pedantic(_catalog_and_lattice, setup=setup,
+                                     rounds=3, iterations=1)
+    finally:
+        disk.configure()
+    assert len(lattice) == 59
+    _snapshot(benchmark)
+
+
+def test_catalog_lattice_warm(benchmark, tmp_path):
+    """Warm start: same L3 root, fresh L1 — the catalog stack and the
+    pickled lattice are served from disk."""
+    disk.configure(root=tmp_path / "l3-warm")
+    try:
+        _catalog_and_lattice()  # populate
+
+        def setup():
+            perf.clear_caches()
+            return (), {}
+
+        lattice = benchmark.pedantic(_catalog_and_lattice, setup=setup,
+                                     rounds=5, iterations=1,
+                                     warmup_rounds=1)
+    finally:
+        disk.configure()
+    assert len(lattice) == 59
+    _snapshot(benchmark)

@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import datetime
 import json
+import shlex
 import subprocess
 import sys
 import tempfile
@@ -28,11 +29,16 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def run_pytest_benchmarks(selector: str) -> dict:
-    """Run the benchmark suite, returning the pytest-benchmark JSON."""
+    """Run the benchmark suite, returning the pytest-benchmark JSON.
+
+    ``selector`` is split shell-style, so compound selectors like
+    ``"benchmarks/bench_experiment_runner.py -k lemma7 --jobs 4"``
+    pass through as separate pytest arguments.
+    """
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
         raw_path = Path(handle.name)
     command = [
-        sys.executable, "-m", "pytest", selector,
+        sys.executable, "-m", "pytest", *shlex.split(selector),
         "--benchmark-only", f"--benchmark-json={raw_path}",
         "-q", "-p", "no:cacheprovider",
     ]
@@ -49,14 +55,20 @@ def condense(raw: dict) -> list[dict]:
     records = []
     for bench in raw.get("benchmarks", []):
         stats = bench["stats"]
-        records.append({
+        record = {
             "name": bench["name"],
             "group": bench.get("group"),
             "mean_ms": round(stats["mean"] * 1000.0, 4),
             "stddev_ms": round(stats["stddev"] * 1000.0, 4),
             "min_ms": round(stats["min"] * 1000.0, 4),
             "rounds": stats["rounds"],
-        })
+        }
+        extra = bench.get("extra_info") or {}
+        if extra:
+            # Carry benchmark-recorded evidence (e.g. the cache
+            # hierarchy's hit/miss counters) into the condensed file.
+            record["extra_info"] = extra
+        records.append(record)
     records.sort(key=lambda r: r["name"])
     return records
 

@@ -7,9 +7,16 @@ reports, and EXPERIMENTS.md records paper-vs-measured.
 
 The randomized sweeps accept a ``jobs`` parameter: independent trials
 fan out over a process pool (:func:`repro.perf.parallel_map`).  Every
-trial derives its RNG as ``default_rng(seed + t)`` and starts from
+trial derives its RNG from its own ``SeedSequence`` child stream
+(:func:`repro.perf.spawn_seeds` — the old ``default_rng(seed + t)``
+convention collided across adjacent experiment seeds) and starts from
 cleared congruence caches, so the returned rows are bit-identical for
 any ``jobs`` value, including the inline ``jobs=1`` reference path.
+
+Trial inputs travel as zero-copy shared-memory descriptors
+(:func:`repro.perf.blocks.packed_arrays`): each driver packs its
+pattern arrays into one segment up front, and the per-trial payload
+pickled through the pool is a few dozen bytes.
 """
 
 from __future__ import annotations
@@ -54,11 +61,15 @@ def _spec_of(config: Configuration) -> str:
     return str(report.spec) if report.kind == "finite" else report.kind
 
 
+def _points_of(ref) -> list[np.ndarray]:
+    """Materialize an :class:`ArrayRef` as the usual list of points."""
+    return [np.array(row) for row in ref.load()]
+
+
 def _lemma7_trial(payload):
-    name, trial_seed = payload
-    points = named_pattern(name)
-    rng = np.random.default_rng(trial_seed)
-    frames = random_frames(len(points), rng)
+    ref, stream = payload
+    points = _points_of(ref)
+    frames = random_frames(len(points), np.random.default_rng(stream))
     scheduler = FsyncScheduler(go_to_center_algorithm, frames)
     after = Configuration(scheduler.step(points))
     return after.symmetry.spec
@@ -72,11 +83,15 @@ def lemma7_experiment(trials: int = 10, seed: int = 0,
     each row records the distribution of ``γ(P')`` over random local
     frames and whether every outcome lies in ``ϱ(P)``.
     """
-    from repro.perf import parallel_map
+    from repro.perf import parallel_map, spawn_seeds
+    from repro.perf.blocks import packed_arrays
 
-    items = [(name, seed + t)
-             for name in GOC_POLYHEDRA for t in range(trials)]
-    specs = parallel_map(_lemma7_trial, items, jobs=jobs)
+    streams = spawn_seeds(seed, len(GOC_POLYHEDRA) * trials)
+    patterns = [named_pattern(name) for name in GOC_POLYHEDRA]
+    with packed_arrays(patterns) as refs:
+        items = [(refs[i], streams[i * trials + t])
+                 for i in range(len(GOC_POLYHEDRA)) for t in range(trials)]
+        specs = parallel_map(_lemma7_trial, items, jobs=jobs)
     rows = []
     for row_index, name in enumerate(GOC_POLYHEDRA):
         rho = symmetricity(Configuration(named_pattern(name)))
@@ -113,10 +128,9 @@ def _theorem41_cases() -> list[tuple[str, list[np.ndarray]]]:
 
 
 def _theorem41_trial(payload):
-    case_index, trial_seed = payload
-    _, points = _theorem41_cases()[case_index]
-    rng = np.random.default_rng(trial_seed)
-    frames = random_frames(len(points), rng)
+    ref, stream = payload
+    points = _points_of(ref)
+    frames = random_frames(len(points), np.random.default_rng(stream))
     scheduler = FsyncScheduler(psi_sym, frames)
     result = scheduler.run(points, stop_condition=is_sym_terminal,
                            max_rounds=20)
@@ -132,12 +146,16 @@ def _theorem41_trial(payload):
 def theorem41_experiment(trials: int = 5, seed: int = 0,
                          jobs: int = 1) -> list[dict]:
     """``ψ_SYM`` terminates with ``γ(P') ∈ ϱ(P)`` within 7 steps."""
-    from repro.perf import parallel_map
+    from repro.perf import parallel_map, spawn_seeds
+    from repro.perf.blocks import packed_arrays
 
     cases = _theorem41_cases()
-    items = [(case_index, seed + t)
-             for case_index in range(len(cases)) for t in range(trials)]
-    trial_rows = parallel_map(_theorem41_trial, items, jobs=jobs)
+    streams = spawn_seeds(seed, len(cases) * trials)
+    with packed_arrays([points for _, points in cases]) as refs:
+        items = [(refs[case_index], streams[case_index * trials + t])
+                 for case_index in range(len(cases))
+                 for t in range(trials)]
+        trial_rows = parallel_map(_theorem41_trial, items, jobs=jobs)
     rows = []
     for case_index, (name, points) in enumerate(cases):
         rho = symmetricity(Configuration(points))
@@ -221,8 +239,12 @@ class Theorem11Row:
 
 
 def _theorem11_instance_row(payload) -> Theorem11Row:
-    index, seed = payload
-    p_name, p_points, f_name, f_points = _theorem11_instances()[index]
+    p_name, f_name, p_ref, f_ref, stream = payload
+    p_points = _points_of(p_ref)
+    f_points = _points_of(f_ref)
+    # Three independent child streams, one per randomized probe, so
+    # adding or skipping a probe never shifts another's draws.
+    random_stream, worst_stream, bound_stream = stream.spawn(3)
     initial = Configuration(p_points)
     target = Configuration(f_points)
     report = formability_report(initial, target)
@@ -231,17 +253,17 @@ def _theorem11_instance_row(payload) -> Theorem11Row:
     if report.formable:
         row.formed_random, row.rounds = _run_formation(
             p_points, f_points, random_frames(
-                len(p_points), np.random.default_rng(seed)))
+                len(p_points), np.random.default_rng(random_stream)))
         witness_spec = report.initial_symmetricity.maximal[0]
         witness = report.initial_symmetricity.witness(witness_spec)
         if witness is not None:
             frames = symmetric_frames(initial, witness,
-                                      np.random.default_rng(seed + 1))
+                                      np.random.default_rng(worst_stream))
             row.formed_worst_case, _ = _run_formation(
                 p_points, f_points, frames)
     else:
         row.lower_bound_held = _check_lower_bound(
-            initial, f_points, report, seed)
+            initial, f_points, report, np.random.default_rng(bound_stream))
     return row
 
 
@@ -254,11 +276,20 @@ def theorem11_experiment(seed: int = 0,
     blocking symmetry forever (checked for 10 rounds of ``ψ_PF``
     pressure with symmetric frames — Lemma 2's invariant).
     """
-    from repro.perf import parallel_map
+    from repro.perf import parallel_map, spawn_seeds
+    from repro.perf.blocks import packed_arrays
 
-    items = [(index, seed)
-             for index in range(len(_theorem11_instances()))]
-    return parallel_map(_theorem11_instance_row, items, jobs=jobs)
+    instances = _theorem11_instances()
+    streams = spawn_seeds(seed, len(instances))
+    arrays = []
+    for _, p_points, _, f_points in instances:
+        arrays.append(p_points)
+        arrays.append(f_points)
+    with packed_arrays(arrays) as refs:
+        items = [(p_name, f_name, refs[2 * i], refs[2 * i + 1], streams[i])
+                 for i, (p_name, p_points, f_name, f_points)
+                 in enumerate(instances)]
+        return parallel_map(_theorem11_instance_row, items, jobs=jobs)
 
 
 def _run_formation(p_points, f_points, frames,
@@ -276,7 +307,7 @@ def _run_formation(p_points, f_points, frames,
 
 
 def _check_lower_bound(initial: Configuration, f_points, report,
-                       seed: int) -> bool:
+                       rng) -> bool:
     """Lemma 2/4: under frames with ``σ(P) = G`` for a blocking ``G``,
     every reachable configuration keeps ``γ(P(t)) ⪰ G`` and never
     becomes similar to ``F``."""
@@ -286,8 +317,7 @@ def _check_lower_bound(initial: Configuration, f_points, report,
         return True
     spec = sorted(blocking)[-1]
     witness = report.initial_symmetricity.witness(spec)
-    frames = symmetric_frames(initial, witness,
-                              np.random.default_rng(seed + 2))
+    frames = symmetric_frames(initial, witness, rng)
     algorithm = make_pattern_formation_algorithm(f_points)
     scheduler = FsyncScheduler(algorithm, frames, target=f_points)
     points = initial.points
@@ -310,22 +340,27 @@ _FIGURE1_TARGETS = ("octagon", "square_antiprism")
 
 
 def _figure1_trial(payload):
-    target_name, trial_seed = payload
-    cube = named_pattern("cube")
-    target = named_pattern(target_name)
-    frames = random_frames(8, np.random.default_rng(trial_seed))
+    cube_ref, target_ref, stream = payload
+    cube = _points_of(cube_ref)
+    target = _points_of(target_ref)
+    frames = random_frames(len(cube), np.random.default_rng(stream))
     return _run_formation(cube, target, frames)
 
 
 def figure1_experiment(trials: int = 5, seed: int = 0,
                        jobs: int = 1) -> list[dict]:
     """Figure 1 — cube to regular octagon / square antiprism."""
-    from repro.perf import parallel_map
+    from repro.perf import parallel_map, spawn_seeds
+    from repro.perf.blocks import packed_arrays
 
     cube = named_pattern("cube")
-    items = [(target_name, seed + t)
-             for target_name in _FIGURE1_TARGETS for t in range(trials)]
-    outcomes = parallel_map(_figure1_trial, items, jobs=jobs)
+    streams = spawn_seeds(seed, len(_FIGURE1_TARGETS) * trials)
+    targets = [named_pattern(name) for name in _FIGURE1_TARGETS]
+    with packed_arrays([cube] + targets) as refs:
+        items = [(refs[0], refs[1 + i], streams[i * trials + t])
+                 for i in range(len(_FIGURE1_TARGETS))
+                 for t in range(trials)]
+        outcomes = parallel_map(_figure1_trial, items, jobs=jobs)
     rows = []
     for row_index, target_name in enumerate(_FIGURE1_TARGETS):
         target = named_pattern(target_name)

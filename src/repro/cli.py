@@ -48,11 +48,11 @@ def _load_pattern(spec: str) -> list[np.ndarray]:
 
 
 def _cmd_patterns(_args) -> int:
-    for name in pattern_names():
-        points = named_pattern(name)
-        config = Configuration(points)
-        print(f"{name:20s} n={config.n:3d}  "
-              f"gamma={config.rotation_group.spec}")
+    from repro.patterns.library import pattern_summaries
+
+    for summary in pattern_summaries():
+        print(f"{summary['name']:20s} n={summary['n']:3d}  "
+              f"gamma={summary['gamma']}")
     return 0
 
 
@@ -142,6 +142,30 @@ def _cmd_experiment(args) -> int:
     rows = drivers[args.name]()
     rows = [asdict(row) if is_dataclass(row) else row for row in rows]
     print(json.dumps(rows, indent=2, default=str))
+    if args.cache_stats:
+        from repro.perf import format_hierarchy
+
+        print(format_hierarchy(), file=sys.stderr)
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.perf import disk
+
+    store = disk.disk_cache()
+    if store is None:
+        print("disk cache: disabled (REPRO_DISK_CACHE=0)")
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entries from {store.root}")
+        return 0
+    info = store.info()
+    print(f"disk cache at {info['path']} (version {info['version']})")
+    print(f"  entries: {info['entries']}  bytes: {info['bytes']}")
+    for kind, counters in sorted(info["kinds"].items()):
+        print(f"  {kind:10s} entries={counters['entries']} "
+              f"bytes={counters['bytes']}")
     return 0
 
 
@@ -211,7 +235,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for the trial fan-out; results are "
              "bit-identical for any value")
+    experiment.add_argument(
+        "--cache-stats", action="store_true",
+        help="print L1/L2/L3 cache-hierarchy counters to stderr")
     experiment.set_defaults(func=_cmd_experiment)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk (L3) cache")
+    cache.add_argument("action", choices=["info", "clear"])
+    cache.set_defaults(func=_cmd_cache)
 
     sub.add_parser("tables", help="regenerate the paper's tables"
                    ).set_defaults(func=_cmd_tables)

@@ -38,6 +38,41 @@ __all__ = [
 GOLDEN_RATIO = (1.0 + np.sqrt(5.0)) / 2.0
 
 
+def _mark(group: RotationGroup, catalog_key: str) -> RotationGroup:
+    """Tag a standard-frame group as catalog-built.
+
+    The marker opts the group's subgroup lattice into the L3 on-disk
+    cache (:mod:`repro.perf.disk`): catalog element stacks are
+    bit-stable across runs, unlike detected arrangements.
+    """
+    group._catalog_key = catalog_key
+    return group
+
+
+def _cached_elements(name: str, build) -> list[np.ndarray]:
+    """Serve a polyhedral element stack from the L3 store.
+
+    The closure/enumeration that builds the stack is a pure function
+    of the catalog name (the constructors take no geometric inputs),
+    so one ``(kind="catalog", name)`` entry per polyhedral family
+    removes the cold-start rebuild from every CLI/benchmark run.
+    """
+    from repro.perf import disk as _disk
+    from repro.perf.stats import exact_digest
+
+    key = exact_digest(b"catalog", name)
+    found = _disk.disk_get("catalog", key)
+    if found is not None:
+        _, arrays = found
+        stack = arrays.get("elements")
+        if stack is not None and stack.ndim == 3:
+            return [np.array(mat) for mat in stack]
+    elements = build()
+    _disk.disk_put("catalog", key,
+                   arrays={"elements": np.asarray(elements, dtype=float)})
+    return elements
+
+
 def identity_group(tol: Tolerance = DEFAULT_TOL) -> RotationGroup:
     """The trivial group ``C_1``."""
     return cyclic_group(1, tol=tol)
@@ -50,8 +85,8 @@ def cyclic_group(k: int, axis=(0.0, 0.0, 1.0),
         raise GroupError("cyclic group needs k >= 1")
     elements = [rotation_about_axis(axis, 2.0 * np.pi * i / k)
                 for i in range(k)]
-    return RotationGroup(elements, spec=GroupSpec(GroupKind.CYCLIC, k),
-                         tol=tol)
+    return _mark(RotationGroup(elements, spec=GroupSpec(GroupKind.CYCLIC, k),
+                               tol=tol), f"C{k}")
 
 
 def dihedral_group(l: int, principal=(0.0, 0.0, 1.0),
@@ -73,37 +108,49 @@ def dihedral_group(l: int, principal=(0.0, 0.0, 1.0),
     for i in range(l):
         spin = rotation_about_axis(p, np.pi * i / l)
         elements.append(rotation_about_axis(spin @ s, np.pi))
-    return RotationGroup(elements, spec=GroupSpec(GroupKind.DIHEDRAL, l),
-                         tol=tol)
+    return _mark(RotationGroup(elements,
+                               spec=GroupSpec(GroupKind.DIHEDRAL, l),
+                               tol=tol), f"D{l}")
 
 
 def tetrahedral_group(tol: Tolerance = DEFAULT_TOL) -> RotationGroup:
     """The tetrahedral group ``T`` (order 12) in the standard frame."""
-    diagonals = [(1, 1, 1), (1, -1, -1), (-1, 1, -1), (-1, -1, 1)]
-    elements = [np.eye(3)]
-    for d in diagonals:
-        for sign in (1, -1):
-            elements.append(rotation_about_axis(d, sign * 2.0 * np.pi / 3.0))
-    for axis in [(1, 0, 0), (0, 1, 0), (0, 0, 1)]:
-        elements.append(rotation_about_axis(axis, np.pi))
-    return RotationGroup(elements, spec=GroupSpec(GroupKind.TETRAHEDRAL),
-                         tol=tol)
+    def build() -> list[np.ndarray]:
+        diagonals = [(1, 1, 1), (1, -1, -1), (-1, 1, -1), (-1, -1, 1)]
+        elements = [np.eye(3)]
+        for d in diagonals:
+            for sign in (1, -1):
+                elements.append(
+                    rotation_about_axis(d, sign * 2.0 * np.pi / 3.0))
+        for axis in [(1, 0, 0), (0, 1, 0), (0, 0, 1)]:
+            elements.append(rotation_about_axis(axis, np.pi))
+        return elements
+
+    return _mark(RotationGroup(_cached_elements("T", build),
+                               spec=GroupSpec(GroupKind.TETRAHEDRAL),
+                               tol=tol), "T")
 
 
 def octahedral_group(tol: Tolerance = DEFAULT_TOL) -> RotationGroup:
     """The octahedral group ``O`` (order 24) in the standard frame."""
-    elements = [np.eye(3)]
-    for axis in [(1, 0, 0), (0, 1, 0), (0, 0, 1)]:
-        for quarter in (1, 2, 3):
-            elements.append(rotation_about_axis(axis, quarter * np.pi / 2.0))
-    for d in [(1, 1, 1), (1, -1, -1), (-1, 1, -1), (-1, -1, 1)]:
-        for sign in (1, -1):
-            elements.append(rotation_about_axis(d, sign * 2.0 * np.pi / 3.0))
-    for d in [(1, 1, 0), (1, -1, 0), (1, 0, 1), (1, 0, -1),
-              (0, 1, 1), (0, 1, -1)]:
-        elements.append(rotation_about_axis(d, np.pi))
-    return RotationGroup(elements, spec=GroupSpec(GroupKind.OCTAHEDRAL),
-                         tol=tol)
+    def build() -> list[np.ndarray]:
+        elements = [np.eye(3)]
+        for axis in [(1, 0, 0), (0, 1, 0), (0, 0, 1)]:
+            for quarter in (1, 2, 3):
+                elements.append(
+                    rotation_about_axis(axis, quarter * np.pi / 2.0))
+        for d in [(1, 1, 1), (1, -1, -1), (-1, 1, -1), (-1, -1, 1)]:
+            for sign in (1, -1):
+                elements.append(
+                    rotation_about_axis(d, sign * 2.0 * np.pi / 3.0))
+        for d in [(1, 1, 0), (1, -1, 0), (1, 0, 1), (1, 0, -1),
+                  (0, 1, 1), (0, 1, -1)]:
+            elements.append(rotation_about_axis(d, np.pi))
+        return elements
+
+    return _mark(RotationGroup(_cached_elements("O", build),
+                               spec=GroupSpec(GroupKind.OCTAHEDRAL),
+                               tol=tol), "O")
 
 
 def icosahedral_group(tol: Tolerance = DEFAULT_TOL) -> RotationGroup:
@@ -113,14 +160,19 @@ def icosahedral_group(tol: Tolerance = DEFAULT_TOL) -> RotationGroup:
     vertex ``(0, 1, φ)`` and the 2-fold rotation about +z under
     products.
     """
-    gen_a = rotation_about_axis((0.0, 1.0, GOLDEN_RATIO), 2.0 * np.pi / 5.0)
-    gen_b = rotation_about_axis((0.0, 0.0, 1.0), np.pi)
-    elements = _close_under_products([np.eye(3), gen_a, gen_b])
-    if len(elements) != 60:
-        raise GroupError(
-            f"icosahedral closure produced {len(elements)} elements")
-    return RotationGroup(elements, spec=GroupSpec(GroupKind.ICOSAHEDRAL),
-                         tol=tol)
+    def build() -> list[np.ndarray]:
+        gen_a = rotation_about_axis((0.0, 1.0, GOLDEN_RATIO),
+                                    2.0 * np.pi / 5.0)
+        gen_b = rotation_about_axis((0.0, 0.0, 1.0), np.pi)
+        elements = _close_under_products([np.eye(3), gen_a, gen_b])
+        if len(elements) != 60:
+            raise GroupError(
+                f"icosahedral closure produced {len(elements)} elements")
+        return elements
+
+    return _mark(RotationGroup(_cached_elements("I", build),
+                               spec=GroupSpec(GroupKind.ICOSAHEDRAL),
+                               tol=tol), "I")
 
 
 def _close_under_products(generators: list[np.ndarray],

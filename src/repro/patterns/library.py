@@ -16,7 +16,8 @@ import numpy as np
 from repro.errors import GeometryError
 from repro.patterns import polyhedra
 
-__all__ = ["named_pattern", "pattern_names", "compose_shells"]
+__all__ = ["named_pattern", "pattern_names", "pattern_summary",
+           "pattern_summaries", "compose_shells"]
 
 _GENERATORS: dict[str, Callable[..., list[np.ndarray]]] = {
     "tetrahedron": polyhedra.regular_tetrahedron,
@@ -51,6 +52,44 @@ def named_pattern(name: str, radius: float = 1.0) -> list[np.ndarray]:
         raise GeometryError(
             f"unknown pattern {name!r}; known: {pattern_names()}") from None
     return generator(radius=radius)
+
+
+def pattern_summary(name: str, radius: float = 1.0) -> dict:
+    """Cardinality, ``γ(P)`` spec and congruence signature of a pattern.
+
+    The summary is persisted in the L3 on-disk cache
+    (:mod:`repro.perf.disk`, kind ``"pattern"``) keyed by the exact
+    generated point bytes, so listing the library (``repro patterns``)
+    skips every symmetry detection on a warm cache.
+    """
+    from repro.core.configuration import Configuration
+    from repro.core.signatures import congruence_signature
+    from repro.perf import disk as _disk
+    from repro.perf.stats import exact_digest
+
+    points = named_pattern(name, radius)
+    arr = np.asarray(points, dtype=float)
+    key = exact_digest(b"pattern", name, arr)
+    cached = _disk.disk_get_object("pattern", key)
+    if cached is not None:
+        return dict(cached)
+    config = Configuration(points)
+    report = config.symmetry
+    gamma = str(report.spec) if report.kind == "finite" else report.kind
+    summary = {
+        "name": name,
+        "n": int(config.n),
+        "gamma": gamma,
+        "signature": congruence_signature(
+            config.n, np.asarray(report.multiplicities, dtype=np.int64)),
+    }
+    _disk.disk_put_object("pattern", key, summary)
+    return summary
+
+
+def pattern_summaries(radius: float = 1.0) -> list[dict]:
+    """:func:`pattern_summary` for every library pattern, sorted."""
+    return [pattern_summary(name, radius) for name in pattern_names()]
 
 
 def compose_shells(*shells: list[np.ndarray],

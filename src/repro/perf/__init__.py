@@ -1,4 +1,4 @@
-"""Congruence-keyed memoization of the expensive symmetry pipeline.
+"""Congruence-keyed memoization and the three-level cache hierarchy.
 
 Every robot in the FSYNC model observes the *same* configuration up to
 a similarity transform (its local frame rotates and scales the global
@@ -10,11 +10,29 @@ stored canonical result onto the query with one certified rotation,
 and therefore pay the full ``γ(P)`` / ``ϱ(P)`` cost only once per
 congruence class per round.
 
+The package is organized as a cache hierarchy:
+
+* **L1** (:mod:`repro.perf.cache`, :mod:`repro.perf.round`) — the
+  in-process congruence and indexed-round caches;
+* **L2** (:mod:`repro.perf.shared`) — a cross-process read-mostly
+  shared-memory store keyed by digests of exact input bytes, shared by
+  the workers of a parallel experiment run;
+* **L3** (:mod:`repro.perf.disk`) — an on-disk persistent store under
+  ``.repro-cache/`` for cold-start artifacts (group catalog, subgroup
+  lattices, pattern signatures), keyed by package version.
+
+:mod:`repro.perf.parallel` runs experiment trials over a process pool
+with zero-copy shared-memory inputs (:mod:`repro.perf.blocks`), and
+:func:`hierarchy_stats` snapshots uniform hit/miss/eviction/bytes
+counters across all three levels.
+
 See ``docs/PERFORMANCE.md`` for the design and the argument for why
-congruence-invariant keys are safe.
+congruence-invariant keys — and exact-byte keys across processes —
+are safe.
 """
 
 from repro.perf.cache import (
+    cache_bytes,
     cache_stats,
     cached_subgroups,
     cached_symmetricity,
@@ -23,14 +41,16 @@ from repro.perf.cache import (
     is_enabled,
     set_enabled,
 )
-from repro.perf.parallel import parallel_map, seeded_trials
+from repro.perf.parallel import parallel_map, seeded_trials, spawn_seeds
 from repro.perf.round import (
     cached_equivariant_points,
     cached_invariant,
     round_view,
 )
+from repro.perf.stats import format_hierarchy, hierarchy_stats
 
 __all__ = [
+    "cache_bytes",
     "cache_stats",
     "cached_equivariant_points",
     "cached_invariant",
@@ -38,9 +58,12 @@ __all__ = [
     "cached_symmetricity",
     "cached_symmetry",
     "clear_caches",
+    "format_hierarchy",
+    "hierarchy_stats",
     "is_enabled",
     "parallel_map",
     "round_view",
     "seeded_trials",
     "set_enabled",
+    "spawn_seeds",
 ]

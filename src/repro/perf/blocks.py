@@ -1,0 +1,130 @@
+"""Zero-copy shared-memory blocks for trial inputs.
+
+The PR 2 runner pickled every trial's full input through the pool —
+for the experiment drivers that meant serializing the same pattern
+arrays once per trial.  This module packs the arrays into one
+``multiprocessing.shared_memory`` block up front and hands workers
+lightweight :class:`ArrayRef` descriptors (segment name, offset,
+shape, dtype): the only thing pickled per trial is a few dozen bytes,
+and every worker maps the same physical pages.
+
+``ArrayRef.load()`` returns a **read-only** view.  In the parent (and
+in fork-started workers, which inherit the registry) the original
+array is returned directly without touching the segment, so the
+inline ``jobs=1`` path pays nothing.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["ArrayRef", "ShmArena", "packed_arrays"]
+
+# (segment name, offset) -> original array, populated by the packing
+# process.  Fork-started workers inherit it and skip the attach.
+_LOCAL: dict[tuple[str, int], np.ndarray] = {}
+
+# Segment name -> attached SharedMemory, for workers that must map.
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """A picklable (segment, offset, shape, dtype) array descriptor."""
+
+    shm_name: str
+    offset: int
+    shape: tuple
+    dtype: str
+
+    def load(self) -> np.ndarray:
+        """The referenced array (read-only; zero-copy)."""
+        local = _LOCAL.get((self.shm_name, self.offset))
+        if local is not None:
+            return local
+        shm = _ATTACHED.get(self.shm_name)
+        if shm is None:
+            shm = shared_memory.SharedMemory(name=self.shm_name)
+            if multiprocessing.get_start_method(allow_none=True) != "fork":
+                # Spawn-started workers run their own resource tracker,
+                # which would unlink the (parent-owned) segment at
+                # worker exit unless the attach is unregistered.  Fork
+                # workers share the parent's tracker — there the
+                # attach-side registration is a set no-op and
+                # unregistering would break the owner's unlink.
+                try:
+                    from multiprocessing import resource_tracker
+
+                    resource_tracker.unregister(shm._name, "shared_memory")
+                except Exception:  # noqa: BLE001 — best-effort
+                    pass
+            _ATTACHED[self.shm_name] = shm
+        array = np.ndarray(self.shape, dtype=np.dtype(self.dtype),
+                           buffer=shm.buf, offset=self.offset)
+        array.flags.writeable = False
+        return array
+
+
+class ShmArena:
+    """One packed segment holding a fixed set of arrays."""
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 refs: list[ArrayRef]) -> None:
+        self._shm = shm
+        self.refs = refs
+
+    @classmethod
+    def pack(cls, arrays) -> "ShmArena":
+        """Copy ``arrays`` into a fresh segment, one ref per array."""
+        prepared = [np.ascontiguousarray(np.asarray(a, dtype=float))
+                    for a in arrays]
+        offsets = []
+        cursor = 0
+        for array in prepared:
+            offsets.append(cursor)
+            cursor += array.nbytes + (-array.nbytes) % 64
+        shm = shared_memory.SharedMemory(create=True, size=max(cursor, 1))
+        refs = []
+        for array, offset in zip(prepared, offsets):
+            view = np.ndarray(array.shape, dtype=array.dtype,
+                              buffer=shm.buf, offset=offset)
+            view[...] = array
+            view.flags.writeable = False
+            ref = ArrayRef(shm_name=shm.name, offset=offset,
+                           shape=tuple(array.shape), dtype=array.dtype.str)
+            _LOCAL[(shm.name, offset)] = view
+            refs.append(ref)
+        return cls(shm, refs)
+
+    def close(self) -> None:
+        """Release the packing process's mapping and unlink the segment.
+
+        Live views into the segment (the ``_LOCAL`` entries) keep the
+        mapping valid until they are dropped; unlinking only removes
+        the name.
+        """
+        for ref in self.refs:
+            _LOCAL.pop((ref.shm_name, ref.offset), None)
+        try:
+            self._shm.close()
+        except BufferError:
+            pass  # a view outlived the arena; the segment dies with it
+        try:
+            self._shm.unlink()
+        except OSError:
+            pass
+
+
+@contextmanager
+def packed_arrays(arrays):
+    """``with packed_arrays(arrays) as refs:`` — refs valid inside."""
+    arena = ShmArena.pack(arrays)
+    try:
+        yield arena.refs
+    finally:
+        arena.close()

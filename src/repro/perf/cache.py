@@ -21,6 +21,15 @@ Three caches, all invalidated together by :func:`clear_caches`:
 Keys contain only exact integers (plus the tolerance parameters);
 continuous data is compared tolerantly per entry.  See
 ``docs/PERFORMANCE.md`` for why this split is load-bearing.
+
+These caches are the **L1** level of the cache hierarchy.  On an L1
+miss the finite-group detection, the ``ϱ(P)`` computation, and the
+subgroup enumeration additionally consult the cross-process **L2**
+store (:mod:`repro.perf.shared`) under digests of their *exact* input
+bytes — the center-relative point array, the concrete group element
+stack and axis data — so sibling workers of a parallel run share the
+pure recomputation without ever sharing the history-dependent
+(conjugation-noisy) L1 state.
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ from repro.geometry.tolerance import DEFAULT_TOL, Tolerance
 from repro.groups import detection as _detection
 
 __all__ = [
+    "cache_bytes",
     "cache_stats",
     "cached_subgroups",
     "cached_symmetricity",
@@ -56,9 +66,9 @@ _symmetry_cache: OrderedDict[tuple, list] = OrderedDict()
 _subgroup_cache: OrderedDict[tuple, list] = OrderedDict()
 
 _stats = {
-    "symmetry": {"hits": 0, "misses": 0, "bypass": 0},
+    "symmetry": {"hits": 0, "misses": 0, "bypass": 0, "evictions": 0},
     "symmetricity": {"hits": 0, "misses": 0},
-    "subgroups": {"hits": 0, "misses": 0},
+    "subgroups": {"hits": 0, "misses": 0, "evictions": 0},
 }
 
 
@@ -116,9 +126,27 @@ def cache_stats() -> dict:
     return snapshot
 
 
-def _trim(cache: OrderedDict) -> None:
+def cache_bytes() -> int:
+    """Approximate retained bytes across the congruence caches."""
+    total = 0
+    for bucket in _symmetry_cache.values():
+        for entry in bucket:
+            total += (entry.rel_unit.nbytes + entry.mults.nbytes
+                      + entry.radii_unit.nbytes + entry.radii_sorted.nbytes)
+            group = entry.group
+            if group is not None:
+                total += group._stack.nbytes
+    for subgroups in _subgroup_cache.values():
+        total += sum(sub._stack.nbytes for sub in subgroups)
+    return total
+
+
+def _trim(cache: OrderedDict, stats_key: str) -> None:
+    counters = _stats[stats_key]
     while len(cache) > _MAX_CLASSES:
-        cache.popitem(last=False)
+        _, dropped = cache.popitem(last=False)
+        counters["evictions"] += (len(dropped)
+                                  if stats_key == "symmetry" else 1)
 
 
 def _tol_key(tol: Tolerance) -> tuple:
@@ -167,7 +195,16 @@ def cached_symmetry(points, tol: Tolerance = DEFAULT_TOL, ball=None):
             return report
 
     _stats["symmetry"]["misses"] += 1
-    _detection._finish_finite_report(report, pre, tol)
+    # L2: the detected group is a pure function of the exact
+    # center-relative array, multiplicities, ball radius and tolerance
+    # — siblings of a parallel run observing byte-identical world
+    # configurations share one detection.
+    from repro.perf import shared as _shared
+
+    report.group = _shared.shared_get_or_compute(
+        "gamma",
+        (b"gamma", pre.rel, mults, float(pre.ball.radius), _tol_key(tol)),
+        lambda: _detection._finish_finite_report(report, pre, tol).group)
     entry = _ClassEntry(rel_unit=rel_unit, mults=mults,
                         radii_unit=radii_unit,
                         radii_sorted=np.sort(radii_unit),
@@ -177,7 +214,7 @@ def cached_symmetry(points, tol: Tolerance = DEFAULT_TOL, ball=None):
     else:
         bucket.append(entry)
     _symmetry_cache.move_to_end(key)
-    _trim(_symmetry_cache)
+    _trim(_symmetry_cache, "symmetry")
     report._perf_entry = entry
     report._perf_rotation = np.eye(3)
     return report
@@ -200,7 +237,24 @@ def cached_symmetricity(config, report, tol: Tolerance, compute):
     rotation = report._perf_rotation
     if entry.symmetricity is None:
         _stats["symmetricity"]["misses"] += 1
-        result = compute(config, report, tol)
+        # L2 key: exact configuration bytes PLUS the exact (possibly
+        # conjugated) group bytes — the L1-served report group carries
+        # alignment noise, so the group's abstract type alone would
+        # not determine the witness arrangements bit-exactly.
+        from repro.perf import shared as _shared
+        from repro.perf.stats import group_digest
+
+        def _compute_stripped():
+            result = compute(config, report, tol)
+            return (frozenset(result.specs), tuple(result.maximal),
+                    result.witnesses)
+        specs, maximal, witnesses = _shared.shared_get_or_compute(
+            "rho",
+            (b"rho", config.as_array(), group_digest(report.group),
+             _tol_key(tol)),
+            _compute_stripped)
+        result = Symmetricity(specs=set(specs), maximal=list(maximal),
+                              witnesses=witnesses, report=report)
         inverse = rotation.T
         canonical_witnesses = {
             spec: [w.transformed(inverse) for w in arrangements]
@@ -220,6 +274,29 @@ def cached_symmetricity(config, report, tol: Tolerance, compute):
                         witnesses=witnesses, report=report)
 
 
+def _subgroups_via_l3(group, tol: Tolerance, compute) -> list:
+    """L3 leg of the chain: persist catalog-group lattices on disk.
+
+    Only groups built by :mod:`repro.groups.catalog` carry the
+    ``_catalog_key`` marker — their element stacks are bit-stable
+    across runs, so the enumeration is worth persisting.  Detected
+    (noise-carrying) arrangements never reach the disk.
+    """
+    catalog_key = getattr(group, "_catalog_key", None)
+    if catalog_key is None:
+        return compute(group, tol)
+    from repro.perf import disk as _disk
+    from repro.perf.stats import exact_digest
+
+    key = exact_digest(b"lattice", catalog_key, group._stack, _tol_key(tol))
+    cached = _disk.disk_get_object("lattice", key)
+    if cached is not None:
+        return cached
+    result = compute(group, tol)
+    _disk.disk_put_object("lattice", key, result)
+    return result
+
+
 def cached_subgroups(group, tol: Tolerance, compute) -> list:
     """Memoize subgroup enumeration by the exact element-key set.
 
@@ -227,6 +304,10 @@ def cached_subgroups(group, tol: Tolerance, compute) -> list:
     (rounded element matrices), so it only deduplicates repeat
     enumerations of identical arrangements — e.g. the paper's tables,
     or re-detected canonical groups — without any alignment step.
+
+    Misses walk down the hierarchy: the L2 store under the exact
+    element/axis bytes, then (for catalog groups) the L3 disk store,
+    then the actual enumeration.
     """
     if not _enabled:
         return compute(group, tol)
@@ -237,7 +318,12 @@ def cached_subgroups(group, tol: Tolerance, compute) -> list:
         _subgroup_cache.move_to_end(key)
         return list(cached)
     _stats["subgroups"]["misses"] += 1
-    result = compute(group, tol)
+    from repro.perf import shared as _shared
+    from repro.perf.stats import group_digest
+
+    result = _shared.shared_get_or_compute(
+        "subgroups", (b"subgroups", group_digest(group), _tol_key(tol)),
+        lambda: _subgroups_via_l3(group, tol, compute))
     _subgroup_cache[key] = list(result)
-    _trim(_subgroup_cache)
+    _trim(_subgroup_cache, "subgroups")
     return list(result)

@@ -1,0 +1,311 @@
+"""L3 — the on-disk persistent cache under ``.repro-cache/``.
+
+Stores cold-start artifacts that are pure functions of the package
+version plus exact key bytes: the standard-frame group catalog, the
+subgroup lattices of the catalog groups, and the pattern-library
+signatures.  Entries are ``.npz`` files (object payloads ride as
+pickled ``uint8`` arrays) next to a small ``index.json``; both are
+written atomically (temp file + ``os.replace``) so concurrent workers
+can share one store.
+
+Keys and invalidation:
+
+* every entry is addressed by ``(kind, digest)`` where the digest
+  covers the exact input bytes (see :func:`repro.perf.stats.exact_digest`);
+* the index records the ``repro`` package version — opening a store
+  written by a different version drops every entry (*stale-version
+  invalidation*), so an upgrade can never serve artifacts computed by
+  old code.
+
+The store root is ``$REPRO_CACHE_DIR`` (default ``./.repro-cache``);
+``REPRO_DISK_CACHE=0`` disables the level entirely.  The CLI exposes
+``repro cache info`` / ``repro cache clear``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "DiskCache",
+    "configure",
+    "disk_cache",
+    "disk_get",
+    "disk_get_object",
+    "disk_put",
+    "disk_put_object",
+    "l3_stats",
+]
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_DISABLE = "REPRO_DISK_CACHE"
+_INDEX_NAME = "index.json"
+
+_stats = {
+    "hits": 0,
+    "misses": 0,
+    "writes": 0,
+    "invalidations": 0,
+    "bytes_read": 0,
+    "bytes_written": 0,
+    "kinds": {},
+}
+
+# Lazy singleton: None = not resolved yet, False = disabled.
+_store: "DiskCache | None | bool" = None
+
+
+def _package_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+def _kind_counters(kind: str) -> dict:
+    counters = _stats["kinds"].get(kind)
+    if counters is None:
+        counters = {"hits": 0, "misses": 0, "writes": 0}
+        _stats["kinds"][kind] = counters
+    return counters
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        Path(tmp).unlink(missing_ok=True)
+        raise
+
+
+class DiskCache:
+    """One on-disk store rooted at ``root`` (created lazily)."""
+
+    def __init__(self, root: Path, version: str | None = None) -> None:
+        self.root = Path(root)
+        self._version = version
+        self._entries: dict[str, dict] | None = None
+
+    @property
+    def version(self) -> str:
+        if self._version is None:
+            self._version = _package_version()
+        return self._version
+
+    # -- index ---------------------------------------------------------
+    def _load_index(self) -> dict[str, dict]:
+        if self._entries is not None:
+            return self._entries
+        self.root.mkdir(parents=True, exist_ok=True)
+        index_path = self.root / _INDEX_NAME
+        entries: dict[str, dict] = {}
+        if index_path.exists():
+            try:
+                data = json.loads(index_path.read_text())
+            except (OSError, json.JSONDecodeError):
+                data = {}
+            if data.get("version") == self.version:
+                entries = data.get("entries", {})
+            elif data.get("entries"):
+                # Stale-version invalidation: drop every entry written
+                # by a different package version.
+                _stats["invalidations"] += 1
+                for record in data.get("entries", {}).values():
+                    (self.root / record["file"]).unlink(missing_ok=True)
+                self._write_index({})
+        self._entries = entries
+        return entries
+
+    def _write_index(self, entries: dict[str, dict]) -> None:
+        payload = {"version": self.version, "entries": entries}
+        _atomic_write(self.root / _INDEX_NAME,
+                      json.dumps(payload, indent=1).encode())
+
+    def _merge_entry(self, name: str, record: dict) -> None:
+        # Re-read the index before writing so concurrent writers only
+        # race on the (idempotent) union, never clobber each other.
+        index_path = self.root / _INDEX_NAME
+        entries = dict(self._entries or {})
+        if index_path.exists():
+            try:
+                data = json.loads(index_path.read_text())
+                if data.get("version") == self.version:
+                    entries.update(data.get("entries", {}))
+            except (OSError, json.JSONDecodeError):
+                pass
+        entries[name] = record
+        self._entries = entries
+        self._write_index(entries)
+
+    # -- entries -------------------------------------------------------
+    @staticmethod
+    def _entry_name(kind: str, key: bytes) -> str:
+        return f"{kind}-{key.hex()}"
+
+    def get(self, kind: str, key: bytes):
+        """``(meta, arrays)`` for the entry, or ``None`` on miss."""
+        entries = self._load_index()
+        name = self._entry_name(kind, key)
+        record = entries.get(name)
+        counters = _kind_counters(kind)
+        if record is None:
+            _stats["misses"] += 1
+            counters["misses"] += 1
+            return None
+        path = self.root / record["file"]
+        try:
+            raw = path.read_bytes()
+            with np.load(io.BytesIO(raw), allow_pickle=False) as bundle:
+                arrays = {field: bundle[field] for field in bundle.files}
+        except (OSError, ValueError, KeyError):
+            entries.pop(name, None)
+            _stats["misses"] += 1
+            counters["misses"] += 1
+            return None
+        _stats["hits"] += 1
+        counters["hits"] += 1
+        _stats["bytes_read"] += len(raw)
+        return record.get("meta"), arrays
+
+    def put(self, kind: str, key: bytes, arrays: dict | None = None,
+            meta=None) -> None:
+        """Persist one entry (atomic; concurrent writers tolerated)."""
+        self._load_index()
+        name = self._entry_name(kind, key)
+        buffer = io.BytesIO()
+        np.savez(buffer, **(arrays or {}))
+        data = buffer.getvalue()
+        _atomic_write(self.root / f"{name}.npz", data)
+        self._merge_entry(name, {"kind": kind, "file": f"{name}.npz",
+                                 "meta": meta, "bytes": len(data)})
+        _stats["writes"] += 1
+        _kind_counters(kind)["writes"] += 1
+        _stats["bytes_written"] += len(data)
+
+    # -- maintenance ---------------------------------------------------
+    def info(self) -> dict:
+        entries = self._load_index()
+        per_kind: dict[str, dict] = {}
+        total = 0
+        for record in entries.values():
+            kind = per_kind.setdefault(record["kind"],
+                                       {"entries": 0, "bytes": 0})
+            kind["entries"] += 1
+            kind["bytes"] += record.get("bytes", 0)
+            total += record.get("bytes", 0)
+        return {"path": str(self.root), "version": self.version,
+                "entries": len(entries), "bytes": total, "kinds": per_kind}
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        entries = self._load_index()
+        count = len(entries)
+        for record in entries.values():
+            (self.root / record["file"]).unlink(missing_ok=True)
+        self._entries = {}
+        self._write_index({})
+        return count
+
+
+def configure(root=None, enabled: bool | None = None,
+              version: str | None = None) -> None:
+    """(Re)configure the module-level store — used by tests and the CLI.
+
+    ``root=None`` restores the environment-driven default; ``enabled``
+    overrides ``REPRO_DISK_CACHE``; ``version`` overrides the package
+    version recorded in the index (for stale-version tests).
+    """
+    global _store
+    if enabled is False:
+        _store = False
+        return
+    if root is None and enabled is None:
+        _store = None  # re-resolve from the environment on next use
+        return
+    _store = DiskCache(Path(root) if root is not None else _default_root(),
+                       version=version)
+
+
+def _default_root() -> Path:
+    return Path(os.environ.get(_ENV_DIR) or ".repro-cache")
+
+
+def disk_cache() -> DiskCache | None:
+    """The active store, or ``None`` when the level is disabled."""
+    global _store
+    if _store is None:
+        if os.environ.get(_ENV_DISABLE, "").lower() in ("0", "false", "off"):
+            _store = False
+        else:
+            _store = DiskCache(_default_root())
+    return _store or None
+
+
+def disk_get(kind: str, key: bytes):
+    """``(meta, arrays)`` or ``None`` (miss / level disabled)."""
+    store = disk_cache()
+    if store is None:
+        return None
+    try:
+        return store.get(kind, key)
+    except OSError:
+        return None
+
+
+def disk_put(kind: str, key: bytes, arrays: dict | None = None,
+             meta=None) -> None:
+    store = disk_cache()
+    if store is None:
+        return
+    try:
+        store.put(kind, key, arrays=arrays, meta=meta)
+    except OSError:
+        pass  # a read-only or full filesystem never breaks computation
+
+
+def disk_get_object(kind: str, key: bytes):
+    """Unpickle an object entry, or ``None`` on miss."""
+    found = disk_get(kind, key)
+    if found is None:
+        return None
+    _, arrays = found
+    try:
+        return pickle.loads(arrays["pickle"].tobytes())
+    except (KeyError, pickle.UnpicklingError):
+        return None
+
+
+def disk_put_object(kind: str, key: bytes, obj) -> None:
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    disk_put(kind, key,
+             arrays={"pickle": np.frombuffer(data, dtype=np.uint8)})
+
+
+def l3_stats() -> dict:
+    """Uniform counters for the hierarchy snapshot."""
+    store = disk_cache()
+    snapshot = {
+        "hits": _stats["hits"],
+        "misses": _stats["misses"],
+        "writes": _stats["writes"],
+        "invalidations": _stats["invalidations"],
+        "bytes": _stats["bytes_read"] + _stats["bytes_written"],
+        "kinds": {kind: dict(counters)
+                  for kind, counters in _stats["kinds"].items()},
+        "entries": 0,
+        "path": None,
+    }
+    if store is not None:
+        snapshot["path"] = str(store.root)
+        if store._entries is not None:
+            snapshot["entries"] = len(store._entries)
+    return snapshot

@@ -1,18 +1,30 @@
-"""Deterministic parallel fan-out for randomized experiment trials.
+"""Deterministic zero-copy parallel fan-out for experiment trials.
 
 The experiment drivers validate the paper's claims by randomized
-adversary sweeps: many independent trials, each seeded as
-``default_rng(seed + t)``.  Trials share no state, so they map onto a
-process pool — *provided* the fan-out cannot change the answer.  Two
-rules make results bit-identical for any worker count:
+adversary sweeps: many independent trials, each seeded from its own
+``SeedSequence`` child stream.  Trials share no mutable state, so they
+map onto a process pool — *provided* the fan-out cannot change the
+answer.  Three rules make results bit-identical for any worker count:
 
-* **per-trial seeding** — the trial index alone determines the RNG
-  stream; nothing is drawn from a shared generator whose consumption
-  order would depend on scheduling;
-* **per-trial cache reset** — each trial starts from empty congruence
+* **per-trial seeding** — ``SeedSequence(seed).spawn(n)`` gives every
+  trial a statistically independent stream determined by ``(seed,
+  trial index)`` alone; nothing is drawn from a shared generator whose
+  consumption order would depend on scheduling.  (The earlier
+  ``default_rng(seed + t)`` convention collided across adjacent
+  experiment seeds — ``seed=1, t=2`` and ``seed=2, t=1`` shared a
+  stream.)
+* **per-trial L1 reset** — each trial starts from empty congruence
   caches, so a trial's float noise (conjugated cache hits vs direct
   computation) does not depend on which trials happened to run in the
   same worker before it.
+* **exact-key L2 sharing** — the cross-process store
+  (:mod:`repro.perf.shared`) is keyed by digests of exact input bytes
+  and stores only pure functions of those bytes, so *which* worker
+  published a value is unobservable in the results.
+
+Dispatch is chunked (one pickled task per chunk of trials, not per
+trial) and trial inputs travel as :class:`repro.perf.blocks.ArrayRef`
+shared-memory descriptors, so per-task IPC is a few hundred bytes.
 
 Workers that raise surface as a clean :class:`SimulationError` in the
 parent (with the worker traceback in the message) instead of a hung or
@@ -22,27 +34,60 @@ to the same error type.
 
 from __future__ import annotations
 
+import math
+import multiprocessing
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
+import numpy as np
+
 from repro.errors import SimulationError
 
-__all__ = ["parallel_map", "seeded_trials"]
+__all__ = ["parallel_map", "seeded_trials", "spawn_seeds"]
 
 
-def _guarded_call(payload):
-    """Top-level (picklable) wrapper catching worker exceptions."""
-    fn, item, fresh_caches = payload
+def spawn_seeds(seed: int, count: int) -> list[np.random.SeedSequence]:
+    """One independent ``SeedSequence`` child per trial."""
+    return list(np.random.SeedSequence(int(seed)).spawn(int(count)))
+
+
+def _run_one(fn, item, fresh_caches: bool):
+    if fresh_caches:
+        from repro.perf import clear_caches
+
+        clear_caches()
+    return fn(item)
+
+
+def _guarded_chunk(payload):
+    """Top-level (picklable) wrapper running one chunk of items."""
+    fn, chunk, fresh_caches = payload
+    outcomes = []
+    for item in chunk:
+        try:
+            outcomes.append(("ok", _run_one(fn, item, fresh_caches)))
+        except Exception as exc:  # noqa: BLE001 — reported to the parent
+            outcomes.append(("err", f"{type(exc).__name__}: {exc}\n"
+                                    f"{traceback.format_exc()}"))
+    from repro.perf import shared
+
+    store = shared.active_store()
+    if store is not None:
+        store.flush_stats()
+    return outcomes
+
+
+def _worker_init(store_name, store_lock) -> None:
+    """Pool initializer: attach this worker to the run's L2 store."""
+    if store_name is None:
+        return
+    from repro.perf import shared
+
     try:
-        if fresh_caches:
-            from repro.perf import clear_caches
-
-            clear_caches()
-        return ("ok", fn(item))
-    except Exception as exc:  # noqa: BLE001 — reported to the parent
-        return ("err", f"{type(exc).__name__}: {exc}\n"
-                       f"{traceback.format_exc()}")
+        shared.activate(shared.SharedStore.attach(store_name, store_lock))
+    except (OSError, ValueError):
+        pass  # the store is an accelerator; never fail the worker
 
 
 def _unwrap(outcome):
@@ -52,40 +97,59 @@ def _unwrap(outcome):
     return value
 
 
-def parallel_map(fn, items, jobs: int = 1, *,
-                 fresh_caches: bool = True) -> list:
+def parallel_map(fn, items, jobs: int = 1, *, fresh_caches: bool = True,
+                 chunk_size: int | None = None) -> list:
     """``[fn(x) for x in items]`` over a process pool, order preserved.
 
     ``fn`` must be picklable (a module-level function).  ``jobs <= 1``
-    runs inline — same code path, no pool — so a sequential run is the
-    exact reference for any parallel one.  ``fresh_caches`` clears the
-    congruence caches before every item (see the module docstring; pass
-    False only for workloads that are cache-state independent).
+    runs inline — same guarded code path, no pool, no L2 store — so a
+    sequential run is the byte-exact reference for any parallel one.
+    ``fresh_caches`` clears the L1 congruence caches before every item
+    (see the module docstring; pass False only for workloads that are
+    cache-state independent).  ``chunk_size`` bounds per-task pickling
+    overhead; the default aims at four chunks per worker.
     """
+    from repro.perf import shared
+
     items = list(items)
     jobs = max(1, int(jobs))
-    payloads = [(fn, item, fresh_caches) for item in items]
     if jobs == 1 or len(items) <= 1:
-        return [_unwrap(_guarded_call(p)) for p in payloads]
-    chunksize = max(1, len(items) // (4 * jobs))
+        return [_unwrap(outcome)
+                for outcome in _guarded_chunk((fn, items, fresh_caches))]
+
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(len(items) / (4 * jobs)))
+    chunks = [items[i:i + chunk_size]
+              for i in range(0, len(items), chunk_size)]
+    payloads = [(fn, chunk, fresh_caches) for chunk in chunks]
+
+    context = multiprocessing.get_context()
+    lock = context.Lock()
+    store = shared.SharedStore.create(lock)
     try:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            outcomes = list(pool.map(_guarded_call, payloads,
-                                     chunksize=chunksize))
+        with ProcessPoolExecutor(
+                max_workers=jobs, mp_context=context,
+                initializer=_worker_init,
+                initargs=(store.name, lock)) as pool:
+            chunk_outcomes = list(pool.map(_guarded_chunk, payloads))
     except BrokenProcessPool as exc:
         raise SimulationError(
             "experiment worker process died unexpectedly "
             "(crash or out-of-memory kill)") from exc
-    return [_unwrap(outcome) for outcome in outcomes]
+    finally:
+        shared.accumulate_run(store.aggregated_stats())
+        store.close()
+        store.unlink()
+    return [_unwrap(outcome)
+            for chunk in chunk_outcomes for outcome in chunk]
 
 
 def seeded_trials(fn, trials: int, *, seed: int = 0,
                   jobs: int = 1) -> list:
-    """Run ``fn(seed + t)`` for ``t in range(trials)``, fanned out.
+    """Run ``fn(stream_t)`` for ``t in range(trials)``, fanned out.
 
-    The per-trial derived seed is the paper-sweep convention used by
-    every experiment driver; results come back ordered by ``t`` and
-    are bit-identical for any ``jobs`` value.
+    ``stream_t`` is the ``t``-th ``SeedSequence`` child of ``seed`` —
+    pass it to ``np.random.default_rng``.  Results come back ordered
+    by ``t`` and are bit-identical for any ``jobs`` value.
     """
-    return parallel_map(fn, [int(seed) + t for t in range(int(trials))],
-                        jobs=jobs)
+    return parallel_map(fn, spawn_seeds(seed, trials), jobs=jobs)

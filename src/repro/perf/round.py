@@ -41,6 +41,7 @@ __all__ = [
     "cached_equivariant_points",
     "cached_invariant",
     "clear_round_cache",
+    "round_cache_bytes",
     "round_stats",
     "round_view",
 ]
@@ -86,7 +87,7 @@ class RoundView:
 
 _round_cache: OrderedDict[tuple, list[_RoundEntry]] = OrderedDict()
 
-_stats = {"hits": 0, "misses": 0, "bypass": 0}
+_stats = {"hits": 0, "misses": 0, "bypass": 0, "evictions": 0}
 
 
 def clear_round_cache() -> None:
@@ -101,6 +102,18 @@ def round_stats() -> dict:
     snapshot = dict(_stats)
     snapshot["entries"] = sum(len(b) for b in _round_cache.values())
     return snapshot
+
+
+def round_cache_bytes() -> int:
+    """Approximate retained bytes across the indexed entries."""
+    total = 0
+    for bucket in _round_cache.values():
+        for entry in bucket:
+            total += entry.rel_unit.nbytes + entry.radii_sorted.nbytes
+            for payload in entry.payloads.values():
+                if isinstance(payload, np.ndarray):
+                    total += payload.nbytes
+    return total
 
 
 def _kabsch(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
@@ -172,7 +185,8 @@ def round_view(config) -> RoundView | None:
         bucket.append(entry)
     _round_cache.move_to_end(key)
     while len(_round_cache) > _MAX_ENTRIES:
-        _round_cache.popitem(last=False)
+        _, dropped = _round_cache.popitem(last=False)
+        _stats["evictions"] += len(dropped)
     view = RoundView(entry=entry, rotation=np.eye(3),
                      center=center, scale=scale)
     config._round_view = view

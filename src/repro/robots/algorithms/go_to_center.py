@@ -124,14 +124,69 @@ def go_to_center_destination(points, own_index: int) -> np.ndarray:
     return own + to_center * (1.0 - epsilon / distance)
 
 
+def _goc_round_info(points, radius: float):
+    """The frame-invariant part of Algorithm 4.1 for one round class.
+
+    Everything here is invariant under the similarity relating two
+    robots' observations of the same round: the recognized polyhedron
+    name, the admissible face *vertex-index* tuples per vertex (the
+    round cache's alignment is index-preserving, so hull combinatorics
+    transfer verbatim), and the edge-length / circumradius ratio (a
+    scale-free number that reconstitutes ``ε`` in any frame).
+    """
+    name = recognize_goc_polyhedron(points)
+    if name is None:
+        return None
+    hull = ConvexPolyhedron(points)
+    ratio = hull.min_edge_length() / radius
+    restriction = _FACE_RESTRICTION.get(name)
+    admissible = []
+    for i in range(len(points)):
+        faces = hull.faces_of_vertex(i)
+        if restriction is not None:
+            faces = [f for f in faces if f.size == restriction]
+        admissible.append(tuple(f.vertex_indices for f in faces))
+    return (name, tuple(admissible), float(ratio))
+
+
 def go_to_center_algorithm(observation: Observation) -> np.ndarray:
     """Algorithm 4.1 as a standalone oblivious algorithm.
 
     If the observed configuration is not one of the seven polyhedra
     the robot stays put (the full ``ψ_SYM`` wraps this with the other
     cases).
+
+    The recognition and hull combinatorics are hoisted through the
+    indexed round cache (:mod:`repro.perf.round`) — computed once per
+    congruence class per round instead of once per robot.  The face
+    *choice* stays strictly local: each robot minimizes over face
+    centers expressed in its own coordinates (symmetric frames thus
+    still make symmetric choices, as Lemma 2 requires).
     """
-    if recognize_goc_polyhedron(observation.points) is None:
+    from repro.perf import cached_invariant, round_view
+
+    config = Configuration(observation.points)
+    view = round_view(config)
+    radius = float(config.radius)
+    info = cached_invariant(
+        view, ("goc",),
+        lambda: _goc_round_info(observation.points, radius))
+    if info is None:
         return observation.own_position()
-    return go_to_center_destination(observation.points,
-                                    observation.self_index)
+    _, admissible, ratio = info
+    faces = admissible[observation.self_index]
+    if not faces:
+        raise GeometryError("no admissible adjacent face found")
+    points = np.asarray(observation.points, dtype=float)
+    own = points[observation.self_index]
+    epsilon = ratio * radius * EPSILON_FRACTION
+    best_key = None
+    best_center = None
+    for indices in faces:
+        center = points[list(indices)].mean(axis=0)
+        key = tuple(canonical_round(center - own, 9).tolist())
+        if best_key is None or key < best_key:
+            best_key, best_center = key, center
+    to_center = best_center - own
+    distance = float(np.linalg.norm(to_center))
+    return own + to_center * (1.0 - epsilon / distance)

@@ -12,10 +12,12 @@ from dataclasses import asdict
 
 import pytest
 
+import numpy as np
+
 from repro import perf
 from repro.analysis import experiments
 from repro.errors import SimulationError
-from repro.perf import parallel_map, seeded_trials
+from repro.perf import parallel_map, seeded_trials, spawn_seeds
 
 
 @pytest.fixture(autouse=True)
@@ -28,6 +30,10 @@ def fresh_caches():
 
 def _square(x):
     return x * x
+
+
+def _first_draw(stream):
+    return float(np.random.default_rng(stream).random())
 
 
 def _boom(x):
@@ -46,8 +52,22 @@ class TestParallelMap:
             [x * x for x in items]
 
     def test_order_is_preserved(self):
-        assert seeded_trials(_square, 7, seed=10, jobs=3) == \
-            [(10 + t) ** 2 for t in range(7)]
+        """Trial ``t`` receives the ``t``-th SeedSequence child of the
+        experiment seed, in submission order, for any jobs value."""
+        expected = [_first_draw(stream) for stream in spawn_seeds(10, 7)]
+        assert seeded_trials(_first_draw, 7, seed=10, jobs=3) == expected
+        assert seeded_trials(_first_draw, 7, seed=10, jobs=1) == expected
+
+    def test_adjacent_seeds_do_not_collide(self):
+        """``SeedSequence(seed).spawn`` keeps streams disjoint across
+        adjacent experiment seeds — the old ``default_rng(seed + t)``
+        convention had ``(seed=1, t=2)`` equal to ``(seed=2, t=1)``."""
+        draws = {
+            (seed, t): _first_draw(stream)
+            for seed in (1, 2)
+            for t, stream in enumerate(spawn_seeds(seed, 3))
+        }
+        assert draws[(1, 2)] != draws[(2, 1)]
 
     def test_worker_exception_raises_simulation_error(self):
         with pytest.raises(SimulationError, match="trial 3 exploded"):

@@ -87,7 +87,7 @@ class TestSymmetryCache:
         perf.clear_caches()
         stats = perf.cache_stats()
         assert stats["symmetry"] == {"hits": 0, "misses": 0, "bypass": 0,
-                                     "classes": 0}
+                                     "evictions": 0, "classes": 0}
 
 
 class TestSymmetricityCache:

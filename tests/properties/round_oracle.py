@@ -9,6 +9,15 @@ suite replays hundreds of configurations through both this module and
 the production pipeline and requires matching answers.  Do not
 "improve" this file — its value is that it does not share code paths
 with what it checks.
+
+Seeding note: the equivalence suites draw their random configurations
+from explicit ``default_rng(case_seed)`` generators, so they were
+unaffected when the experiment drivers switched from the colliding
+``default_rng(seed + t)`` per-trial convention to
+``SeedSequence(seed).spawn(trials)`` child streams.  The oracle itself
+is pure (no RNG state); any suite comparing driver *rows* across that
+change must regenerate its expectations, not reuse rows recorded under
+the old convention.
 """
 
 from __future__ import annotations

@@ -1,0 +1,99 @@
+"""``symmetric_frames`` realizes ``σ(P) = G`` for every witnessed
+``G ∈ ϱ(P)`` on the paper's Table 2 transitive sets.
+
+The realized symmetricity ``σ(P)`` of a configuration-with-frames is
+read off its observation-equivalence partition: robots whose Look
+phases return identical local point multisets are indistinguishable
+forever (Lemma 2).  For frames built from a witness of ``G`` that
+partition must be exactly the orbit partition of ``G`` — every class
+of size ``|G|`` (the sharing direction, ``σ ⪰ G``) and no two distinct
+orbits merged (the non-collapse direction, ``σ = G`` for the drawn
+frames).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import PAPER_TABLE2
+from repro.core.configuration import Configuration
+from repro.core.decomposition import orbit_decomposition
+from repro.core.symmetricity import symmetricity
+from repro.errors import SimulationError
+from repro.groups.catalog import group_from_spec
+from repro.groups.group import GroupSpec
+from repro.patterns.orbits import transitive_set
+from repro.robots.adversary import symmetric_frames
+
+
+def _observation_key(config, frames, index, decimals=6):
+    """The robot's Look result as a comparable (rounded) multiset."""
+    position = config.points[index]
+    local = sorted(
+        tuple(np.round(frames[index].observe(p, position), decimals))
+        for p in config.points
+    )
+    return tuple(local)
+
+
+def _equivalence_partition(config, frames):
+    classes: dict[tuple, list[int]] = {}
+    for i in range(config.n):
+        classes.setdefault(_observation_key(config, frames, i), []).append(i)
+    return sorted(sorted(c) for c in classes.values())
+
+
+def _table2_configurations():
+    for name, mu, cardinality, _shape in PAPER_TABLE2:
+        group = group_from_spec(GroupSpec.parse(name))
+        points = transitive_set(group, mu=mu)
+        assert len(points) == cardinality
+        yield f"{name},{mu}", Configuration(points)
+
+
+CASES = list(_table2_configurations())
+
+
+@pytest.mark.parametrize("label,config", CASES,
+                         ids=[label for label, _ in CASES])
+def test_every_witnessed_group_is_realized(label, config):
+    rho = symmetricity(config)
+    checked = 0
+    for spec in sorted(rho.specs):
+        witness = rho.witness(spec)
+        if witness is None:
+            continue
+        rng = np.random.default_rng(
+            abs(hash((label, str(spec)))) % (2**32))
+        frames = symmetric_frames(config, witness, rng)
+        partition = _equivalence_partition(config, frames)
+        orbits = sorted(sorted(o) for o in
+                        orbit_decomposition(config, witness))
+        assert partition == orbits, (
+            f"{label}: frames for {spec} realize partition {partition}, "
+            f"expected the witness orbits {orbits}")
+        assert all(len(c) == witness.order for c in partition), (
+            f"{label}: some observation class is not a free {spec} orbit")
+        checked += 1
+    assert checked > 0, f"{label}: no witnessed groups to realize"
+
+
+@pytest.mark.parametrize("label,config", CASES,
+                         ids=[label for label, _ in CASES])
+def test_non_free_witness_is_rejected(label, config):
+    """A symmetry that fixes a robot (non-free action — its axis is
+    occupied) cannot receive symmetric frames; the adversary must
+    refuse, not mis-assign."""
+    from repro.geometry.rotations import rotation_about_axis
+    from repro.groups.group import RotationGroup
+
+    group = config.symmetry.group
+    occupied = [a for a in group.axes if a.occupied]
+    if not occupied:
+        pytest.skip("free orbit: every axis of gamma(P) is unoccupied")
+    axis = occupied[0]
+    pinned = RotationGroup(
+        [rotation_about_axis(axis.direction, 2.0 * np.pi * k / axis.fold)
+         for k in range(axis.fold)],
+        spec=GroupSpec.parse(f"C{axis.fold}"))
+    with pytest.raises(SimulationError):
+        symmetric_frames(config, pinned, np.random.default_rng(0))
