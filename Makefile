@@ -1,21 +1,34 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench bench-smoke bench-smoke-json bench-json
+.PHONY: test lint reprolint typecheck bench bench-smoke bench-smoke-json bench-json
 
 test:
 	$(PYTHON) -m pytest -q
 
-# Lint is best-effort: ruff ships via the `lint` extra and is not part
-# of the runtime image, so the target degrades to a no-op (with a
-# notice) when it is missing rather than breaking `make`.
-lint:
+# Lint = general style (ruff, best-effort: ships via the `lint` extra
+# and is not part of the runtime image, so that half degrades to a
+# no-op with a notice) + domain invariants (reprolint, pure stdlib,
+# always enforced; see docs/STATIC_ANALYSIS.md).
+lint: reprolint
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
 		$(PYTHON) -m ruff check src tests benchmarks; \
 	elif command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks; \
 	else \
 		echo "ruff not installed (pip install -e .[lint]); skipping lint"; \
+	fi
+
+reprolint:
+	$(PYTHON) -m repro.lint src benchmarks
+
+# Type check the strictly-annotated subset (lint framework + geometry
+# core).  mypy comes from the `lint` extra; degrade politely without it.
+typecheck:
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy src/repro/lint src/repro/geometry; \
+	else \
+		echo "mypy not installed (pip install -e .[lint]); skipping typecheck"; \
 	fi
 
 bench:

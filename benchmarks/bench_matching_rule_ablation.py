@@ -11,6 +11,7 @@ import numpy as np
 
 from conftest import print_table
 
+from repro.geometry.tolerance import DEFAULT_TOL
 from repro.core.configuration import Configuration
 from repro.geometry.rotations import rotation_about_axis
 from repro.groups.catalog import octahedral_group
@@ -45,7 +46,7 @@ def naive_greedy(config, targets, slack):
 def run_case():
     robots, targets = conflict_instance()
     config = Configuration(robots)
-    slack = 1e-6
+    slack = DEFAULT_TOL.geometric_slack(1.0)
 
     # Screw rule (the library's matcher).
     destinations = match_configuration_to_pattern(config, targets)

@@ -19,6 +19,7 @@ from __future__ import annotations
 import argparse
 import datetime
 import json
+import os
 import shlex
 import subprocess
 import sys
@@ -104,12 +105,18 @@ def main(argv=None) -> int:
         "--output", default=None,
         help="output path (default: BENCH_<today>.json in the repo root)")
     parser.add_argument(
+        "--date", default=os.environ.get("REPRO_BENCH_DATE"),
+        help="date stamp for the artifact (default: REPRO_BENCH_DATE or "
+             "today); pin it to make reruns byte-identical")
+    parser.add_argument(
         "--baseline", default=None,
         help="previous BENCH_*.json (or raw pytest-benchmark JSON) to "
              "embed as before-numbers with speedup factors")
     args = parser.parse_args(argv)
 
-    date = datetime.date.today().isoformat()
+    # Wall-clock only stamps the artifact; pass --date (or set
+    # REPRO_BENCH_DATE) for byte-identical reruns.
+    date = args.date or datetime.date.today().isoformat()  # reprolint: disable=REP005 -- artifact timestamp, overridable via --date/REPRO_BENCH_DATE
     output = Path(args.output) if args.output else \
         REPO_ROOT / f"BENCH_{date}.json"
 

@@ -431,8 +431,14 @@ def baseline_2d_experiment(seed: int = 0) -> list[dict]:
                           r * np.sin(phase + 2 * np.pi * i / k)])
                 for i in range(k)]
 
+    from repro.perf import spawn_seeds
+
     rng = np.random.default_rng(seed)
     gen8 = [rng.normal(size=2) for _ in range(8)]
+    # One SeedSequence child for the frame streams: arithmetic on the
+    # seed (the old ``seed + 1``) collides with adjacent experiment
+    # seeds; ``spawn`` guarantees independence (REP004).
+    frame_stream = spawn_seeds(seed, 1)[0]
     instances = [
         ("two squares", polygon(4) + polygon(4, 0.6, 0.3),
          "octagon", polygon(8)),
@@ -448,8 +454,8 @@ def baseline_2d_experiment(seed: int = 0) -> list[dict]:
         formable = is_formable_2d(p_pts, f_pts)
         formed = None
         if formable:
-            frames = random_frames_2d(len(p_pts), np.random.default_rng(
-                seed + 1))
+            frames = random_frames_2d(
+                len(p_pts), np.random.default_rng(frame_stream))
             algo = make_formation_algorithm_2d(f_pts)
             scheduler = FsyncScheduler2D(algo, frames, target=f_pts)
             result = scheduler.run(

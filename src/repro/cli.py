@@ -193,6 +193,19 @@ def _cmd_tables(_args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import main as lint_main
+
+    argv = list(args.paths)
+    if args.format != "text":
+        argv += ["--format", args.format]
+    if args.output:
+        argv += ["--output", args.output]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -247,6 +260,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("tables", help="regenerate the paper's tables"
                    ).set_defaults(func=_cmd_tables)
+
+    lint = sub.add_parser(
+        "lint", help="run reprolint (REP001-REP005 invariant checks)")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories (default: src benchmarks)")
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--output", help="write the report to a file")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list rule ids and summaries, then exit")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

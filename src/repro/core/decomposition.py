@@ -26,7 +26,7 @@ __all__ = [
 
 
 def _match_slack(config: Configuration) -> float:
-    return 1e-5 * max(config.radius, 1.0)
+    return DEFAULT_TOL.alignment_slack(config.radius)
 
 
 def orbit_decomposition(config: Configuration, group: RotationGroup,
@@ -156,7 +156,8 @@ def oriented_axis_direction(config: Configuration, direction,
     grp = group if group is not None else config.rotation_group
     if grp is not None:
         for mat in grp.elements:
-            if float(np.linalg.norm(mat @ d + d)) <= 1e-6:
+            if (float(np.linalg.norm(mat @ d + d))
+                    <= DEFAULT_TOL.geometric_slack(1.0)):
                 return None  # a group element reverses the axis
     rel = config.relative_points()
     mults = [1] * len(rel)

@@ -23,7 +23,11 @@ import numpy as np
 
 from repro.core.configuration import Configuration
 from repro.errors import ConfigurationError
-from repro.geometry.tolerance import canonical_round
+from repro.geometry.tolerance import (
+    ANGLE_WRAP_EPS,
+    DEFAULT_TOL,
+    canonical_round,
+)
 from repro.groups.group import RotationGroup
 
 __all__ = ["local_view", "ordered_orbits"]
@@ -69,7 +73,7 @@ def _compute_local_view(config: Configuration, index: int) -> tuple:
     n = rel.shape[0]
     scale = max(config.radius, 1e-300)
     radii = np.linalg.norm(rel, axis=1) / scale
-    slack = 1e-6
+    slack = DEFAULT_TOL.geometric_slack(1.0)
     own_r = float(radii[index])
     if own_r <= slack:
         return ((-1.0,), tuple(sorted(_round(float(r)) for r in radii)))
@@ -114,7 +118,7 @@ def _compute_local_view(config: Configuration, index: int) -> tuple:
     longitudes %= 2.0 * np.pi
     # Collapse the 2π wraparound: an angle of -1e-16 must encode as
     # 0.0, not 6.283185 (observers would differ).
-    longitudes[longitudes >= 2.0 * np.pi - 5e-7] = 0.0
+    longitudes[longitudes >= 2.0 * np.pi - ANGLE_WRAP_EPS] = 0.0
     longitudes[perp_unit_len <= slack, :] = 0.0
 
     radii_r = canonical_round(radii, _DECIMALS)

@@ -26,7 +26,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.geometry.tolerance import canonical_round
+from repro.geometry.tolerance import (
+    ANGLE_WRAP_EPS,
+    DEFAULT_TOL,
+    canonical_round,
+)
 from repro.geometry.vectors import normalize, orthonormal_basis_for
 
 __all__ = [
@@ -78,10 +82,11 @@ def cylindrical_signature(rel_points, multiplicities, direction) -> tuple:
         for j, (hj, rj, tj, mj) in enumerate(projected):
             if i == j:
                 continue
-            if ri < 1e-9 or rj < 1e-9:
+            if (ri < DEFAULT_TOL.coincidence_slack(1.0)
+                    or rj < DEFAULT_TOL.coincidence_slack(1.0)):
                 continue  # on-axis points carry no angular information
             delta = (tj - ti) % (2.0 * np.pi)
-            if delta >= 2.0 * np.pi - 5e-7:
+            if delta >= 2.0 * np.pi - ANGLE_WRAP_EPS:
                 # Collapse the 2π wraparound so -1e-16 and +1e-16
                 # angle differences encode identically.
                 delta = 0.0

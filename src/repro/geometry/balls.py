@@ -15,7 +15,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import GeometryError
-from repro.geometry.tolerance import DEFAULT_TOL, Tolerance
+from repro.geometry.tolerance import (
+    CIRCUMSPHERE_DENOM_FLOOR,
+    COPLANAR_DET_FLOOR,
+    DEFAULT_TOL,
+    Tolerance,
+)
 
 __all__ = [
     "Ball",
@@ -90,7 +95,7 @@ def _circumball_triangle(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> Ball:
     ac = (cx - ax, cy - ay, cz - az)
     cross = _cross3(ab, ac)
     denom = 2.0 * (cross[0] ** 2 + cross[1] ** 2 + cross[2] ** 2)
-    if denom < 1e-18:
+    if denom < CIRCUMSPHERE_DENOM_FLOOR:
         # Collinear: diametral ball of the farthest pair.
         pairs = [(a, b), (a, c), (b, c)]
         far = max(pairs, key=lambda pq: float(np.linalg.norm(pq[0] - pq[1])))
@@ -117,7 +122,7 @@ def _circumball_tetrahedron(a, b, c, d) -> Ball:
         float(np.dot(d - a, d - a)),
     ])
     det = float(np.linalg.det(mat))
-    if abs(det) < 1e-15:
+    if abs(det) < COPLANAR_DET_FLOOR:
         # Degenerate (coplanar) quadruple: fall back to triangle balls.
         best: Ball | None = None
         pts = [a, b, c, d]

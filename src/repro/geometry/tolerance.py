@@ -17,10 +17,53 @@ import numpy as np
 __all__ = [
     "Tolerance",
     "DEFAULT_TOL",
+    "LOOSE_TOL",
+    "AXIS_NORM_FLOOR",
+    "SPAN_FLOOR",
+    "CIRCUMSPHERE_DENOM_FLOOR",
+    "ANGLE_WRAP_EPS",
+    "COPLANAR_DET_FLOOR",
     "isclose",
     "iszero",
     "canonical_round",
 ]
+
+# ----------------------------------------------------------------------
+# Named degeneracy floors.
+#
+# These are NOT comparison tolerances: they guard denominators and
+# norms against degenerate inputs (collinear triples, zero-length
+# axes) before a division or normalization.  They live here so every
+# magic threshold in the library has one audited home (the REP001
+# tolerance-discipline lint forbids raw literals elsewhere).
+# ----------------------------------------------------------------------
+
+#: Norm below which a would-be axis/direction vector is treated as
+#: degenerate (no usable direction).  Well below any slack the
+#: algorithms compare against, far above accumulated rounding noise
+#: on unit-scale data.
+AXIS_NORM_FLOOR = 1e-12
+
+#: Floor for display spans (bounding-box extents, depth ranges) when
+#: normalizing coordinates for rendering: a configuration collapsed
+#: to a point still gets a finite scale.
+SPAN_FLOOR = 1e-9
+
+#: Collapse threshold for the 2pi angle wraparound: canonical
+#: angle encodings round to 6 decimals, so anything within half a
+#: quantum of 2pi must encode as 0.0 (observers at -1e-16 and
+#: +1e-16 would otherwise disagree).
+ANGLE_WRAP_EPS = 5e-7
+
+#: Floor for the circumcircle denominator ``2|AB x AC|^2`` of a point
+#: triple.  The quantity is quartic in edge lengths, so the floor sits
+#: at (1e-4.5)^4 — collinearity detection for unit-scale triangles.
+CIRCUMSPHERE_DENOM_FLOOR = 1e-18
+
+#: Floor for the 3x3 edge-matrix determinant of a point quadruple
+#: (cubic in edge lengths): below it the four points are treated as
+#: coplanar and the circumsphere falls back to triangle balls.
+COPLANAR_DET_FLOOR = 1e-15
 
 
 @dataclass(frozen=True)
@@ -70,6 +113,40 @@ class Tolerance:
         """
         return 10.0 * max(self.abs_tol, self.rel_tol * max(scale, 1.0))
 
+    def coincidence_slack(self, scale: float) -> float:
+        """Distance below which two constructed points *coincide*.
+
+        Used when deduplicating points of a synthesized orbit, when
+        testing whether a rotation is the identity, and when padding
+        exact kd-tree query radii.  Sits two orders of magnitude below
+        :meth:`geometric_slack`: coincidence candidates are produced
+        by a single exact construction (not a chained alignment), so
+        their noise floor is far lower.  Equals the historical
+        ``1e-9 * max(scale, 1)`` threshold with the default tolerances.
+        """
+        return 0.01 * max(self.abs_tol, self.rel_tol * max(scale, 1.0))
+
+    def alignment_slack(self, scale: float) -> float:
+        """Slack for quantities reconstructed through a full alignment.
+
+        Matching a group element's image back to a concrete robot (or
+        an orbit point to an axis) composes rotation estimation, frame
+        conjugation and differencing; the error budget is an order of
+        magnitude above :meth:`geometric_slack`.  Equals the historical
+        ``1e-5 * max(scale, 1)`` slack with the default tolerances.
+        """
+        return 100.0 * max(self.abs_tol, self.rel_tol * max(scale, 1.0))
+
+    def relative_slack(self, scale: float) -> float:
+        """Purely relative slack ``10 * rel_tol * scale`` (no floor).
+
+        For comparisons where the natural scale is itself the compared
+        quantity (e.g. radius uniformity of a candidate polyhedron):
+        an absolute floor would misclassify tiny configurations.
+        Equals the historical ``1e-6 * scale`` with the defaults.
+        """
+        return 10.0 * self.rel_tol * scale
+
     def motion_slack(self, scale: float) -> float:
         """Displacement below which a robot counts as *not moved*.
 
@@ -85,6 +162,13 @@ class Tolerance:
 
 
 DEFAULT_TOL = Tolerance()
+
+#: Loose verification tolerance for matrices reconstructed from noisy
+#: frames (e.g. checking that a candidate alignment is a rotation at
+#: all before using it).  Two orders of magnitude looser than
+#: :data:`DEFAULT_TOL` — rejection here means "numerically invalid",
+#: not "not quite equal".
+LOOSE_TOL = Tolerance(abs_tol=1e-5, rel_tol=1e-5)
 
 
 def isclose(a: float, b: float, tol: Tolerance = DEFAULT_TOL) -> bool:

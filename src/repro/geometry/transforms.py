@@ -14,7 +14,12 @@ import numpy as np
 
 from repro.errors import GeometryError
 from repro.geometry.rotations import is_rotation_matrix, random_rotation
-from repro.geometry.tolerance import DEFAULT_TOL, Tolerance
+from repro.geometry.tolerance import (
+    AXIS_NORM_FLOOR,
+    DEFAULT_TOL,
+    LOOSE_TOL,
+    Tolerance,
+)
 from repro.geometry.vectors import as_vector, centroid
 
 __all__ = ["Similarity", "are_similar"]
@@ -185,7 +190,7 @@ def _rotation_mapping_pairs(p0, p1, q0, q1, tol) -> np.ndarray | None:
         return None
     rot = basis_q @ basis_p.T
     # Guard against numerically invalid frames.
-    if not is_rotation_matrix(rot, Tolerance(abs_tol=1e-5, rel_tol=1e-5)):
+    if not is_rotation_matrix(rot, LOOSE_TOL):
         return None
     return rot
 
@@ -194,7 +199,7 @@ def _frame(x, n) -> np.ndarray | None:
     """Right-handed orthonormal frame with first axis ∥ x, third ∥ n."""
     lx = float(np.linalg.norm(x))
     ln = float(np.linalg.norm(n))
-    if lx < 1e-12 or ln < 1e-12:
+    if lx < AXIS_NORM_FLOOR or ln < AXIS_NORM_FLOOR:
         return None
     e0 = x / lx
     e2 = n / ln

@@ -102,7 +102,8 @@ def dihedral_group(l: int, principal=(0.0, 0.0, 1.0),
         raise GroupError("dihedral group needs l >= 2")
     p = np.asarray(principal, dtype=float)
     s = np.asarray(secondary, dtype=float)
-    if abs(float(np.dot(p, s))) > 1e-9 * np.linalg.norm(p) * np.linalg.norm(s):
+    if (abs(float(np.dot(p, s))) > DEFAULT_TOL.coincidence_slack(1.0)
+            * np.linalg.norm(p) * np.linalg.norm(s)):
         raise GroupError("secondary axis must be perpendicular to principal")
     elements = [rotation_about_axis(p, 2.0 * np.pi * i / l) for i in range(l)]
     for i in range(l):

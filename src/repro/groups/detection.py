@@ -38,7 +38,7 @@ from scipy.spatial import cKDTree
 
 from repro.errors import DetectionError
 from repro.geometry.balls import smallest_enclosing_ball
-from repro.geometry.tolerance import DEFAULT_TOL, Tolerance
+from repro.geometry.tolerance import AXIS_NORM_FLOOR, DEFAULT_TOL, Tolerance
 from repro.groups.axes import RotationAxis
 from repro.groups.group import RotationGroup, GroupSpec, GroupKind, element_key
 from repro.groups.infinite import InfiniteGroupKind, detect_collinear_kind
@@ -296,7 +296,8 @@ class _BatchVerifier:
             images = np.einsum("cij,mj->cmi", chunk, points)
             dist, idx = self.tree.query(
                 images.reshape(-1, 3), k=1,
-                distance_upper_bound=self.check_slack * (1.0 + 1e-9))
+                distance_upper_bound=self.check_slack
+                * (1.0 + DEFAULT_TOL.coincidence_slack(1.0)))
             dist = dist.reshape(len(chunk), m)
             idx = idx.reshape(len(chunk), m)
             good = dist <= self.check_slack
@@ -355,7 +356,7 @@ def _symmetry_rotations(rel, mults, radii, slack: float,
     r2 = float(radii[p2_index])
     dot12 = float(np.dot(p1, p2))
     threshold = check_slack * max(
-        1.0, r1 * r2 / max(scale, 1e-12)) * scale
+        1.0, r1 * r2 / max(scale, AXIS_NORM_FLOOR)) * scale
 
     # Candidate images: anchor-shell × second-shell pairs whose inner
     # product matches the reference pair's (rotations preserve it).
@@ -414,14 +415,14 @@ def _rotations_from_pairs(p1, p2, q1s, q2s) -> np.ndarray:
     n_p = np.cross(p1, p2)
     ln_p = float(np.linalg.norm(n_p))
     frame_p = _orthoframe(p1, n_p)
-    if ln_p < 1e-12 or frame_p is None:
+    if ln_p < AXIS_NORM_FLOOR or frame_p is None:
         return np.zeros((0, 3, 3))
     q1s = np.asarray(q1s, dtype=float).reshape(-1, 3)
     q2s = np.asarray(q2s, dtype=float).reshape(-1, 3)
     n_q = np.cross(q1s, q2s)
     ln_q = np.linalg.norm(n_q, axis=1)
     l_q1 = np.linalg.norm(q1s, axis=1)
-    valid = (ln_q >= 1e-12) & (l_q1 >= 1e-12)
+    valid = (ln_q >= AXIS_NORM_FLOOR) & (l_q1 >= AXIS_NORM_FLOOR)
     if not valid.any():
         return np.zeros((0, 3, 3))
     e0 = q1s[valid] / l_q1[valid, None]
@@ -434,7 +435,7 @@ def _rotations_from_pairs(p1, p2, q1s, q2s) -> np.ndarray:
 def _orthoframe(x, n) -> np.ndarray | None:
     lx = float(np.linalg.norm(x))
     ln = float(np.linalg.norm(n))
-    if lx < 1e-12 or ln < 1e-12:
+    if lx < AXIS_NORM_FLOOR or ln < AXIS_NORM_FLOOR:
         return None
     e0 = x / lx
     e2 = n / ln
@@ -492,7 +493,8 @@ def align_rotation(src_rel, src_mults, src_radii,
     q1s = dst_rel[q1_mask]
     q2s = dst_rel[q2_mask]
     dots = q1s @ q2s.T
-    threshold = check_slack * max(1.0, r1 * r2 / max(scale, 1e-12)) * scale
+    threshold = check_slack * max(
+        1.0, r1 * r2 / max(scale, AXIS_NORM_FLOOR)) * scale
     ii, jj = np.nonzero(np.abs(dots - dot12) <= threshold)
     if ii.size == 0:
         return None
@@ -508,7 +510,8 @@ def align_rotation(src_rel, src_mults, src_radii,
         images = np.einsum("cij,mj->cmi", chunk, src_rel)
         dist, idx = tree.query(
             images.reshape(-1, 3), k=1,
-            distance_upper_bound=check_slack * (1.0 + 1e-9))
+            distance_upper_bound=check_slack
+            * (1.0 + DEFAULT_TOL.coincidence_slack(1.0)))
         dist = dist.reshape(len(chunk), m)
         idx = idx.reshape(len(chunk), m)
         good = dist <= check_slack

@@ -220,7 +220,7 @@ class RotationGroup:
                     mats.append(arr)
         has_identity = bool(mats) and bool(
             (np.abs(np.asarray(mats) - np.eye(3)).max(axis=(1, 2))
-             <= 1e-6).any())
+             <= DEFAULT_TOL.geometric_slack(1.0)).any())
         if not has_identity:
             identity = np.eye(3)
             key_index[element_key(identity)] = len(mats)

@@ -14,7 +14,12 @@ import enum
 
 import numpy as np
 
-from repro.geometry.tolerance import DEFAULT_TOL, Tolerance, canonical_round
+from repro.geometry.tolerance import (
+    AXIS_NORM_FLOOR,
+    DEFAULT_TOL,
+    Tolerance,
+    canonical_round,
+)
 
 __all__ = ["InfiniteGroupKind", "detect_collinear_kind"]
 
@@ -38,11 +43,11 @@ def detect_collinear_kind(rel_points, multiplicities,
     decimals = 6
     table: dict[tuple, int] = {}
     for p, m in zip(rel_points, multiplicities):
-        key = tuple(canonical_round(np.asarray(p) / max(scale, 1e-12),
+        key = tuple(canonical_round(np.asarray(p) / max(scale, AXIS_NORM_FLOOR),
                                     decimals).tolist())
         table[key] = table.get(key, 0) + m
     for p, m in zip(rel_points, multiplicities):
-        key = tuple(canonical_round(-np.asarray(p) / max(scale, 1e-12),
+        key = tuple(canonical_round(-np.asarray(p) / max(scale, AXIS_NORM_FLOOR),
                                     decimals).tolist())
         if table.get(key, 0) != m:
             return InfiniteGroupKind.C_INF

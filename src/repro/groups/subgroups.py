@@ -232,7 +232,7 @@ def _order_secondaries(principal, secondaries) -> list[np.ndarray]:
 
 
 def _parallel(a, b) -> bool:
-    return bool(np.linalg.norm(np.cross(a, b)) < 1e-8)
+    return bool(np.linalg.norm(np.cross(a, b)) < 0.1 * DEFAULT_TOL.abs_tol)
 
 
 def _generic_subgroups(group: RotationGroup,

@@ -1,0 +1,50 @@
+"""reprolint — domain-specific static analysis for the reproduction.
+
+Five AST rules turn the model's semantic invariants into
+compile-time failures (see ``docs/STATIC_ANALYSIS.md``):
+
+==========  =========================================================
+REP001      tolerance discipline: float comparisons go through
+            :mod:`repro.geometry.tolerance`, never raw literals
+REP002      obliviousness: robot algorithms are pure functions of the
+            local observation (the paper's robot model)
+REP003      cache purity: L1/L2/L3 keys hash exact bytes; no mutable
+            module state behind cached callables
+REP004      seeding discipline: every stream descends from a seeded
+            ``SeedSequence``; ``spawn`` is the only fan-out
+REP005      row determinism: no wall-clock, unsorted filesystem
+            listings, or hash-order iteration feeding experiment rows
+==========  =========================================================
+
+Suppress a false positive inline, justification mandatory::
+
+    x = 1e-300  # reprolint: disable=REP001 -- underflow guard, not a tolerance
+
+Run as ``python -m repro.lint [paths...]`` or ``repro lint``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.cli import main, report_as_json
+from repro.lint.framework import (
+    FileContext,
+    LintReport,
+    Rule,
+    Violation,
+    lint_file,
+    run_paths,
+)
+from repro.lint.rules import RULE_CLASSES, default_rules
+
+__all__ = [
+    "FileContext",
+    "LintReport",
+    "Rule",
+    "RULE_CLASSES",
+    "Violation",
+    "default_rules",
+    "lint_file",
+    "main",
+    "report_as_json",
+    "run_paths",
+]

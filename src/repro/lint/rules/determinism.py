@@ -1,0 +1,114 @@
+"""REP005 — nondeterminism feeding experiment rows.
+
+The FSYNC model is synchronous and deterministic, and the CI gate
+diffs experiment rows byte-for-byte across worker counts and cache
+states.  Any ambient nondeterminism — wall-clock reads, filesystem
+enumeration order, hash-order iteration — that reaches a row breaks
+that contract in ways a unit test cannot catch (it passes on every
+machine it was written on).
+
+Flagged everywhere under ``src/`` and ``benchmarks/``:
+
+* **wall-clock reads** — ``time.time``/``time.time_ns``,
+  ``datetime.datetime.now``/``utcnow``, ``datetime.date.today``;
+* **unsorted directory listings** — ``os.listdir``, ``os.scandir``,
+  ``glob.glob``/``iglob`` and ``Path.iterdir``/``glob``/``rglob``
+  calls not wrapped directly in ``sorted(...)``: the OS returns
+  entries in on-disk order;
+* **set iteration** — ``for x in {...}`` / ``for x in set(...)``:
+  iteration order of a str-keyed set varies with ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import FileContext, Rule, Violation
+
+__all__ = ["RowDeterminism"]
+
+_CLOCK_CALLS = {
+    ("time", "time"), ("time", "time_ns"),
+    ("datetime", "now"), ("datetime", "utcnow"),
+    ("date", "today"),
+}
+_LISTING_MODULE_CALLS = {
+    ("os", "listdir"), ("os", "scandir"),
+    ("glob", "glob"), ("glob", "iglob"),
+}
+_LISTING_METHODS = {"iterdir", "rglob"}
+
+
+def _dotted(node: ast.AST) -> tuple[str, str] | None:
+    """``(base, attr)`` for simple ``base.attr`` / ``a.base.attr``."""
+    if not isinstance(node, ast.Attribute):
+        return None
+    value = node.value
+    if isinstance(value, ast.Name):
+        return value.id, node.attr
+    if isinstance(value, ast.Attribute):
+        return value.attr, node.attr
+    return None
+
+
+class RowDeterminism(Rule):
+    rule_id = "REP005"
+    summary = ("no wall-clock, unsorted listings, or hash-order "
+               "iteration in code feeding experiment rows")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._call(ctx, node)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._set_iteration(ctx, node)
+
+    def _call(self, ctx: FileContext,
+              node: ast.Call) -> Iterator[Violation]:
+        dotted = _dotted(node.func)
+        if dotted in _CLOCK_CALLS:
+            base, attr = dotted
+            yield ctx.violation(
+                node, self.rule_id,
+                f"{base}.{attr}() reads the wall clock; rows must be "
+                f"a pure function of (inputs, seed) — inject the "
+                f"timestamp or stamp the artifact outside the row "
+                f"pipeline")
+            return
+        listing = None
+        if dotted in _LISTING_MODULE_CALLS:
+            listing = f"{dotted[0]}.{dotted[1]}()"
+        elif isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _LISTING_METHODS:
+            listing = f".{node.func.attr}()"
+        elif isinstance(node.func, ast.Attribute) and \
+                node.func.attr == "glob" and \
+                not isinstance(node.func.value, ast.Name):
+            listing = ".glob()"
+        if listing is not None and not self._sorted_parent(ctx, node):
+            yield ctx.violation(
+                node, self.rule_id,
+                f"{listing} enumerates the filesystem in on-disk "
+                f"order; wrap it in sorted(...)")
+
+    def _sorted_parent(self, ctx: FileContext, node: ast.Call) -> bool:
+        parent = ctx.parent(node)
+        return (isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id == "sorted")
+
+    def _set_iteration(self, ctx: FileContext,
+                       node: ast.For | ast.AsyncFor,
+                       ) -> Iterator[Violation]:
+        it = node.iter
+        is_set = isinstance(it, (ast.Set, ast.SetComp)) or (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Name)
+            and it.func.id in ("set", "frozenset"))
+        if is_set:
+            yield ctx.violation(
+                it, self.rule_id,
+                "iterating a set: order follows PYTHONHASHSEED for "
+                "str/object elements; iterate sorted(...) or a "
+                "deterministic sequence")

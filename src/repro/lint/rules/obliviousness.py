@@ -1,0 +1,143 @@
+"""REP002 — the oblivious-robot contract.
+
+In the Yamauchi–Uehara–Yamashita model (PODC 2016) robots are
+*oblivious*: each activation computes the next destination as a pure
+function of the current local observation.  Nothing may survive a
+round — no counters, no caches, no flags stashed on the robot.  The
+correctness proofs (and the adversary's power) depend on it.
+
+For code under ``robots/algorithms/`` three mechanical checks
+approximate the contract:
+
+* **module-level mutable containers** — a ``dict``/``list``/``set``
+  bound at module scope is writable cross-round state; constants must
+  be immutable (tuples, frozensets, ``MappingProxyType``).
+* **``global`` / ``nonlocal`` rebinding** — an algorithm function
+  that rebinds an enclosing name is keeping state by definition.
+* **attribute writes on parameters** — ``observation.seen = True``
+  or ``setattr(robot, ...)`` stashes per-round state on objects the
+  scheduler passes in.  (Writes to ``self``/``cls`` in methods are a
+  class's own initialization, not cross-round smuggling.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import FileContext, Rule, Violation
+
+__all__ = ["ObliviousnessContract"]
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict",
+                  "OrderedDict", "Counter", "deque"}
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                     ast.SetComp, ast.DictComp)
+_SELF_NAMES = {"self", "cls"}
+
+
+def _is_mutable_value(node: ast.AST) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else \
+            func.attr if isinstance(func, ast.Attribute) else None
+        return name in _MUTABLE_CALLS
+    return False
+
+
+class ObliviousnessContract(Rule):
+    rule_id = "REP002"
+    summary = ("robot algorithms must be pure functions of the local "
+               "observation (no module state, no stashed attributes)")
+
+    def applies(self, posix_path: str) -> bool:
+        return "robots/algorithms/" in posix_path
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        yield from self._module_state(ctx)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                kind = "global" if isinstance(node, ast.Global) else \
+                    "nonlocal"
+                yield ctx.violation(
+                    node, self.rule_id,
+                    f"'{kind} {', '.join(node.names)}' rebinds state "
+                    f"outside the observation; oblivious algorithms "
+                    f"may not keep cross-round state")
+            elif isinstance(node, (ast.FunctionDef,
+                                   ast.AsyncFunctionDef)):
+                yield from self._parameter_writes(ctx, node)
+
+    def _module_state(self, ctx: FileContext) -> Iterator[Violation]:
+        for stmt in ctx.tree.body:
+            targets: list[ast.expr]
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if names == ["__all__"]:
+                continue
+            if _is_mutable_value(value):
+                yield ctx.violation(
+                    stmt, self.rule_id,
+                    f"module-level mutable container "
+                    f"{', '.join(names) or '<target>'}; any round could "
+                    f"mutate it — freeze it (tuple/frozenset/"
+                    f"MappingProxyType)")
+
+    def _parameter_writes(self, ctx: FileContext,
+                          func: ast.FunctionDef | ast.AsyncFunctionDef,
+                          ) -> Iterator[Violation]:
+        args = func.args
+        params = {a.arg for a in (*args.posonlyargs, *args.args,
+                                  *args.kwonlyargs)}
+        if args.vararg:
+            params.add(args.vararg.arg)
+        if args.kwarg:
+            params.add(args.kwarg.arg)
+        params -= _SELF_NAMES
+        for node in self._own_body(func):
+            if isinstance(node, (ast.Assign, ast.AugAssign,
+                                 ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Attribute) and \
+                            isinstance(target.value, ast.Name) and \
+                            target.value.id in params:
+                        yield ctx.violation(
+                            node, self.rule_id,
+                            f"writes attribute "
+                            f"'{target.value.id}.{target.attr}' on a "
+                            f"parameter of {func.name}(); per-round "
+                            f"state on scheduler-owned objects breaks "
+                            f"obliviousness")
+            elif isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Name) and \
+                    node.func.id == "setattr" and node.args and \
+                    isinstance(node.args[0], ast.Name) and \
+                    node.args[0].id in params:
+                yield ctx.violation(
+                    node, self.rule_id,
+                    f"setattr() on parameter '{node.args[0].id}' of "
+                    f"{func.name}(); per-round state on "
+                    f"scheduler-owned objects breaks obliviousness")
+
+    @staticmethod
+    def _own_body(func: ast.FunctionDef | ast.AsyncFunctionDef,
+                  ) -> Iterator[ast.AST]:
+        """Walk ``func`` without descending into nested functions
+        (those are checked against their own parameter lists)."""
+        stack: list[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))

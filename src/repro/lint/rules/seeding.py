@@ -1,0 +1,108 @@
+"""REP004 — seeding discipline.
+
+Every random stream in the reproduction must descend from one
+``np.random.SeedSequence`` root so that (a) a run is a pure function
+of its seed and (b) parallel trials are statistically independent.
+Two historical failure modes motivated the rule:
+
+* the legacy module-level RNG (``np.random.rand`` & co.) is hidden
+  process-global state — results then depend on call order across the
+  whole program, which the ``--jobs`` fan-out scrambles;
+* arithmetic fan-out (``default_rng(seed + t)``) collides: adjacent
+  experiment seeds share streams (trial ``t`` of seed ``s`` equals
+  trial ``t-1`` of seed ``s+1``).  ``SeedSequence.spawn`` (wrapped by
+  :func:`repro.perf.spawn_seeds`) is the only sanctioned fan-out.
+
+Flagged everywhere under ``src/`` and ``benchmarks/``:
+
+* calls to the legacy ``np.random.*`` / stdlib ``random.*`` stateful
+  API;
+* ``default_rng()`` with no argument (OS-entropy seeding — the run is
+  then not reproducible);
+* arithmetic inside the ``default_rng``/``SeedSequence`` argument
+  (``seed + t``-style fan-out).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import FileContext, Rule, Violation
+
+__all__ = ["SeedingDiscipline"]
+
+_NUMPY_LEGACY = {
+    "seed", "rand", "randn", "random", "randint", "random_integers",
+    "random_sample", "ranf", "sample", "choice", "shuffle",
+    "permutation", "normal", "uniform", "standard_normal", "binomial",
+    "poisson", "exponential", "RandomState", "get_state", "set_state",
+}
+_STDLIB_RANDOM = {
+    "seed", "random", "randint", "randrange", "choice", "choices",
+    "shuffle", "sample", "uniform", "gauss", "normalvariate",
+    "getrandbits",
+}
+
+
+def _is_np_random(node: ast.AST) -> bool:
+    """True for the expression ``np.random`` / ``numpy.random``."""
+    return (isinstance(node, ast.Attribute) and node.attr == "random"
+            and isinstance(node.value, ast.Name)
+            and node.value.id in ("np", "numpy"))
+
+
+def _contains_arithmetic(node: ast.AST) -> bool:
+    return any(isinstance(child, ast.BinOp)
+               for child in ast.walk(node))
+
+
+class SeedingDiscipline(Rule):
+    rule_id = "REP004"
+    summary = ("streams derive from seeded default_rng/SeedSequence; "
+               "spawn() is the only fan-out")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if _is_np_random(func.value) and \
+                        func.attr in _NUMPY_LEGACY:
+                    yield ctx.violation(
+                        node, self.rule_id,
+                        f"np.random.{func.attr}() uses the hidden "
+                        f"module-global RNG; results depend on global "
+                        f"call order — use a seeded "
+                        f"np.random.default_rng(...) generator")
+                    continue
+                if isinstance(func.value, ast.Name) and \
+                        func.value.id == "random" and \
+                        func.attr in _STDLIB_RANDOM:
+                    yield ctx.violation(
+                        node, self.rule_id,
+                        f"random.{func.attr}() uses the stdlib "
+                        f"module-global RNG; use a seeded "
+                        f"np.random.default_rng(...) generator")
+                    continue
+            name = func.attr if isinstance(func, ast.Attribute) else \
+                func.id if isinstance(func, ast.Name) else None
+            if name not in ("default_rng", "SeedSequence"):
+                continue
+            if name == "default_rng" and not node.args and \
+                    not node.keywords:
+                yield ctx.violation(
+                    node, self.rule_id,
+                    "default_rng() without a seed draws OS entropy; "
+                    "the run is then not a function of its seed")
+                continue
+            for arg in node.args:
+                if _contains_arithmetic(arg):
+                    yield ctx.violation(
+                        node, self.rule_id,
+                        f"arithmetic inside {name}(...) is "
+                        f"collision-prone seed fan-out (seed+t of "
+                        f"seed s aliases seed s+1); use "
+                        f"SeedSequence.spawn / repro.perf.spawn_seeds")
+                    break

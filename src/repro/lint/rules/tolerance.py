@@ -1,0 +1,80 @@
+"""REP001 — tolerance discipline.
+
+The paper's constructions live in exact real arithmetic; the
+reproduction compares float64 quantities, and every such comparison
+must go through the audited slacks of
+:mod:`repro.geometry.tolerance` (``Tolerance`` methods, ``DEFAULT_TOL``
+and the named degeneracy floors).  A raw ``1e-6``-style literal at a
+call site is an unreviewed claim about accumulated rounding error —
+exactly the kind of constant that silently drifts out of sync with
+the real error budget when kernels are vectorized or reordered.
+
+Two checks:
+
+* **raw tolerance literals** — numeric literals with
+  ``1e-100 <= |x| <= 1e-4`` anywhere outside
+  ``geometry/tolerance.py``.  Values below ``1e-100`` are underflow
+  guards for denominators (e.g. ``max(scale, 1e-300)``), not
+  tolerances, and are exempt.
+* **float equality** — ``==`` / ``!=`` against a float literal;
+  use ``Tolerance.close`` / ``isclose`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import FileContext, Rule, Violation
+
+__all__ = ["ToleranceDiscipline"]
+
+#: Literals with magnitude at or below this are tolerance-shaped.
+LITERAL_CEILING = 1e-4  # reprolint: disable=REP001 -- the rule's own definitional threshold
+#: ... and magnitudes below this are underflow guards, not slacks.
+LITERAL_FLOOR = 1e-100  # reprolint: disable=REP001 -- the rule's own definitional threshold
+
+_EXEMPT_SUFFIX = "geometry/tolerance.py"
+
+
+class ToleranceDiscipline(Rule):
+    rule_id = "REP001"
+    summary = ("float comparisons must use repro.geometry.tolerance "
+               "slacks, not raw literals")
+
+    def applies(self, posix_path: str) -> bool:
+        return not posix_path.endswith(_EXEMPT_SUFFIX)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Constant):
+                value = node.value
+                if isinstance(value, bool) or \
+                        not isinstance(value, (int, float)):
+                    continue
+                magnitude = abs(float(value))
+                if LITERAL_FLOOR <= magnitude <= LITERAL_CEILING:
+                    yield ctx.violation(
+                        node, self.rule_id,
+                        f"raw tolerance literal {value!r}; derive the "
+                        f"slack from repro.geometry.tolerance "
+                        f"(Tolerance methods or a named floor)")
+            elif isinstance(node, ast.Compare):
+                yield from self._check_equality(ctx, node)
+
+    def _check_equality(self, ctx: FileContext,
+                        node: ast.Compare) -> Iterator[Violation]:
+        operands = [node.left, *node.comparators]
+        for op, right in zip(node.ops, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left = operands[operands.index(right) - 1]
+            for side in (left, right):
+                if isinstance(side, ast.Constant) and \
+                        isinstance(side.value, float):
+                    yield ctx.violation(
+                        node, self.rule_id,
+                        f"float equality against {side.value!r}; use "
+                        f"Tolerance.close/isclose (exact float == is "
+                        f"representation-dependent)")
+                    break

@@ -1,0 +1,111 @@
+"""Inline suppression of reprolint findings.
+
+Syntax (a trailing comment on the flagged line, or a standalone
+comment on the line directly above a flagged statement)::
+
+    denom = 1e-300  # reprolint: disable=REP001 -- underflow guard, not a tolerance
+
+    # reprolint: disable=REP003 -- singleton lifecycle, reset in tests
+    global _store
+
+Rules:
+
+* the justification after ``--`` is **mandatory** — a suppression
+  without one is itself reported (REP000) and does not silence
+  anything;
+* rule ids are comma-separated (``disable=REP001,REP004``);
+* ``REP000`` (meta findings) cannot be suppressed;
+* suppressions are line-scoped: a trailing comment covers its own
+  line, a standalone comment covers the next line.  Multi-line
+  statements are reported at their first line, so that is where the
+  suppression goes.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.framework import Violation
+
+__all__ = ["SuppressionTable", "parse_suppressions"]
+
+_PATTERN = re.compile(
+    r"#\s*reprolint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s*--\s*(?P<reason>.*\S))?\s*$")
+
+_RULE_ID = re.compile(r"^REP\d{3}$")
+
+
+@dataclass
+class SuppressionTable:
+    """Per-line map of suppressed rule ids plus malformed entries."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    #: (line, message) pairs for malformed suppressions.
+    malformed: list[tuple[int, str]] = field(default_factory=list)
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        return rule in self.by_line.get(line, set())
+
+    def problems(self, path: str) -> Iterator["Violation"]:
+        from repro.lint.framework import META_RULE, Violation
+
+        for line, message in self.malformed:
+            yield Violation(path=path, line=line, col=0,
+                            rule=META_RULE, message=message)
+
+
+def _comment_tokens(source: str) -> Iterator[tuple[int, bool, str]]:
+    """(line, is_standalone, text) for every comment token.
+
+    Tokenizing (rather than scanning lines) keeps reprolint-looking
+    text inside strings and docstrings from being treated as a
+    suppression.
+    """
+    lines = source.splitlines()
+    tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        line, col = tok.start
+        before = lines[line - 1][:col] if line <= len(lines) else ""
+        yield line, not before.strip(), tok.string
+
+
+def parse_suppressions(source: str) -> SuppressionTable:
+    """Scan ``source`` for ``# reprolint: disable=...`` comments."""
+    table = SuppressionTable()
+    for index, standalone, text in _comment_tokens(source):
+        match = _PATTERN.search(text)
+        if match is None:
+            if "reprolint:" in text:
+                table.malformed.append(
+                    (index, "unparseable reprolint comment; expected "
+                            "'# reprolint: disable=REPnnn -- reason'"))
+            continue
+        reason = match.group("reason")
+        rules = [r.strip() for r in match.group("rules").split(",")
+                 if r.strip()]
+        bad = [r for r in rules if not _RULE_ID.match(r)]
+        if bad:
+            table.malformed.append(
+                (index, f"unknown rule id(s) in suppression: "
+                        f"{', '.join(sorted(bad))}"))
+            continue
+        if "REP000" in rules:
+            table.malformed.append(
+                (index, "REP000 (meta findings) cannot be suppressed"))
+            continue
+        if not reason:
+            table.malformed.append(
+                (index, "suppression requires a justification: append "
+                        "' -- <why this is a false positive>'"))
+            continue
+        target = index + 1 if standalone else index
+        table.by_line.setdefault(target, set()).update(rules)
+    return table

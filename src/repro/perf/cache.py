@@ -86,7 +86,7 @@ class _ClassEntry:
 
 def set_enabled(flag: bool) -> None:
     """Globally enable or disable the congruence caches."""
-    global _enabled
+    global _enabled  # reprolint: disable=REP003 -- audited lifecycle singleton: cache enable flag, toggled only by set_enabled()
     _enabled = bool(flag)
 
 

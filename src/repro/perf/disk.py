@@ -224,7 +224,7 @@ def configure(root=None, enabled: bool | None = None,
     overrides ``REPRO_DISK_CACHE``; ``version`` overrides the package
     version recorded in the index (for stale-version tests).
     """
-    global _store
+    global _store  # reprolint: disable=REP003 -- audited lifecycle singleton: L3 store handle, rebound only by configure/reset
     if enabled is False:
         _store = False
         return
@@ -241,7 +241,7 @@ def _default_root() -> Path:
 
 def disk_cache() -> DiskCache | None:
     """The active store, or ``None`` when the level is disabled."""
-    global _store
+    global _store  # reprolint: disable=REP003 -- audited lifecycle singleton: lazy env-driven resolution of the L3 store
     if _store is None:
         if os.environ.get(_ENV_DISABLE, "").lower() in ("0", "false", "off"):
             _store = False

@@ -273,12 +273,12 @@ _cumulative["runs"] = 0
 
 def activate(store: SharedStore) -> None:
     """Route :func:`shared_get_or_compute` through ``store``."""
-    global _active
+    global _active  # reprolint: disable=REP003 -- audited lifecycle singleton: L2 store activation for the worker process
     _active = store
 
 
 def deactivate() -> None:
-    global _active
+    global _active  # reprolint: disable=REP003 -- audited lifecycle singleton: L2 store deactivation on pool teardown
     _active = None
 
 

@@ -51,7 +51,7 @@ def exact_digest(*parts) -> bytes:
             h.update(part)
         elif isinstance(part, str):
             h.update(part.encode())
-        elif isinstance(part, float):
+        elif isinstance(part, (float, np.floating)):
             h.update(np.float64(part).tobytes())
         elif isinstance(part, (int, bool, np.integer)):
             h.update(str(int(part)).encode())
@@ -62,7 +62,11 @@ def exact_digest(*parts) -> bytes:
         elif part is None:
             h.update(b"none")
         else:
-            h.update(repr(part).encode())
+            # repr()/str() of floats is locale/precision hazard; any new
+            # key part must get an explicit exact-byte branch above.
+            raise TypeError(
+                f"exact_digest: no exact-byte encoding for "
+                f"{type(part).__name__!r} operands")
         h.update(_SEPARATOR)
     return h.digest()
 

@@ -29,6 +29,7 @@ from repro.core.decomposition import principal_axis_of_d2
 from repro.core.local_views import ordered_orbits
 from repro.core.symmetricity import symmetricity
 from repro.errors import SimulationError, UnsolvableError
+from repro.geometry.tolerance import DEFAULT_TOL
 from repro.geometry.vectors import orthonormal_basis_for
 from repro.groups.group import GroupKind
 from repro.robots.algorithms.matching import match_configuration_to_pattern
@@ -45,8 +46,10 @@ def is_plane_formable(config: Configuration) -> bool:
     return all(spec.is_2d for spec in rho.specs)
 
 
-def is_coplanar(points, slack_scale: float = 1e-6) -> bool:
+def is_coplanar(points, slack_scale: float | None = None) -> bool:
     """True if all points lie on one plane (within tolerance)."""
+    if slack_scale is None:
+        slack_scale = DEFAULT_TOL.geometric_slack(1.0)
     arr = np.asarray([np.asarray(p, dtype=float) for p in points])
     centered = arr - arr.mean(axis=0)
     if len(arr) <= 3:
@@ -102,7 +105,8 @@ def _agreed_frame(config: Configuration) -> tuple[np.ndarray, np.ndarray,
         w = group.principal_axis.direction
     if group.spec.kind is GroupKind.DIHEDRAL:
         secondary = next(a.direction for a in group.axes
-                         if abs(float(np.dot(a.direction, w))) < 1e-6)
+                         if abs(float(np.dot(a.direction, w)))
+                         < DEFAULT_TOL.geometric_slack(1.0))
         u = secondary / np.linalg.norm(secondary)
     else:
         u = _first_offaxis_azimuth(config, w)
@@ -114,7 +118,7 @@ def _first_offaxis_azimuth(config: Configuration,
                            w: np.ndarray) -> np.ndarray:
     group = config.rotation_group
     center = config.center
-    slack = 1e-6 * max(config.radius, 1.0)
+    slack = DEFAULT_TOL.geometric_slack(config.radius)
     for orbit in ordered_orbits(config, group):
         rel = config.points[orbit[0]] - center
         perp = rel - float(np.dot(rel, w)) * w
@@ -149,7 +153,8 @@ def _planar_landing_pattern(config: Configuration) -> list[np.ndarray]:
         ring = [center + mat @ (seed - center) for mat in group.elements]
         distinct = []
         for p in ring:
-            if not any(np.linalg.norm(p - q) <= 1e-9 * max(radius, 1.0)
+            if not any(np.linalg.norm(p - q)
+                       <= DEFAULT_TOL.coincidence_slack(radius)
                        for q in distinct):
                 distinct.append(p)
         if len(distinct) != len(orbit):

@@ -14,6 +14,7 @@ import numpy as np
 from repro.core.configuration import Configuration
 from repro.core.decomposition import orbit_decomposition
 from repro.errors import SimulationError
+from repro.geometry.tolerance import DEFAULT_TOL
 from repro.groups.group import RotationGroup
 from repro.robots.model import LocalFrame
 
@@ -73,7 +74,7 @@ def symmetric_frames(config: Configuration, witness: RotationGroup,
 
 def _find_orbit_member(config: Configuration, orbit, used, image,
                        center) -> int:
-    slack = 1e-5 * max(config.radius, 1.0)
+    slack = DEFAULT_TOL.alignment_slack(config.radius)
     for idx in orbit:
         if idx in used:
             continue

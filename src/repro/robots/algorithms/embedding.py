@@ -38,7 +38,11 @@ from repro.core.local_views import ordered_orbits
 from repro.core.symmetricity import symmetricity_of_multiset
 from repro.errors import EmbeddingError
 from repro.geometry.polygons import regular_polygon_fold
-from repro.geometry.tolerance import canonical_round
+from repro.geometry.tolerance import (
+    AXIS_NORM_FLOOR,
+    DEFAULT_TOL,
+    canonical_round,
+)
 from repro.groups.group import GroupKind, GroupSpec, RotationGroup
 
 __all__ = ["embed_target"]
@@ -145,13 +149,15 @@ def _canonical_frame(config: Configuration) -> np.ndarray:
     order = [orbit[0] for orbit in orbits]
     center = config.center
     rel = [config.points[i] - center for i in order]
-    first = next((r for r in rel if np.linalg.norm(r) > 1e-9), None)
+    first = next((r for r in rel if np.linalg.norm(r) > DEFAULT_TOL.coincidence_slack(1.0)),
+                 None)
     if first is None:
         raise EmbeddingError("degenerate configuration has no frame")
     w = first / np.linalg.norm(first)
     for r in rel:
         perp = r - float(np.dot(r, w)) * w
-        if np.linalg.norm(perp) > 1e-7 * max(config.radius, 1.0):
+        if np.linalg.norm(perp) > DEFAULT_TOL.abs_tol * max(config.radius,
+                                                            1.0):
             u = perp / np.linalg.norm(perp)
             v = np.cross(w, u)
             return np.column_stack([u, v, w])
@@ -168,13 +174,15 @@ def _frame_for_target(target_config: Configuration) -> np.ndarray:
     center = target_config.center
     rel = sorted((p - center for p in target_config.points),
                  key=lambda p: tuple(canonical_round(p, 9).tolist()))
-    first = next((r for r in rel if np.linalg.norm(r) > 1e-9), None)
+    first = next((r for r in rel if np.linalg.norm(r) > DEFAULT_TOL.coincidence_slack(1.0)),
+                 None)
     if first is None:
         raise EmbeddingError("degenerate target has no frame")
     w = first / np.linalg.norm(first)
     for r in rel:
         perp = r - float(np.dot(r, w)) * w
-        if np.linalg.norm(perp) > 1e-7 * max(target_config.radius, 1.0):
+        if np.linalg.norm(perp) > DEFAULT_TOL.abs_tol * max(
+                target_config.radius, 1.0):
             u = perp / np.linalg.norm(perp)
             v = np.cross(w, u)
             return np.column_stack([u, v, w])
@@ -214,7 +222,7 @@ def _reference_meridian(config: Configuration, axis: np.ndarray,
     """
     orbits = ordered_orbits(config, group)
     center = config.center
-    slack = 1e-6 * max(config.radius, 1.0)
+    slack = DEFAULT_TOL.geometric_slack(config.radius)
     for orbit in orbits:
         p = config.points[orbit[0]] - center
         perp = p - float(np.dot(p, axis)) * axis
@@ -266,7 +274,7 @@ def _target_meridian(target_config: Configuration,
     deterministic because ``F`` is shared input.
     """
     center = target_config.center
-    slack = 1e-6 * max(target_config.radius, 1.0)
+    slack = DEFAULT_TOL.geometric_slack(target_config.radius)
     best = None
     best_key = None
     for p in target_config.points:
@@ -321,9 +329,11 @@ def _arrangement_alignments(config: Configuration, group: RotationGroup,
                     continue
                 for s2 in (1.0, -1.0):
                     d2 = s2 * b2.direction
-                    if abs(abs(float(np.dot(d1, d2))) - abs(dot_ref)) > 1e-6:
+                    if (abs(abs(float(np.dot(d1, d2))) - abs(dot_ref))
+                            > DEFAULT_TOL.geometric_slack(1.0)):
                         continue
-                    if abs(float(np.dot(d1, d2)) - dot_ref) > 1e-6:
+                    if (abs(float(np.dot(d1, d2)) - dot_ref)
+                            > DEFAULT_TOL.geometric_slack(1.0)):
                         continue
                     rot = _rotation_from_axis_pairs(
                         a1.direction, a2.direction, d1, d2)
@@ -349,7 +359,7 @@ def _reference_axis_pair(witness: RotationGroup):
     first = axes[0]
     for other in axes[1:]:
         cross = np.cross(first.direction, other.direction)
-        if float(np.linalg.norm(cross)) > 1e-8:
+        if float(np.linalg.norm(cross)) > 0.1 * DEFAULT_TOL.abs_tol:
             return first, other
     raise EmbeddingError("witness arrangement has fewer than two axes")
 
@@ -357,8 +367,8 @@ def _reference_axis_pair(witness: RotationGroup):
 def _rotation_from_axis_pairs(a1, a2, b1, b2) -> np.ndarray | None:
     n_a = np.cross(a1, a2)
     n_b = np.cross(b1, b2)
-    if (float(np.linalg.norm(n_a)) < 1e-12
-            or float(np.linalg.norm(n_b)) < 1e-12):
+    if (float(np.linalg.norm(n_a)) < AXIS_NORM_FLOOR
+            or float(np.linalg.norm(n_b)) < AXIS_NORM_FLOOR):
         return None
     frame_a = _frame_from_axis(n_a, a1)
     frame_b = _frame_from_axis(n_b, b1)

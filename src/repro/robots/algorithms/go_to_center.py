@@ -25,12 +25,14 @@ requires.
 
 from __future__ import annotations
 
+from types import MappingProxyType
+
 import numpy as np
 
 from repro.core.configuration import Configuration
 from repro.errors import GeometryError
 from repro.geometry.convex import ConvexPolyhedron
-from repro.geometry.tolerance import canonical_round
+from repro.geometry.tolerance import DEFAULT_TOL, canonical_round
 from repro.groups.group import GroupKind
 from repro.robots.model import Observation
 
@@ -48,7 +50,7 @@ EPSILON_FRACTION = 0.01
 # rotation group of the vertex set as a standalone shape).  Note the
 # shape group can exceed the group that generated the orbit (e.g.
 # U_{T,2} is a regular octahedron whose shape group is O).
-_GOC_SHAPES = {
+_GOC_SHAPES = MappingProxyType({
     (4, "T"): "tetrahedron",
     (6, "O"): "octahedron",
     (8, "O"): "cube",
@@ -56,12 +58,12 @@ _GOC_SHAPES = {
     (12, "I"): "icosahedron",
     (20, "I"): "dodecahedron",
     (30, "I"): "icosidodecahedron",
-}
+})
 
-_FACE_RESTRICTION = {
+_FACE_RESTRICTION = MappingProxyType({
     "cuboctahedron": 3,       # triangle faces only
     "icosidodecahedron": 5,   # pentagon faces only
-}
+})
 
 
 def recognize_goc_polyhedron(points) -> str | None:
@@ -91,7 +93,7 @@ def recognize_goc_polyhedron(points) -> str | None:
     # radius uniformity to reject impostors with the right group.
     rel = cfg.relative_points()
     radii = [float(np.linalg.norm(p)) for p in rel]
-    if max(radii) - min(radii) > 1e-6 * max(radii):
+    if max(radii) - min(radii) > DEFAULT_TOL.relative_slack(max(radii)):
         return None
     return name
 

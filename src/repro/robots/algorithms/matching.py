@@ -26,7 +26,7 @@ from scipy.spatial import cKDTree
 from repro.core.configuration import Configuration
 from repro.core.local_views import local_view, ordered_orbits
 from repro.errors import MatchingError
-from repro.geometry.tolerance import canonical_round
+from repro.geometry.tolerance import DEFAULT_TOL, canonical_round
 from repro.groups.group import RotationGroup
 
 __all__ = ["match_configuration_to_pattern"]
@@ -359,7 +359,7 @@ def _chirality_pick(group, p_rel, f0_rel, f1_rel, ties, slack):
     det = float(np.linalg.det(np.column_stack([p_rel, f0_rel, f1_rel])))
     scale = (np.linalg.norm(p_rel) * np.linalg.norm(f0_rel)
              * np.linalg.norm(f1_rel))
-    if abs(det) > 1e-7 * max(scale, 1e-300):
+    if abs(det) > DEFAULT_TOL.abs_tol * max(scale, 1e-300):
         return ties[0] if det > 0 else ties[1]
 
     from repro.geometry.rotations import rotation_angle, rotation_axis
@@ -368,12 +368,13 @@ def _chirality_pick(group, p_rel, f0_rel, f1_rel, ties, slack):
     for mat in group.elements:
         if float(np.linalg.norm(mat @ f0_rel - f1_rel)) > 10 * slack:
             continue
-        if rotation_angle(mat) < 1e-9:
+        if rotation_angle(mat) < DEFAULT_TOL.coincidence_slack(1.0):
             continue
         axis = rotation_axis(mat)
         s0 = float(np.linalg.det(np.column_stack([axis, p_rel, f0_rel])))
         s1 = float(np.linalg.det(np.column_stack([axis, p_rel, f1_rel])))
-        if abs(s0 - s1) <= 1e-9 * max(scale, 1e-300):
+        if abs(s0 - s1) <= DEFAULT_TOL.coincidence_slack(1.0) * max(scale,
+                                                                    1e-300):
             continue
         picks.add(ties[0] if s0 > s1 else ties[1])
     if len(picks) != 1:

@@ -22,6 +22,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.configuration import Configuration
+from repro.geometry.tolerance import AXIS_NORM_FLOOR
 from repro.robots.algorithms.pattern_formation import (
     make_pattern_formation_algorithm,
 )
@@ -67,7 +68,7 @@ def make_randomized_formation_algorithm(
         radius = jiggle_fraction * min(scale, gap / 2.0)
         direction = rng.normal(size=3)
         norm = float(np.linalg.norm(direction))
-        if norm < 1e-12:
+        if norm < AXIS_NORM_FLOOR:
             direction = np.array([1.0, 0.0, 0.0])
             norm = 1.0
         magnitude = float(rng.uniform(0.25 * radius, radius))

@@ -40,7 +40,7 @@ from repro.core.local_views import ordered_orbits
 from repro.errors import SimulationError
 from repro.geometry.polygons import regular_polygon_fold
 from repro.geometry.rotations import rotation_about_axis
-from repro.geometry.tolerance import canonical_round
+from repro.geometry.tolerance import DEFAULT_TOL, canonical_round
 from repro.groups.group import GroupKind, RotationGroup
 from repro.robots.algorithms.go_to_center import go_to_center_destination
 from repro.robots.model import Observation
@@ -81,7 +81,7 @@ def _psi_sym_move(observation: Observation) -> np.ndarray | None:
         return None
     center = config.center
     own = pts[observation.self_index]
-    slack = 1e-6 * max(config.radius, 1.0)
+    slack = DEFAULT_TOL.geometric_slack(config.radius)
 
     if float(np.linalg.norm(own - center)) <= slack:
         return _go_to_sphere(observation, config, group=report.group)
@@ -139,7 +139,8 @@ def _dihedral_case(observation, config, group, orbits):
     else:
         principal = group.principal_axis.direction
     secondary = [a.direction for a in group.axes
-                 if float(abs(np.dot(a.direction, principal))) < 1e-6]
+                 if float(abs(np.dot(a.direction, principal)))
+                 < DEFAULT_TOL.geometric_slack(1.0)]
 
     on_principal = _first_orbit_on_lines(config, orbits, [principal])
     if on_principal is not None:
@@ -182,7 +183,7 @@ def _polyhedral_case(observation, config, group, orbits):
 def _first_orbit_on_lines(config, orbits, lines) -> list[int] | None:
     """First (agreed-order) orbit whose points lie on the given axes."""
     center = config.center
-    slack = 1e-5 * max(config.radius, 1.0)
+    slack = DEFAULT_TOL.alignment_slack(config.radius)
     for orbit in orbits:
         p = config.points[orbit[0]] - center
         for line in lines:
@@ -225,7 +226,7 @@ def _go_to_sphere(observation, config,
     robot's local frame — the symmetry-breaking degree of freedom.
     """
     center = config.center
-    slack = 1e-6 * max(config.radius, 1.0)
+    slack = DEFAULT_TOL.geometric_slack(config.radius)
     radii = [float(np.linalg.norm(p - center)) for p in observation.points]
     positive = [r for r in radii if r > slack]
     inner = min(positive) if positive else config.radius
@@ -284,7 +285,7 @@ def _go_to_corner(observation, config, principal,
     """
     center = config.center
     own = observation.points[observation.self_index]
-    slack = 1e-6 * max(config.radius, 1.0)
+    slack = DEFAULT_TOL.geometric_slack(config.radius)
     radii = [float(np.linalg.norm(p - center)) for p in observation.points]
     positive = [r for r in radii if r > slack]
     inner = min(positive) if positive else config.radius
@@ -313,7 +314,7 @@ def _collinear_move(observation, config) -> np.ndarray | None:
     report = config.symmetry
     center = config.center
     line = report.line_direction
-    slack = 1e-6 * max(config.radius, 1.0)
+    slack = DEFAULT_TOL.geometric_slack(config.radius)
     radii = [float(np.linalg.norm(p - center)) for p in observation.points]
     inner = min(r for r in radii if r > slack)
     own_r = radii[observation.self_index]

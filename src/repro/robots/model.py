@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.geometry.rotations import is_rotation_matrix, random_rotation
+from repro.geometry.tolerance import DEFAULT_TOL
 
 __all__ = ["LocalFrame", "Observation", "OBLIVIOUS_STAY"]
 
@@ -84,7 +85,8 @@ class Observation:
     def __init__(self, points, self_index: int, target=None) -> None:
         self.points = [np.asarray(p, dtype=float) for p in points]
         self.self_index = int(self_index)
-        if not np.allclose(self.points[self.self_index], 0.0, atol=1e-9):
+        if not np.allclose(self.points[self.self_index], 0.0,
+                           atol=DEFAULT_TOL.coincidence_slack(1.0)):
             raise SimulationError("own position must be the local origin")
         self.target = None if target is None else [
             np.asarray(p, dtype=float) for p in target]

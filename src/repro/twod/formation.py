@@ -18,6 +18,12 @@ from typing import Callable
 
 import numpy as np
 
+from repro.geometry.tolerance import (
+    ANGLE_WRAP_EPS,
+    AXIS_NORM_FLOOR,
+    DEFAULT_TOL,
+)
+
 from repro.errors import MatchingError, SimulationError, UnsolvableError
 from repro.twod.sim import Observation2D
 from repro.twod.symmetricity import (
@@ -39,9 +45,11 @@ def is_formable_2d(initial, target) -> bool:
     return symmetricity_2d(f) % symmetricity_2d(p) == 0
 
 
-def are_similar_2d(first, second, slack: float = 1e-6) -> bool:
+def are_similar_2d(first, second, slack: float | None = None) -> bool:
     """Similarity in the plane (rotation + scale + translation only;
     reflections are excluded, as in the 3D model's chirality)."""
+    if slack is None:
+        slack = DEFAULT_TOL.geometric_slack(1.0)
     a = [np.asarray(p, dtype=float)[:2] for p in first]
     b = [np.asarray(p, dtype=float)[:2] for p in second]
     if len(a) != len(b):
@@ -94,7 +102,7 @@ def make_formation_algorithm_2d(
             return own
         center = center_2d(points)
         scale = max(float(np.linalg.norm(p - center)) for p in points)
-        slack = 1e-6 * max(scale, 1.0)
+        slack = DEFAULT_TOL.geometric_slack(scale)
 
         if float(np.linalg.norm(own - center)) <= slack:
             return _leave_center(points, observation.self_index, center)
@@ -117,14 +125,15 @@ def make_formation_algorithm_2d(
 
 def _is_gather_target(target) -> bool:
     first = target[0]
-    return all(float(np.linalg.norm(p - first)) <= 1e-9 for p in target)
+    return all(float(np.linalg.norm(p - first))
+               <= DEFAULT_TOL.coincidence_slack(1.0) for p in target)
 
 
 def _leave_center(points, self_index, center) -> np.ndarray:
     """The center robot walks off c(P), enabling ρ(P') = 1."""
     others = [float(np.linalg.norm(p - center))
               for i, p in enumerate(points) if i != self_index]
-    inner = min(r for r in others if r > 1e-12)
+    inner = min(r for r in others if r > AXIS_NORM_FLOOR)
     direction = np.array([0.7432, 0.6690])  # local frame dependent
     return center + (inner / 2.0) * direction
 
@@ -134,7 +143,7 @@ def _leave_center(points, self_index, center) -> np.ndarray:
 # ----------------------------------------------------------------------
 def _angle(v) -> float:
     a = float(np.arctan2(v[1], v[0])) % (2.0 * np.pi)
-    if a >= 2.0 * np.pi - 5e-7:
+    if a >= 2.0 * np.pi - ANGLE_WRAP_EPS:
         a = 0.0
     return a
 
@@ -184,7 +193,7 @@ def _orbit_view(points, center, scale, orbit_member) -> tuple:
     for r in rel:
         radius = float(np.linalg.norm(r))
         delta = (_angle(r) - theta0) % (2.0 * np.pi)
-        if delta >= 2.0 * np.pi - 5e-7:
+        if delta >= 2.0 * np.pi - ANGLE_WRAP_EPS:
             delta = 0.0
         entries.append((round(radius, 6), round(delta, 6)))
     return tuple(sorted(entries))
@@ -206,13 +215,15 @@ def _embed_2d(points, center, scale, rho, target):
     reference angles of the first orbits on both sides."""
     f_center = center_2d(target)
     f_scale = max(float(np.linalg.norm(p - f_center)) for p in target)
-    slack = 1e-6 * max(scale, 1.0)
+    slack = DEFAULT_TOL.geometric_slack(scale)
     orbits = _orbits_2d(points, center, rho, slack)
     ordered = _ordered_orbits_2d(points, center, scale, orbits)
     theta_p = _angle(points[ordered[0][0]] - center)
 
     f_rel = [p - f_center for p in target]
-    off = [r for r in f_rel if float(np.linalg.norm(r)) > 1e-9 * f_scale]
+    off = [r for r in f_rel
+           if float(np.linalg.norm(r))
+           > DEFAULT_TOL.coincidence_slack(1.0) * f_scale]
     if not off:
         return [center.copy() for _ in target]
     ref = min(off, key=lambda r: (round(float(np.linalg.norm(r)), 9),
@@ -230,7 +241,7 @@ def _embed_2d(points, center, scale, rho, target):
 # ----------------------------------------------------------------------
 def _match_2d(points, center, rho, embedded):
     scale = max(float(np.linalg.norm(p - center)) for p in points)
-    slack = 1e-6 * max(scale, 1.0)
+    slack = DEFAULT_TOL.geometric_slack(scale)
     orbits = _orbits_2d(points, center, rho, slack)
     ordered = _ordered_orbits_2d(points, center, scale, orbits)
 

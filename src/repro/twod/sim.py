@@ -12,6 +12,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.geometry.tolerance import DEFAULT_TOL
+
 from repro.errors import SimulationError
 
 __all__ = ["Frame2D", "Observation2D", "FsyncScheduler2D",
@@ -114,7 +116,8 @@ class FsyncScheduler2D:
             return ExecutionResult2D(trace, reached=True, fixpoint=False)
         for _ in range(max_rounds):
             new_points = self.step(points)
-            moved = any(float(np.linalg.norm(a - b)) > 1e-12
+            moved = any(float(np.linalg.norm(a - b))
+                        > DEFAULT_TOL.motion_slack(1.0)
                         for a, b in zip(new_points, points))
             points = new_points
             trace.append(list(points))

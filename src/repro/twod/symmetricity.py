@@ -52,7 +52,7 @@ def rotation_group_order_2d(points, center=None,
     scale = max(float(np.linalg.norm(r)) for r in rel)
     if scale <= tol.abs_tol:
         return len(pts)  # all robots at one point
-    slack = 1e-6 * scale
+    slack = tol.relative_slack(scale)
     off = [r for r in rel if float(np.linalg.norm(r)) > slack]
     if not off:
         return len(pts)
@@ -94,7 +94,7 @@ def symmetricity_2d(points, tol: Tolerance = DEFAULT_TOL) -> int:
     pts = _as_planar(points)
     c = center_2d(pts, tol)
     scale = max(float(np.linalg.norm(p - c)) for p in pts)
-    slack = 1e-6 * max(scale, 1.0)
+    slack = tol.geometric_slack(scale)
     if any(float(np.linalg.norm(p - c)) <= slack for p in pts):
         distinct = len({tuple(np.round(p, 6)) for p in pts})
         if distinct > 1:

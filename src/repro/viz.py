@@ -13,6 +13,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import ReproError
+from repro.geometry.tolerance import SPAN_FLOOR
 
 __all__ = ["render_svg", "render_execution_svg"]
 
@@ -36,7 +37,7 @@ def _project(points, camera=_CAMERA):
 def _fit(points_2d):
     lo = points_2d.min(axis=0)
     hi = points_2d.max(axis=0)
-    span = float(max(hi[0] - lo[0], hi[1] - lo[1], 1e-9))
+    span = float(max(hi[0] - lo[0], hi[1] - lo[1], SPAN_FLOOR))
     scale = (_VIEW - 2 * _MARGIN) / span
     center = (lo + hi) / 2.0
 
@@ -61,7 +62,7 @@ def render_svg(points, path, target=None, title: str | None = None) -> str:
     flat, depth = _project(everything)
     to_screen = _fit(flat)
     depth_lo, depth_hi = float(depth.min()), float(depth.max())
-    depth_span = max(depth_hi - depth_lo, 1e-9)
+    depth_span = max(depth_hi - depth_lo, SPAN_FLOOR)
 
     parts = [
         f'<svg xmlns="http://www.w3.org/2000/svg" width="{_VIEW:.0f}" '

@@ -1,0 +1,93 @@
+"""Inline suppression semantics: justification is mandatory,
+line scoping, REP000 meta findings, and comment-token parsing."""
+
+from tests.lint.conftest import rules_of
+
+
+class TestSuppressionHonored:
+    def test_trailing_comment_silences_own_line(self, lint_source):
+        violations, suppressed = lint_source("src/repro/foo.py", """\
+            EPS = 1e-6  # reprolint: disable=REP001 -- documented fixture slack
+            """)
+        assert violations == []
+        assert suppressed == 1
+
+    def test_standalone_comment_silences_next_line(self, lint_source):
+        violations, suppressed = lint_source("src/repro/foo.py", """\
+            # reprolint: disable=REP001 -- documented fixture slack
+            EPS = 1e-6
+            """)
+        assert violations == []
+        assert suppressed == 1
+
+    def test_scope_is_one_line_only(self, lint_source):
+        violations, suppressed = lint_source("src/repro/foo.py", """\
+            EPS = 1e-6  # reprolint: disable=REP001 -- covers this line only
+            OTHER = 1e-7
+            """)
+        assert rules_of(violations) == ["REP001"]
+        assert violations[0].line == 2
+        assert suppressed == 1
+
+    def test_rule_list_comma_separated(self, lint_source):
+        violations, suppressed = lint_source("src/repro/gen.py", """\
+            import numpy as np
+
+            EPS = 1e-6  # reprolint: disable=REP001,REP004 -- fixture constant
+            """)
+        assert violations == []
+        assert suppressed == 1
+
+    def test_wrong_rule_id_does_not_silence(self, lint_source):
+        violations, _ = lint_source("src/repro/foo.py", """\
+            EPS = 1e-6  # reprolint: disable=REP005 -- mismatched rule
+            """)
+        assert rules_of(violations) == ["REP001"]
+
+
+class TestMandatoryJustification:
+    def test_missing_reason_reports_and_does_not_silence(
+            self, lint_source):
+        violations, suppressed = lint_source("src/repro/foo.py", """\
+            EPS = 1e-6  # reprolint: disable=REP001
+            """)
+        assert rules_of(violations) == ["REP000", "REP001"]
+        assert suppressed == 0
+        meta = [v for v in violations if v.rule == "REP000"][0]
+        assert "justification" in meta.message
+
+    def test_unknown_rule_id_is_meta_finding(self, lint_source):
+        violations, _ = lint_source("src/repro/foo.py", """\
+            X = 1  # reprolint: disable=REP9999 -- bogus id
+            """)
+        assert rules_of(violations) == ["REP000"]
+
+    def test_rep000_cannot_be_suppressed(self, lint_source):
+        violations, _ = lint_source("src/repro/foo.py", """\
+            X = 1  # reprolint: disable=REP000 -- trying to silence meta
+            """)
+        assert rules_of(violations) == ["REP000"]
+        assert "cannot be suppressed" in violations[0].message
+
+
+class TestCommentTokenParsing:
+    def test_reprolint_text_in_string_is_ignored(self, lint_source):
+        violations, _ = lint_source("src/repro/doc.py", '''\
+            GUIDE = "write # reprolint: disable=REP001 to suppress"
+            ''')
+        assert violations == []
+
+    def test_reprolint_text_in_docstring_is_ignored(self, lint_source):
+        violations, _ = lint_source("src/repro/doc.py", '''\
+            def helper():
+                """Suppress with ``# reprolint: disable=REP001``."""
+                return None
+            ''')
+        assert violations == []
+
+    def test_syntax_error_reports_rep000(self, lint_source):
+        violations, _ = lint_source("src/repro/broken.py", """\
+            def broken(:
+            """)
+        assert rules_of(violations) == ["REP000"]
+        assert "does not parse" in violations[0].message
