@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint reprolint typecheck bench bench-smoke bench-smoke-json bench-json
+.PHONY: test lint reprolint typecheck bench bench-smoke bench-smoke-json bench-json trace-smoke
 
 test:
 	$(PYTHON) -m pytest -q
@@ -50,3 +50,22 @@ bench-smoke-json:
 
 bench-json:
 	$(PYTHON) benchmarks/run_benchmarks.py
+
+# Observability smoke: one small experiment through the repro.api
+# façade, emitting all three schema-versioned artifacts (JSONL span
+# trace, metrics snapshot, run manifest) at the repo root.
+trace-smoke:
+	$(PYTHON) -m repro.cli experiment lemma7 --trials 2 \
+		--trace trace-smoke.jsonl --metrics metrics-smoke.json \
+		--manifest manifest-smoke.json > /dev/null
+	@$(PYTHON) -c "import json; \
+		lines = open('trace-smoke.jsonl').read().splitlines(); \
+		header = json.loads(lines[0]); \
+		assert header['kind'] == 'trace-header', header; \
+		manifest = json.load(open('manifest-smoke.json')); \
+		assert manifest['kind'] == 'run-manifest', manifest; \
+		metrics = json.load(open('metrics-smoke.json')); \
+		assert metrics['kind'] == 'metrics-snapshot', metrics; \
+		print(f'trace-smoke: {len(lines) - 1} spans, ' \
+		      f'{manifest[\"rows\"][\"count\"]} rows, ' \
+		      f'{len(metrics[\"counters\"])} counters')"

@@ -6,12 +6,13 @@ P iff rho(P) divides rho(F).  Measured with the planar simulator.
 
 from conftest import print_table
 
-from repro.analysis.experiments import baseline_2d_experiment
+from repro.api import run_experiment
 
 
 def test_2d_baseline(benchmark):
-    rows = benchmark.pedantic(baseline_2d_experiment,
-                              rounds=1, iterations=1)
+    rows = benchmark.pedantic(
+        lambda: run_experiment("baseline_2d").rows,
+        rounds=1, iterations=1)
     print_table("2D baseline — divisibility characterization", rows)
     for row in rows:
         if row["predicted"]:

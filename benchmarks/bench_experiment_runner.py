@@ -14,11 +14,15 @@ from pathlib import Path
 import pytest
 
 from repro import perf
-from repro.analysis import experiments
+from repro.api import ExperimentSpec, run_experiment
 from repro.groups.catalog import icosahedral_group
 from repro.groups.subgroups import enumerate_concrete_subgroups
 from repro.perf import disk
 from repro.perf.stats import hierarchy_stats
+
+
+def _rows(name: str, **spec_kwargs):
+    return run_experiment(name, ExperimentSpec(**spec_kwargs)).rows
 
 
 def _snapshot(benchmark) -> None:
@@ -40,10 +44,10 @@ def isolated_l3(tmp_path):
 def test_lemma7_runner(benchmark, jobs, isolated_l3):
     def setup():
         perf.clear_caches()
-        return (), {"trials": 6, "seed": 0, "jobs": jobs}
+        return ("lemma7",), {"trials": 6, "seed": 0, "jobs": jobs}
 
-    rows = benchmark.pedantic(experiments.lemma7_experiment,
-                              setup=setup, rounds=3, iterations=1)
+    rows = benchmark.pedantic(_rows, setup=setup, rounds=3,
+                              iterations=1)
     assert all(row["all_in_rho"] for row in rows)
     _snapshot(benchmark)
 
@@ -51,10 +55,10 @@ def test_lemma7_runner(benchmark, jobs, isolated_l3):
 def test_theorem11_runner(benchmark, jobs, isolated_l3):
     def setup():
         perf.clear_caches()
-        return (), {"seed": 0, "jobs": jobs}
+        return ("theorem11",), {"seed": 0, "jobs": jobs}
 
-    rows = benchmark.pedantic(experiments.theorem11_experiment,
-                              setup=setup, rounds=3, iterations=1)
+    rows = benchmark.pedantic(_rows, setup=setup, rounds=3,
+                              iterations=1)
     assert all(row.consistent for row in rows)
     _snapshot(benchmark)
 

@@ -7,12 +7,13 @@ shared.  Measured: full psi_PF runs under random local frames.
 
 from conftest import print_table
 
-from repro.analysis.experiments import figure1_experiment
+from repro.api import ExperimentSpec, run_experiment
 
 
 def test_figure1(benchmark, jobs):
     rows = benchmark.pedantic(
-        lambda: figure1_experiment(trials=3, jobs=jobs),
+        lambda: run_experiment("figure1", ExperimentSpec(
+            trials=3, jobs=jobs)).rows,
         rounds=1, iterations=1)
     print_table("Figure 1 — cube formations", rows)
     for row in rows:

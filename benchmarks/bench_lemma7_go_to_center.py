@@ -7,12 +7,13 @@ Measured: the distribution of gamma(P') over random local frames.
 
 from conftest import print_table
 
-from repro.analysis.experiments import lemma7_experiment
+from repro.api import ExperimentSpec, run_experiment
 
 
 def test_lemma7(benchmark, jobs):
     rows = benchmark.pedantic(
-        lambda: lemma7_experiment(trials=3, jobs=jobs),
+        lambda: run_experiment("lemma7", ExperimentSpec(
+            trials=3, jobs=jobs)).rows,
         rounds=1, iterations=1)
     print_table("Lemma 7 — go-to-center outcomes", rows)
     assert all(row["all_in_rho"] for row in rows)

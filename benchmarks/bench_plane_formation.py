@@ -7,7 +7,7 @@ a 3D rotation group.  Measured on the seven go-to-center polyhedra.
 
 from conftest import print_table
 
-from repro.analysis.experiments import plane_formation_experiment
+from repro.api import run_experiment
 
 EXPECTED = {
     "tetrahedron": True, "octahedron": True, "cube": True,
@@ -17,8 +17,9 @@ EXPECTED = {
 
 
 def test_plane_formation(benchmark):
-    rows = benchmark.pedantic(plane_formation_experiment,
-                              rounds=1, iterations=1)
+    rows = benchmark.pedantic(
+        lambda: run_experiment("plane_formation").rows,
+        rounds=1, iterations=1)
     print_table("Plane formation (DISC 2015)", rows)
     for row in rows:
         assert row["plane_formable"] == EXPECTED[row["initial"]], row

@@ -8,12 +8,14 @@ sigma(P) symmetry forever (Lemma 2) under the adversarial frames.
 
 from conftest import print_table
 
-from repro.analysis.experiments import theorem11_experiment
+from repro.api import ExperimentSpec, run_experiment
 
 
 def test_theorem11(benchmark, jobs):
     rows = benchmark.pedantic(
-        lambda: theorem11_experiment(jobs=jobs), rounds=1, iterations=1)
+        lambda: run_experiment("theorem11", ExperimentSpec(
+            jobs=jobs)).rows,
+        rounds=1, iterations=1)
     print_table("Theorem 1.1 — characterization sweep", [
         {"initial": r.initial, "target": r.target,
          "predicted": r.predicted_formable,

@@ -7,12 +7,13 @@ counts over polyhedra and composite configurations.
 
 from conftest import print_table
 
-from repro.analysis.experiments import theorem41_experiment
+from repro.api import ExperimentSpec, run_experiment
 
 
 def test_theorem41(benchmark, jobs):
     rows = benchmark.pedantic(
-        lambda: theorem41_experiment(trials=2, jobs=jobs),
+        lambda: run_experiment("theorem41", ExperimentSpec(
+            trials=2, jobs=jobs)).rows,
         rounds=1, iterations=1)
     print_table("Theorem 4.1 — psi_SYM", rows)
     assert all(row["bound_7_holds"] for row in rows)

@@ -96,6 +96,32 @@ def attach_baseline(records: list[dict], baseline_path: Path) -> None:
             record["speedup"] = round(base / record["mean_ms"], 2)
 
 
+def provenance() -> dict | None:
+    """Package and artifact-schema versions, if repro is importable.
+
+    The driver shells out to pytest for the measurements, so its own
+    process may run without ``src`` on the path — degrade to ``None``
+    rather than fail the benchmark run.
+    """
+    try:
+        from repro import __version__
+        from repro.obs import (
+            MANIFEST_SCHEMA_VERSION,
+            METRICS_SCHEMA_VERSION,
+            TRACE_SCHEMA_VERSION,
+        )
+    except ImportError:
+        return None
+    return {
+        "package": {"name": "repro", "version": __version__},
+        "schemas": {
+            "trace": TRACE_SCHEMA_VERSION,
+            "metrics": METRICS_SCHEMA_VERSION,
+            "manifest": MANIFEST_SCHEMA_VERSION,
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -132,6 +158,9 @@ def main(argv=None) -> int:
         "python": raw.get("machine_info", {}).get("python_version"),
         "benchmarks": records,
     }
+    info = provenance()
+    if info is not None:
+        payload["provenance"] = info
     output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {output}")
     for record in records:

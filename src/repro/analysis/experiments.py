@@ -5,6 +5,13 @@ lemmas and theorems) and returns structured result rows; the
 ``benchmarks/`` scripts print them in the same shape the paper
 reports, and EXPERIMENTS.md records paper-vs-measured.
 
+The public entrypoints are the :mod:`repro.api` façade's
+``run_experiment(name, spec)`` registry; the historical
+``*_experiment(trials=, seed=, jobs=)`` functions survive as thin
+deprecated shims that delegate through the façade (so tracing,
+metrics and manifests cover them too).  The ``_*_rows`` functions
+here are the raw drivers the façade dispatches to.
+
 The randomized sweeps accept a ``jobs`` parameter: independent trials
 fan out over a process pool (:func:`repro.perf.parallel_map`).  Every
 trial derives its RNG from its own ``SeedSequence`` child stream
@@ -75,8 +82,8 @@ def _lemma7_trial(payload):
     return after.symmetry.spec
 
 
-def lemma7_experiment(trials: int = 10, seed: int = 0,
-                      jobs: int = 1) -> list[dict]:
+def _lemma7_rows(trials: int = 10, seed: int = 0,
+                 jobs: int = 1) -> list[dict]:
     """One go-to-center step from each of the seven polyhedra.
 
     Lemma 7 claims ``γ(P') ∈ ϱ(P)`` after a single synchronized step;
@@ -143,8 +150,8 @@ def _theorem41_trial(payload):
     }
 
 
-def theorem41_experiment(trials: int = 5, seed: int = 0,
-                         jobs: int = 1) -> list[dict]:
+def _theorem41_rows(trials: int = 5, seed: int = 0,
+                    jobs: int = 1) -> list[dict]:
     """``ψ_SYM`` terminates with ``γ(P') ∈ ϱ(P)`` within 7 steps."""
     from repro.perf import parallel_map, spawn_seeds
     from repro.perf.blocks import packed_arrays
@@ -267,8 +274,8 @@ def _theorem11_instance_row(payload) -> Theorem11Row:
     return row
 
 
-def theorem11_experiment(seed: int = 0,
-                         jobs: int = 1) -> list[Theorem11Row]:
+def _theorem11_rows(seed: int = 0,
+                    jobs: int = 1) -> list[Theorem11Row]:
     """Both directions of Theorem 1.1 on a curated instance sweep.
 
     Solvable instances must be formed under random *and* worst-case
@@ -347,8 +354,8 @@ def _figure1_trial(payload):
     return _run_formation(cube, target, frames)
 
 
-def figure1_experiment(trials: int = 5, seed: int = 0,
-                       jobs: int = 1) -> list[dict]:
+def _figure1_rows(trials: int = 5, seed: int = 0,
+                  jobs: int = 1) -> list[dict]:
     """Figure 1 — cube to regular octagon / square antiprism."""
     from repro.perf import parallel_map, spawn_seeds
     from repro.perf.blocks import packed_arrays
@@ -385,7 +392,7 @@ def figure1_experiment(trials: int = 5, seed: int = 0,
     return rows
 
 
-def plane_formation_experiment(seed: int = 0) -> list[dict]:
+def _plane_formation_rows(seed: int = 0) -> list[dict]:
     """The DISC 2015 predecessor on our substrate (sanity anchor)."""
     from repro.planeformation import (
         is_coplanar,
@@ -415,7 +422,7 @@ def plane_formation_experiment(seed: int = 0) -> list[dict]:
     return rows
 
 
-def baseline_2d_experiment(seed: int = 0) -> list[dict]:
+def _baseline_2d_rows(seed: int = 0) -> list[dict]:
     """The 2D divisibility characterization on a small sweep."""
     from repro.twod import (
         FsyncScheduler2D,
@@ -472,3 +479,58 @@ def baseline_2d_experiment(seed: int = 0) -> list[dict]:
             "formed": formed,
         })
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Deprecated entrypoints
+# ---------------------------------------------------------------------------
+#
+# The historical ``*_experiment`` functions predate the ``repro.api``
+# façade.  They survive as thin shims so existing callers keep working,
+# but new code should call ``repro.api.run_experiment(name, spec)``
+# (which also yields the run's manifest and metrics snapshot, not just
+# the rows).
+
+def _shim(name: str, **spec_kwargs):
+    import warnings
+
+    from repro.api import ExperimentSpec, run_experiment
+
+    warnings.warn(
+        f"repro.analysis.experiments.{name}_experiment() is deprecated; "
+        f"use repro.api.run_experiment({name!r}, ExperimentSpec(...))",
+        DeprecationWarning, stacklevel=3)
+    return run_experiment(name, ExperimentSpec(**spec_kwargs)).rows
+
+
+def lemma7_experiment(trials: int = 10, seed: int = 0,
+                      jobs: int = 1) -> list[dict]:
+    """Deprecated: ``repro.api.run_experiment("lemma7", spec).rows``."""
+    return _shim("lemma7", trials=trials, seed=seed, jobs=jobs)
+
+
+def theorem41_experiment(trials: int = 5, seed: int = 0,
+                         jobs: int = 1) -> list[dict]:
+    """Deprecated: ``repro.api.run_experiment("theorem41", spec).rows``."""
+    return _shim("theorem41", trials=trials, seed=seed, jobs=jobs)
+
+
+def theorem11_experiment(seed: int = 0, jobs: int = 1) -> list[Theorem11Row]:
+    """Deprecated: ``repro.api.run_experiment("theorem11", spec).rows``."""
+    return _shim("theorem11", seed=seed, jobs=jobs)
+
+
+def figure1_experiment(trials: int = 5, seed: int = 0,
+                       jobs: int = 1) -> list[dict]:
+    """Deprecated: ``repro.api.run_experiment("figure1", spec).rows``."""
+    return _shim("figure1", trials=trials, seed=seed, jobs=jobs)
+
+
+def plane_formation_experiment(seed: int = 0) -> list[dict]:
+    """Deprecated: ``run_experiment("plane_formation", spec).rows``."""
+    return _shim("plane_formation", seed=seed)
+
+
+def baseline_2d_experiment(seed: int = 0) -> list[dict]:
+    """Deprecated: ``repro.api.run_experiment("baseline_2d", spec).rows``."""
+    return _shim("baseline_2d", seed=seed)

@@ -1,0 +1,182 @@
+"""The unified run façade: one call per experiment, observability included.
+
+:func:`run_experiment` is the single entrypoint behind the CLI's
+``experiment`` command and the benchmark harness.  It dispatches a
+name (``lemma7``, ``theorem41``, ``theorem11``, ``figure1``,
+``plane_formation``, ``baseline_2d``) to its driver in
+:mod:`repro.analysis.experiments`, runs it under an active tracer and
+a metrics window, and returns a :class:`RunResult` carrying the rows
+*and* the run's manifest and logical-metric snapshot.  Artifacts
+(JSONL trace, JSON metrics, JSON manifest) are written when the
+:class:`ExperimentSpec` names paths for them.
+
+Determinism contract: the rows and the manifest's
+:func:`repro.obs.manifest.deterministic_view` are pure functions of
+``(name, spec)`` — wall-clock readings appear only in the trace and
+the manifest's ``timing`` section, never in rows (REP005), and the
+parallel runner merges worker metric deltas so ``jobs=1`` and
+``jobs=N`` report identical logical counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+
+__all__ = ["ExperimentSpec", "RunResult", "experiment_names",
+           "run_experiment"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything that parameterizes one experiment run.
+
+    ``trials`` of ``None`` means the driver's own default (drivers
+    without a trial sweep — ``theorem11``, ``plane_formation``,
+    ``baseline_2d`` — ignore it).  ``cache`` of ``None`` inherits the
+    process's current cache-enablement; True/False force it for the
+    duration of the run and restore the prior setting afterwards.
+    The three ``*_path`` fields request artifacts; ``None`` writes
+    nothing.
+    """
+
+    trials: int | None = None
+    seed: int = 0
+    jobs: int = 1
+    cache: bool | None = None
+    trace_path: str | Path | None = None
+    metrics_path: str | Path | None = None
+    manifest_path: str | Path | None = None
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """What one :func:`run_experiment` call produced.
+
+    ``rows`` is exactly what the driver returned (dicts or dataclass
+    rows); ``manifest`` is the full run manifest (also written to
+    ``spec.manifest_path`` when set); ``metrics`` is the run's
+    logical-counter delta in snapshot form.
+    """
+
+    name: str
+    rows: list = field(default_factory=list)
+    manifest: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+
+
+# name -> (driver attribute in repro.analysis.experiments,
+#          spec fields the driver consumes)
+_REGISTRY: dict[str, tuple[str, tuple[str, ...]]] = {
+    "lemma7": ("_lemma7_rows", ("trials", "seed", "jobs")),
+    "theorem41": ("_theorem41_rows", ("trials", "seed", "jobs")),
+    "theorem11": ("_theorem11_rows", ("seed", "jobs")),
+    "figure1": ("_figure1_rows", ("trials", "seed", "jobs")),
+    "plane_formation": ("_plane_formation_rows", ("seed",)),
+    "baseline_2d": ("_baseline_2d_rows", ("seed",)),
+}
+
+
+def experiment_names() -> list[str]:
+    """The registered experiment names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def _driver_call(name: str, spec: ExperimentSpec):
+    """Resolve the driver and the kwargs it consumes from the spec."""
+    from repro.analysis import experiments as _experiments
+
+    attr, params = _REGISTRY[name]
+    driver = getattr(_experiments, attr)
+    kwargs = {}
+    for param in params:
+        value = getattr(spec, param)
+        if param == "trials" and value is None:
+            continue  # keep the driver's documented default
+        kwargs[param] = value
+    return driver, kwargs
+
+
+def _spec_record(name: str, spec: ExperimentSpec,
+                 params: tuple[str, ...]) -> dict:
+    """The manifest's ``spec`` section: consumed params only."""
+    record = {param: getattr(spec, param) for param in params}
+    if "trials" in record and record["trials"] is None:
+        # Resolve the driver default so the manifest is explicit.
+        import inspect
+
+        from repro.analysis import experiments as _experiments
+
+        driver = getattr(_experiments, _REGISTRY[name][0])
+        record["trials"] = inspect.signature(
+            driver).parameters["trials"].default
+    record["cache"] = spec.cache
+    return record
+
+
+def run_experiment(name: str, spec: ExperimentSpec | None = None) -> RunResult:
+    """Run one registered experiment under tracing and metrics.
+
+    Raises :class:`repro.errors.ReproError` for an unknown ``name``.
+    """
+    from repro.obs import manifest as _manifest
+    from repro.obs import metrics as _metrics
+    from repro.obs.trace import AggregatingTracer, JsonlTracer, activated
+
+    if name not in _REGISTRY:
+        known = ", ".join(experiment_names())
+        raise ReproError(f"unknown experiment {name!r} (known: {known})")
+    spec = spec if spec is not None else ExperimentSpec()
+    driver, kwargs = _driver_call(name, spec)
+
+    prior_cache = None
+    if spec.cache is not None:
+        from repro import perf as _perf
+
+        prior_cache = _perf.is_enabled()
+        _perf.set_enabled(spec.cache)
+    tracer = JsonlTracer(spec.trace_path) if spec.trace_path \
+        else AggregatingTracer()
+    reg = _metrics.registry()
+    before = reg.snapshot()
+    try:
+        with activated(tracer):
+            with tracer.span("experiment", experiment=name):
+                reg.inc("experiment.runs")
+                rows = driver(**kwargs)
+    finally:
+        tracer.close()
+        if prior_cache is not None:
+            from repro import perf as _perf
+
+            _perf.set_enabled(prior_cache)
+
+    run_metrics = _metrics.snapshot_delta(before, reg.snapshot())
+    artifacts = {"trace": spec.trace_path, "metrics": spec.metrics_path,
+                 "manifest": spec.manifest_path}
+    manifest = _manifest.build_manifest(
+        experiment=name,
+        spec=_spec_record(name, spec, _REGISTRY[name][1]),
+        rows=rows,
+        metrics=run_metrics,
+        phase_totals=tracer.phase_totals(),
+        seed_streams=run_metrics["counters"].get("seeds.spawned", 0),
+        artifacts={k: v for k, v in artifacts.items() if v is not None})
+    if spec.metrics_path is not None:
+        _metrics.write_metrics(spec.metrics_path, run_metrics,
+                               extra={"experiment": name})
+    if spec.manifest_path is not None:
+        _manifest.write_manifest(spec.manifest_path, manifest)
+    return RunResult(name=name, rows=rows, manifest=manifest,
+                     metrics=run_metrics)
+
+
+def spec_as_dict(spec: ExperimentSpec) -> dict:
+    """The spec as a JSON-friendly dict (paths stringified)."""
+    record = asdict(spec)
+    for key in ("trace_path", "metrics_path", "manifest_path"):
+        if record[key] is not None:
+            record[key] = str(record[key])
+    return record

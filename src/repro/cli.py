@@ -7,11 +7,20 @@ Usage examples::
     python -m repro.cli check cube octagon
     python -m repro.cli form cube square_antiprism --seed 3 --svg out.svg
     python -m repro.cli experiment lemma7 --trials 10 --jobs 4
+    python -m repro.cli experiment lemma7 --trace t.jsonl --metrics m.json
     python -m repro.cli tables
 
 Patterns are named-library entries (``python -m repro.cli patterns``
 lists them) or paths to JSON files containing an ``n x 3`` array of
 coordinates.
+
+The ``form`` and ``experiment`` commands share a uniform flag
+vocabulary: ``--seed`` / ``--jobs`` / ``--cache-stats`` everywhere,
+plus the observability sinks ``--trace PATH`` (JSONL span trace) and
+``--metrics PATH`` (JSON logical-counter snapshot); ``experiment``
+additionally takes ``--manifest PATH`` for the run manifest.  The
+``experiment`` command is a thin shell over
+:func:`repro.api.run_experiment`.
 """
 
 from __future__ import annotations
@@ -76,23 +85,21 @@ def _cmd_detect(args) -> int:
         print(f"varrho(P) maximal = "
               f"{{{', '.join(str(s) for s in rho.maximal)}}}")
     if args.cache_stats:
-        _print_cache_stats()
+        _emit_cache_stats()
     return 0
 
 
-def _print_cache_stats() -> None:
-    from repro.perf import cache_stats
+def _emit_cache_stats() -> None:
+    """The one ``--cache-stats`` renderer: L1/L2/L3, sorted, stderr.
 
-    stats = cache_stats()
-    print("congruence caches "
-          f"({'enabled' if stats['enabled'] else 'disabled'}):")
-    for name in ("symmetry", "symmetricity", "subgroups", "round"):
-        counters = stats[name]
-        extras = ", ".join(f"{k}={v}" for k, v in sorted(counters.items())
-                           if k not in ("hits", "misses"))
-        line = (f"  {name:12s} hits={counters['hits']} "
-                f"misses={counters['misses']}")
-        print(line + (f" {extras}" if extras else ""))
+    Every command routes through :func:`repro.obs.metrics.
+    render_cache_metrics`, so the CLI can never show cache numbers
+    that disagree with ``ExecutionResult.cache_stats`` (both read the
+    same counters).
+    """
+    from repro.obs.metrics import render_cache_metrics
+
+    print(render_cache_metrics(), file=sys.stderr)
 
 
 def _cmd_check(args) -> int:
@@ -104,10 +111,22 @@ def _cmd_check(args) -> int:
 
 
 def _cmd_form(args) -> int:
+    from repro.obs import metrics as _metrics
+    from repro.obs.trace import JsonlTracer, NULL_TRACER, activated
+
     initial = _load_pattern(args.initial)
     target = _load_pattern(args.target)
-    result = form_pattern(initial, target, seed=args.seed,
-                          max_rounds=args.max_rounds)
+    if args.jobs > 1:
+        print("note: a formation run is one FSYNC execution; "
+              "--jobs applies to `experiment` fan-outs", file=sys.stderr)
+    tracer = JsonlTracer(args.trace) if args.trace else NULL_TRACER
+    before = _metrics.registry().snapshot()
+    try:
+        with activated(tracer):
+            result = form_pattern(initial, target, seed=args.seed,
+                                  max_rounds=args.max_rounds)
+    finally:
+        tracer.close()
     print(f"formed: {result.reached} in {result.rounds} rounds")
     for t, config in enumerate(result.configurations):
         report = config.symmetry
@@ -119,33 +138,31 @@ def _cmd_form(args) -> int:
         render_execution_svg(result.configurations, args.svg,
                              target=target)
         print(f"execution rendered to {args.svg}")
+    if args.metrics:
+        delta = _metrics.snapshot_delta(
+            before, _metrics.registry().snapshot())
+        _metrics.write_metrics(args.metrics, delta,
+                               extra={"command": "form"})
     if args.cache_stats:
-        _print_cache_stats()
+        _emit_cache_stats()
     return 0 if result.reached else 1
 
 
 def _cmd_experiment(args) -> int:
     from dataclasses import asdict, is_dataclass
 
-    from repro.analysis import experiments
+    from repro.api import ExperimentSpec, run_experiment
 
-    drivers = {
-        "lemma7": lambda: experiments.lemma7_experiment(
-            trials=args.trials, seed=args.seed, jobs=args.jobs),
-        "theorem41": lambda: experiments.theorem41_experiment(
-            trials=args.trials, seed=args.seed, jobs=args.jobs),
-        "theorem11": lambda: experiments.theorem11_experiment(
-            seed=args.seed, jobs=args.jobs),
-        "figure1": lambda: experiments.figure1_experiment(
-            trials=args.trials, seed=args.seed, jobs=args.jobs),
-    }
-    rows = drivers[args.name]()
-    rows = [asdict(row) if is_dataclass(row) else row for row in rows]
+    spec = ExperimentSpec(
+        trials=args.trials, seed=args.seed, jobs=args.jobs,
+        trace_path=args.trace, metrics_path=args.metrics,
+        manifest_path=args.manifest)
+    result = run_experiment(args.name, spec)
+    rows = [asdict(row) if is_dataclass(row) else row
+            for row in result.rows]
     print(json.dumps(rows, indent=2, default=str))
     if args.cache_stats:
-        from repro.perf import format_hierarchy
-
-        print(format_hierarchy(), file=sys.stderr)
+        _emit_cache_stats()
     return 0
 
 
@@ -206,11 +223,48 @@ def _cmd_lint(args) -> int:
     return lint_main(argv)
 
 
+_EXIT_CODES_EPILOG = """\
+exit codes:
+  0  success (for `check`/`form`: formable / pattern formed)
+  1  negative result (`check`: unformable; `form`: not formed;
+     `lint`: violations found)
+  2  error (bad pattern name, unknown experiment, simulation failure)
+"""
+
+
+def _add_observability_flags(command, *, manifest: bool) -> None:
+    """The uniform --seed/--jobs/--cache-stats/--trace/--metrics set."""
+    command.add_argument("--seed", type=int, default=0,
+                         help="root seed (default 0)")
+    command.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the trial fan-out; rows and logical "
+             "counters are identical for any value")
+    command.add_argument(
+        "--cache-stats", action="store_true",
+        help="print L1/L2/L3 cache-hierarchy counters to stderr")
+    command.add_argument(
+        "--trace", metavar="PATH",
+        help="write a schema-versioned JSONL span trace to PATH")
+    command.add_argument(
+        "--metrics", metavar="PATH",
+        help="write the run's logical-counter snapshot to PATH as JSON")
+    if manifest:
+        command.add_argument(
+            "--manifest", metavar="PATH",
+            help="write the run manifest (seeds, versions, cache "
+                 "config, row digest, timings) to PATH as JSON")
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from repro.api import experiment_names
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Pattern formation for FSYNC mobile robots in 3D "
-                    "(Yamauchi-Uehara-Yamashita, PODC 2016)")
+                    "(Yamauchi-Uehara-Yamashita, PODC 2016)",
+        epilog=_EXIT_CODES_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("patterns", help="list the named pattern library"
@@ -230,27 +284,19 @@ def build_parser() -> argparse.ArgumentParser:
     form = sub.add_parser("form", help="run the formation simulation")
     form.add_argument("initial")
     form.add_argument("target")
-    form.add_argument("--seed", type=int, default=0)
     form.add_argument("--max-rounds", type=int, default=30)
     form.add_argument("--svg", help="render the execution to an SVG file")
-    form.add_argument("--cache-stats", action="store_true",
-                      help="print congruence-cache hit/miss counters")
+    _add_observability_flags(form, manifest=False)
     form.set_defaults(func=_cmd_form)
 
     experiment = sub.add_parser(
         "experiment", help="run one paper experiment, rows as JSON")
+    experiment.add_argument("name", choices=experiment_names())
     experiment.add_argument(
-        "name", choices=["lemma7", "theorem41", "theorem11", "figure1"])
-    experiment.add_argument("--trials", type=int, default=5,
-                            help="random trials per row (where applicable)")
-    experiment.add_argument("--seed", type=int, default=0)
-    experiment.add_argument(
-        "--jobs", type=int, default=1,
-        help="worker processes for the trial fan-out; results are "
-             "bit-identical for any value")
-    experiment.add_argument(
-        "--cache-stats", action="store_true",
-        help="print L1/L2/L3 cache-hierarchy counters to stderr")
+        "--trials", type=int, default=None,
+        help="random trials per row (where applicable; default: the "
+             "driver's documented default)")
+    _add_observability_flags(experiment, manifest=True)
     experiment.set_defaults(func=_cmd_experiment)
 
     cache = sub.add_parser(

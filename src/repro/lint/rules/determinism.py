@@ -11,6 +11,11 @@ Flagged everywhere under ``src/`` and ``benchmarks/``:
 
 * **wall-clock reads** — ``time.time``/``time.time_ns``,
   ``datetime.datetime.now``/``utcnow``, ``datetime.date.today``;
+* **monotonic-clock reads** — ``time.perf_counter``/``monotonic``
+  (and the ``_ns`` variants) everywhere except the audited clock
+  module :mod:`repro.obs.clock`: timing belongs to the observability
+  layer (traces and manifests), and routing every read through the
+  injectable clock keeps it out of rows *and* testable;
 * **unsorted directory listings** — ``os.listdir``, ``os.scandir``,
   ``glob.glob``/``iglob`` and ``Path.iterdir``/``glob``/``rglob``
   calls not wrapped directly in ``sorted(...)``: the OS returns
@@ -33,6 +38,13 @@ _CLOCK_CALLS = {
     ("datetime", "now"), ("datetime", "utcnow"),
     ("date", "today"),
 }
+_MONOTONIC_CALLS = {
+    ("time", "perf_counter"), ("time", "perf_counter_ns"),
+    ("time", "monotonic"), ("time", "monotonic_ns"),
+}
+# The one module allowed to read the process clock: everything else
+# must go through its injectable ``repro.obs.clock.monotonic()``.
+_AUDITED_CLOCK_MODULES = ("repro/obs/clock.py",)
 _LISTING_MODULE_CALLS = {
     ("os", "listdir"), ("os", "scandir"),
     ("glob", "glob"), ("glob", "iglob"),
@@ -75,6 +87,17 @@ class RowDeterminism(Rule):
                 f"a pure function of (inputs, seed) — inject the "
                 f"timestamp or stamp the artifact outside the row "
                 f"pipeline")
+            return
+        if dotted in _MONOTONIC_CALLS and not any(
+                ctx.posix_path.endswith(mod)
+                for mod in _AUDITED_CLOCK_MODULES):
+            base, attr = dotted
+            yield ctx.violation(
+                node, self.rule_id,
+                f"{base}.{attr}() reads the process clock outside the "
+                f"audited module (repro/obs/clock.py); call "
+                f"repro.obs.clock.monotonic() so tests can inject a "
+                f"fake clock and timing stays out of rows")
             return
         listing = None
         if dotted in _LISTING_MODULE_CALLS:

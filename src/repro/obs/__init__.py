@@ -1,0 +1,74 @@
+"""Observability: tracing, metrics, and run manifests.
+
+The layer the :mod:`repro.api` façade, the CLI and the scheduler
+share for *seeing* a run without changing it:
+
+* :mod:`repro.obs.trace` — span-based tracing of the Look–Compute–
+  Move pipeline (no-op by default; JSONL artifact on request);
+* :mod:`repro.obs.metrics` — the registry of logical counters and
+  histograms, unified with the cache hierarchy's counters and merged
+  deterministically across parallel workers;
+* :mod:`repro.obs.manifest` — schema-versioned run manifests (seeds,
+  cache configuration, versions, row digests, phase wall-times);
+* :mod:`repro.obs.clock` — the single audited monotonic clock
+  (REP005: wall-clock reads live here and nowhere else).
+
+Timing never feeds experiment rows; it only reaches trace and
+manifest artifacts.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.clock import monotonic, reset_clock, set_clock
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    deterministic_view,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    METRICS_SCHEMA_VERSION,
+    MetricsRegistry,
+    cache_metrics,
+    metrics_artifact,
+    registry,
+    render_cache_metrics,
+    render_snapshot,
+    snapshot_delta,
+    write_metrics,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    TRACE_SCHEMA_VERSION,
+    AggregatingTracer,
+    JsonlTracer,
+    NullTracer,
+    activated,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "MANIFEST_SCHEMA_VERSION",
+    "METRICS_SCHEMA_VERSION",
+    "NULL_TRACER",
+    "TRACE_SCHEMA_VERSION",
+    "AggregatingTracer",
+    "JsonlTracer",
+    "MetricsRegistry",
+    "NullTracer",
+    "activated",
+    "build_manifest",
+    "cache_metrics",
+    "deterministic_view",
+    "get_tracer",
+    "metrics_artifact",
+    "monotonic",
+    "registry",
+    "render_cache_metrics",
+    "render_snapshot",
+    "reset_clock",
+    "set_clock",
+    "set_tracer",
+    "snapshot_delta",
+    "write_manifest",
+    "write_metrics",
+]

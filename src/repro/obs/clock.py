@@ -1,0 +1,53 @@
+"""The audited monotonic clock behind all observability timing.
+
+REP005 bans wall-clock reads under ``src/`` and ``benchmarks/``
+because experiment rows must be a pure function of ``(inputs, seed)``.
+Tracing and run manifests *do* need durations, so this module is the
+single audited exception: reprolint's REP005 rule allows
+monotonic-clock reads only here (see
+:mod:`repro.lint.rules.determinism`), and every other module routes
+timing through :func:`monotonic`.
+
+Two properties keep the exception safe:
+
+* only *relative* durations are ever derived from the clock — no
+  epoch timestamps, so nothing in an artifact identifies when a run
+  happened;
+* the clock is injectable (:func:`set_clock`), so tests drive spans
+  with deterministic fake time and the tracer/manifest plumbing is
+  itself testable without real timing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["monotonic", "reset_clock", "set_clock"]
+
+
+def _system_clock() -> float:
+    # The single audited monotonic read in the tree (REP005 allows it
+    # in this module only): timing taken here flows to trace and
+    # manifest artifacts, never into experiment rows.
+    return time.perf_counter()
+
+
+_clock: Callable[[], float] = _system_clock
+
+
+def monotonic() -> float:
+    """Seconds on the active monotonic clock (injectable)."""
+    return _clock()
+
+
+def set_clock(clock: Callable[[], float]) -> None:
+    """Replace the clock; tests inject deterministic fake time."""
+    global _clock
+    _clock = clock
+
+
+def reset_clock() -> None:
+    """Restore the system monotonic clock."""
+    global _clock
+    _clock = _system_clock

@@ -1,0 +1,223 @@
+"""Span-based tracing for the FSYNC pipeline.
+
+The scheduler opens one span per Look–Compute–Move round and one per
+phase inside it (:class:`repro.robots.scheduler.FsyncScheduler`), and
+the :mod:`repro.api` façade wraps each experiment run in a root span.
+Three tracers implement the same tiny protocol (``span`` /
+``phase_totals`` / ``close``):
+
+* :data:`NULL_TRACER` — the default.  ``span()`` returns one shared
+  no-op context manager (no allocation, no clock read), so fully
+  instrumented code with tracing disabled stays within noise of the
+  uninstrumented build (``tests/obs/test_trace.py`` guards this).
+* :class:`AggregatingTracer` — in-memory per-name totals (count and
+  total seconds).  Used whenever a run manifest needs per-phase
+  wall-time summaries but no trace file was requested.
+* :class:`JsonlTracer` — additionally appends one JSON record per
+  finished span to a file.  The first record is a schema-versioned
+  header (:data:`TRACE_SCHEMA_VERSION`); timestamps are seconds
+  relative to the tracer's construction, never epoch time.
+
+Tracers are process-local: the workers of a parallel experiment run
+keep the no-op tracer, so a trace of a ``--jobs N`` run records the
+driver-side structure (experiment and fan-out spans) while a
+``--jobs 1`` run records every round and phase inline.  All timing
+flows through the audited clock (:mod:`repro.obs.clock`) and never
+into experiment rows (REP005).
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from typing import IO, Any, Callable, Iterator
+
+from repro.obs.clock import monotonic
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "AggregatingTracer",
+    "JsonlTracer",
+    "NULL_TRACER",
+    "NullTracer",
+    "activated",
+    "get_tracer",
+    "set_tracer",
+]
+
+TRACE_SCHEMA_VERSION = 1
+
+
+class _NullSpan:
+    """A reusable no-op context manager (one shared instance)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every call is a cheap no-op."""
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def phase_totals(self) -> dict:
+        return {}
+
+    def close(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """One live span; records its duration when the ``with`` exits."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_start", "_depth")
+
+    def __init__(self, tracer: "AggregatingTracer", name: str,
+                 attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        self._depth = self._tracer._enter()
+        self._start = self._tracer._clock()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        duration = self._tracer._clock() - self._start
+        self._tracer._exit(self, self._start, duration, self._depth)
+        return False
+
+
+class AggregatingTracer:
+    """In-memory tracer: per-span-name call counts and total seconds.
+
+    ``phase_totals`` feeds the run manifest's per-phase wall-time
+    summary.  Subclasses hook :meth:`_record` to persist individual
+    spans.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._clock = clock if clock is not None else monotonic
+        self._origin = self._clock()
+        self._totals: dict[str, list] = {}
+        self._depth = 0
+
+    def span(self, name: str, **attrs: Any) -> _Span:
+        return _Span(self, name, attrs)
+
+    def _enter(self) -> int:
+        depth = self._depth
+        self._depth = depth + 1
+        return depth
+
+    def _exit(self, span: _Span, start: float, duration: float,
+              depth: int) -> None:
+        self._depth = depth
+        bucket = self._totals.get(span.name)
+        if bucket is None:
+            self._totals[span.name] = [1, duration]
+        else:
+            bucket[0] += 1
+            bucket[1] += duration
+        self._record(span, start, duration, depth)
+
+    def _record(self, span: _Span, start: float, duration: float,
+                depth: int) -> None:
+        """Per-span hook for persisting tracers (no-op here)."""
+
+    def phase_totals(self) -> dict[str, dict]:
+        """``{span name: {"count": n, "total_s": seconds}}``, sorted."""
+        return {
+            name: {"count": count, "total_s": round(total, 9)}
+            for name, (count, total) in sorted(self._totals.items())
+        }
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlTracer(AggregatingTracer):
+    """Aggregating tracer that also writes a JSONL trace file.
+
+    Record shapes (one JSON object per line)::
+
+        {"schema": 1, "kind": "trace-header"}
+        {"kind": "span", "name": ..., "depth": ...,
+         "t0_s": ..., "dur_s": ..., "attrs": {...}}
+
+    ``t0_s`` is seconds since the tracer was created (monotonic, not
+    epoch).  Records are flushed on :meth:`close`.
+    """
+
+    def __init__(self, path, clock: Callable[[], float] | None = None
+                 ) -> None:
+        super().__init__(clock=clock)
+        self._path = path
+        self._handle: IO[str] | None = open(path, "w", encoding="utf-8")
+        self._write({"schema": TRACE_SCHEMA_VERSION,
+                     "kind": "trace-header"})
+
+    def _write(self, record: dict) -> None:
+        if self._handle is not None:
+            self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def _record(self, span: _Span, start: float, duration: float,
+                depth: int) -> None:
+        record = {
+            "kind": "span",
+            "name": span.name,
+            "depth": depth,
+            "t0_s": round(start - self._origin, 9),
+            "dur_s": round(duration, 9),
+        }
+        if span.attrs:
+            record["attrs"] = span.attrs
+        self._write(record)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+_active_tracer = NULL_TRACER
+
+
+def get_tracer():
+    """The process's active tracer (:data:`NULL_TRACER` by default)."""
+    return _active_tracer
+
+
+def set_tracer(tracer) -> None:
+    """Install ``tracer`` as the process's active tracer."""
+    global _active_tracer
+    _active_tracer = tracer
+
+
+@contextmanager
+def activated(tracer) -> Iterator[Any]:
+    """Activate ``tracer`` for the duration of the ``with`` block."""
+    previous = get_tracer()
+    set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

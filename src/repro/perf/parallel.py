@@ -25,6 +25,9 @@ answer.  Three rules make results bit-identical for any worker count:
 Dispatch is chunked (one pickled task per chunk of trials, not per
 trial) and trial inputs travel as :class:`repro.perf.blocks.ArrayRef`
 shared-memory descriptors, so per-task IPC is a few hundred bytes.
+Each chunk also ships back its logical-metric delta
+(:mod:`repro.obs.metrics`); the parent merges the deltas, so the
+``--jobs 1`` and ``--jobs N`` registries report identical counters.
 
 Workers that raise surface as a clean :class:`SimulationError` in the
 parent (with the worker traceback in the message) instead of a hung or
@@ -49,6 +52,9 @@ __all__ = ["parallel_map", "seeded_trials", "spawn_seeds"]
 
 def spawn_seeds(seed: int, count: int) -> list[np.random.SeedSequence]:
     """One independent ``SeedSequence`` child per trial."""
+    from repro.obs import metrics as _metrics
+
+    _metrics.inc("seeds.spawned", int(count))
     return list(np.random.SeedSequence(int(seed)).spawn(int(count)))
 
 
@@ -61,8 +67,19 @@ def _run_one(fn, item, fresh_caches: bool):
 
 
 def _guarded_chunk(payload):
-    """Top-level (picklable) wrapper running one chunk of items."""
+    """Top-level (picklable) wrapper running one chunk of items.
+
+    Returns ``(outcomes, metrics_delta)``: the per-item results plus
+    the chunk's logical-metric activity (the difference of registry
+    snapshots taken around the chunk).  The parent merges the deltas
+    of a pooled run into its own registry; merge is commutative
+    addition (min-of-mins/max-of-maxes for histograms), so the merged
+    totals equal the inline totals for any chunking.
+    """
     fn, chunk, fresh_caches = payload
+    from repro.obs import metrics as _metrics
+
+    metrics_before = _metrics.registry().snapshot()
     outcomes = []
     for item in chunk:
         try:
@@ -75,7 +92,9 @@ def _guarded_chunk(payload):
     store = shared.active_store()
     if store is not None:
         store.flush_stats()
-    return outcomes
+    delta = _metrics.snapshot_delta(metrics_before,
+                                    _metrics.registry().snapshot())
+    return outcomes, delta
 
 
 def _worker_init(store_name, store_lock) -> None:
@@ -114,8 +133,11 @@ def parallel_map(fn, items, jobs: int = 1, *, fresh_caches: bool = True,
     items = list(items)
     jobs = max(1, int(jobs))
     if jobs == 1 or len(items) <= 1:
-        return [_unwrap(outcome)
-                for outcome in _guarded_chunk((fn, items, fresh_caches))]
+        # Inline: increments land on this process's registry directly;
+        # the returned delta is what a worker would have shipped back
+        # and must not be merged a second time.
+        outcomes, _ = _guarded_chunk((fn, items, fresh_caches))
+        return [_unwrap(outcome) for outcome in outcomes]
 
     if chunk_size is None:
         chunk_size = max(1, math.ceil(len(items) / (4 * jobs)))
@@ -131,7 +153,7 @@ def parallel_map(fn, items, jobs: int = 1, *, fresh_caches: bool = True,
                 max_workers=jobs, mp_context=context,
                 initializer=_worker_init,
                 initargs=(store.name, lock)) as pool:
-            chunk_outcomes = list(pool.map(_guarded_chunk, payloads))
+            chunk_results = list(pool.map(_guarded_chunk, payloads))
     except BrokenProcessPool as exc:
         raise SimulationError(
             "experiment worker process died unexpectedly "
@@ -140,8 +162,12 @@ def parallel_map(fn, items, jobs: int = 1, *, fresh_caches: bool = True,
         shared.accumulate_run(store.aggregated_stats())
         store.close()
         store.unlink()
+    from repro.obs import metrics as _metrics
+
+    for _, delta in chunk_results:
+        _metrics.registry().merge(delta)
     return [_unwrap(outcome)
-            for chunk in chunk_outcomes for outcome in chunk]
+            for outcomes, _ in chunk_results for outcome in outcomes]
 
 
 def seeded_trials(fn, trials: int, *, seed: int = 0,

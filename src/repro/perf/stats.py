@@ -118,30 +118,14 @@ def hierarchy_stats() -> dict:
 
 
 def format_hierarchy(stats: dict | None = None) -> str:
-    """Human-readable rendering of :func:`hierarchy_stats`."""
-    stats = stats if stats is not None else hierarchy_stats()
-    lines = ["cache hierarchy:"]
-    l1 = stats["l1"]
-    lines.append(
-        f"  L1 in-process    hits={l1['hits']} misses={l1['misses']} "
-        f"evictions={l1['evictions']} bytes={l1['bytes']}")
-    for name, counters in sorted(l1["caches"].items()):
-        extras = " ".join(
-            f"{k}={v}" for k, v in sorted(counters.items())
-            if k not in ("hits", "misses"))
-        lines.append(f"    {name:12s} hits={counters['hits']} "
-                     f"misses={counters['misses']}"
-                     + (f" {extras}" if extras else ""))
-    l2 = stats["l2"]
-    lines.append(
-        f"  L2 shared-memory hits={l2['hits']} "
-        f"(cross-worker {l2['remote_hits']}) misses={l2['misses']} "
-        f"publishes={l2['publishes']} rejected={l2['rejected']} "
-        f"bytes={l2['bytes']}")
-    l3 = stats["l3"]
-    lines.append(
-        f"  L3 on-disk       hits={l3['hits']} misses={l3['misses']} "
-        f"writes={l3['writes']} invalidations={l3['invalidations']} "
-        f"bytes={l3['bytes']} entries={l3['entries']}"
-        + (f" ({l3['path']})" if l3.get("path") else " (disabled)"))
-    return "\n".join(lines)
+    """Render :func:`hierarchy_stats` in the unified metrics format.
+
+    Delegates to :func:`repro.obs.metrics.render_cache_metrics` — one
+    stable sorted ``cache.l*.name = value`` listing shared with every
+    ``--cache-stats`` flag and the ``--metrics`` artifact, so no two
+    surfaces can render the hierarchy differently.
+    """
+    from repro.obs.metrics import cache_metrics, render_cache_metrics
+
+    return render_cache_metrics(
+        cache_metrics(stats) if stats is not None else None)

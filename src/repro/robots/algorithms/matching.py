@@ -39,6 +39,10 @@ def match_configuration_to_pattern(config: Configuration,
     ``embedded`` is ``F̃`` in the same coordinates as ``config`` (see
     :func:`repro.robots.algorithms.embedding.embed_target`).
     """
+    from repro.obs import metrics as _metrics
+
+    _metrics.inc("matching.calls")
+    _metrics.inc("matching.robots", config.n)
     targets = [np.asarray(p, dtype=float) for p in embedded]
     if len(targets) != config.n:
         raise MatchingError("embedded pattern size must match the swarm")
@@ -46,6 +50,7 @@ def match_configuration_to_pattern(config: Configuration,
 
     direct = _direct_cases(config, targets, slack)
     if direct is not None:
+        _metrics.inc("matching.direct")
         return direct
 
     group = config.rotation_group
@@ -58,6 +63,7 @@ def match_configuration_to_pattern(config: Configuration,
                                        multiplicities, slack)
 
     assignments = _assign_orbits(config, group, p_orbits, f_orbits)
+    _metrics.inc("matching.orbit_matches", len(assignments))
     destinations: list[np.ndarray | None] = [None] * config.n
     for orbit, (orbit_positions, per_position) in assignments:
         _match_within_orbit(config, group, orbit, orbit_positions,
@@ -356,6 +362,9 @@ def _chirality_pick(group, p_rel, f0_rel, f1_rel, ties, slack):
     cheaper equivalent when non-degenerate) with the axis rule as the
     robust fallback for the coplanar/antipodal cases.
     """
+    from repro.obs import metrics as _metrics
+
+    _metrics.inc("matching.tie_breaks")
     det = float(np.linalg.det(np.column_stack([p_rel, f0_rel, f1_rel])))
     scale = (np.linalg.norm(p_rel) * np.linalg.norm(f0_rel)
              * np.linalg.norm(f1_rel))

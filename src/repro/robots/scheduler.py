@@ -4,6 +4,14 @@ All robots execute each cycle simultaneously: every robot observes the
 same configuration ``P(t)``, computes its next position with the common
 algorithm, and all movements are applied at once to produce
 ``P(t+1)``.  Movement is rigid (robots jump to their destinations).
+
+The scheduler is the tracing anchor of the pipeline: every ``run``
+opens a ``run`` span, every cycle a ``round`` span, and the three
+phases open ``look`` / ``compute`` / ``move`` spans inside it
+(:mod:`repro.obs.trace`; all no-ops unless a tracer is active).
+Logical counters (``scheduler.rounds``, ``scheduler.observations``,
+...) go to the metrics registry (:mod:`repro.obs.metrics`) — wall
+clock readings never do, and never reach rows (REP005).
 """
 
 from __future__ import annotations
@@ -16,27 +24,11 @@ import numpy as np
 from repro.core.configuration import Configuration
 from repro.errors import SimulationError
 from repro.geometry.tolerance import DEFAULT_TOL
+from repro.obs import metrics as _metrics
+from repro.obs.trace import get_tracer
 from repro.robots.model import LocalFrame, Observation
 
 __all__ = ["ExecutionResult", "FsyncScheduler"]
-
-
-def _stats_delta(before: dict) -> dict:
-    """Per-run difference of two :func:`repro.perf.cache_stats` calls."""
-    from repro.perf import cache_stats
-
-    after = cache_stats()
-    delta: dict = {}
-    for cache_name, counters in after.items():
-        if not isinstance(counters, dict):
-            continue
-        base = before.get(cache_name, {})
-        delta[cache_name] = {
-            counter: value - base.get(counter, 0)
-            for counter, value in counters.items()
-            if isinstance(value, int)
-        }
-    return delta
 
 
 @dataclass
@@ -55,10 +47,12 @@ class ExecutionResult:
         Number of Look–Compute–Move cycles executed.
     cache_stats:
         Congruence-cache activity attributable to this run: the
-        difference of :func:`repro.perf.cache_stats` snapshots taken
-        around the execution.  A healthy run shows at most one
-        symmetry-cache miss per congruence class per round; the robots'
-        ``n`` local observations of each round are hits.
+        difference of :func:`repro.obs.metrics.l1_snapshot` calls
+        taken around the execution — the same source the CLI's
+        ``--cache-stats`` render reads, so the two can never
+        disagree.  A healthy run shows at most one symmetry-cache
+        miss per congruence class per round; the robots' ``n`` local
+        observations of each round are hits.
     """
 
     configurations: list[Configuration]
@@ -118,21 +112,32 @@ class FsyncScheduler:
         """
         if len(points) != len(self.frames):
             raise SimulationError("one frame per robot is required")
-        pts = np.asarray(points, dtype=float)
-        rel = pts[None, :, :] - pts[:, None, :]
-        local = np.einsum("nji,nkj->nki", self._rotations, rel)
-        local /= self._scales[:, None, None]
-        local.setflags(write=False)
-        destinations = []
-        for i, (pos, frame) in enumerate(zip(points, self.frames)):
-            observation = Observation(list(local[i]), self_index=i,
-                                      target=self._local_target(frame))
-            d = np.asarray(self.algorithm(observation), dtype=float)
-            if d.shape != (3,) or not np.all(np.isfinite(d)):
-                raise SimulationError(
-                    "algorithm must return a finite 3-vector")
-            destinations.append(
-                self.movement.execute(pos, frame.to_world(d, pos)))
+        n = len(points)
+        tracer = get_tracer()
+        with tracer.span("round", n=n):
+            with tracer.span("look", n=n):
+                pts = np.asarray(points, dtype=float)
+                rel = pts[None, :, :] - pts[:, None, :]
+                local = np.einsum("nji,nkj->nki", self._rotations, rel)
+                local /= self._scales[:, None, None]
+                local.setflags(write=False)
+            with tracer.span("compute", n=n):
+                world_targets = []
+                for i, (pos, frame) in enumerate(zip(points, self.frames)):
+                    observation = Observation(
+                        list(local[i]), self_index=i,
+                        target=self._local_target(frame))
+                    d = np.asarray(self.algorithm(observation), dtype=float)
+                    if d.shape != (3,) or not np.all(np.isfinite(d)):
+                        raise SimulationError(
+                            "algorithm must return a finite 3-vector")
+                    world_targets.append(frame.to_world(d, pos))
+            with tracer.span("move", n=n):
+                destinations = [
+                    self.movement.execute(pos, world_target)
+                    for pos, world_target in zip(points, world_targets)]
+        _metrics.inc("scheduler.rounds")
+        _metrics.inc("scheduler.observations", n)
         return destinations
 
     def _local_target(self, frame: LocalFrame):
@@ -155,30 +160,37 @@ class FsyncScheduler:
             terminate in a small constant number of rounds, so hitting
             the cap indicates a bug.
         """
-        from repro.perf import cache_stats
+        tracer = get_tracer()
+        _metrics.inc("scheduler.runs")
+        before = _metrics.l1_snapshot()
 
-        before = cache_stats()
-        points = [np.asarray(p, dtype=float) for p in initial_points]
-        trace = [Configuration(points)]
-        if stop_condition is not None and stop_condition(trace[-1]):
-            return ExecutionResult(trace, reached=True, fixpoint=False,
-                                   cache_stats=_stats_delta(before))
-        for _ in range(max_rounds):
-            new_points = self.step(points)
-            moved = any(
-                float(np.linalg.norm(a - b))
-                > DEFAULT_TOL.motion_slack(float(np.linalg.norm(b)))
-                for a, b in zip(new_points, points))
-            points = new_points
-            trace.append(Configuration(points))
+        def finish(trace, reached, fixpoint) -> ExecutionResult:
+            result = ExecutionResult(
+                trace, reached=reached, fixpoint=fixpoint,
+                cache_stats=_metrics.l1_delta(
+                    before, _metrics.l1_snapshot()))
+            _metrics.registry().observe("scheduler.rounds_per_run",
+                                        result.rounds)
+            return result
+
+        with tracer.span("run", n=len(initial_points)):
+            points = [np.asarray(p, dtype=float) for p in initial_points]
+            trace = [Configuration(points)]
             if stop_condition is not None and stop_condition(trace[-1]):
-                return ExecutionResult(trace, reached=True, fixpoint=False,
-                                       cache_stats=_stats_delta(before))
-            if not moved:
-                return ExecutionResult(trace, reached=False, fixpoint=True,
-                                       cache_stats=_stats_delta(before))
-        if stop_condition is None:
-            return ExecutionResult(trace, reached=False, fixpoint=False,
-                                   cache_stats=_stats_delta(before))
+                return finish(trace, reached=True, fixpoint=False)
+            for _ in range(max_rounds):
+                new_points = self.step(points)
+                moved = any(
+                    float(np.linalg.norm(a - b))
+                    > DEFAULT_TOL.motion_slack(float(np.linalg.norm(b)))
+                    for a, b in zip(new_points, points))
+                points = new_points
+                trace.append(Configuration(points))
+                if stop_condition is not None and stop_condition(trace[-1]):
+                    return finish(trace, reached=True, fixpoint=False)
+                if not moved:
+                    return finish(trace, reached=False, fixpoint=True)
+            if stop_condition is None:
+                return finish(trace, reached=False, fixpoint=False)
         raise SimulationError(
             f"execution did not terminate within {max_rounds} rounds")

@@ -231,8 +231,9 @@ class TestCliSurface:
                          "--cache-stats"]) == 0
         captured = capsys.readouterr()
         assert "cache hierarchy:" in captured.err
-        assert "L2 shared-memory" in captured.err
-        assert "L3 on-disk" in captured.err
+        assert "cache.l1." in captured.err
+        assert "cache.l2." in captured.err
+        assert "cache.l3." in captured.err
 
 
 class TestHierarchySnapshot:

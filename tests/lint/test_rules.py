@@ -250,6 +250,36 @@ class TestRowDeterminism:
             """)
         assert rules_of(violations) == ["REP005"]
 
+    def test_bad_monotonic_clock_outside_audited_module(
+            self, lint_source):
+        violations, _ = lint_source("src/repro/obs/trace.py", """\
+            import time
+
+            def now():
+                return time.perf_counter()
+            """)
+        assert rules_of(violations) == ["REP005"]
+        assert "audited" in violations[0].message
+        assert "repro.obs.clock" in violations[0].message
+
+    def test_bad_monotonic_ns_variant(self, lint_source):
+        violations, _ = lint_source("benchmarks/run.py", """\
+            import time
+
+            def tick():
+                return time.monotonic_ns()
+            """)
+        assert rules_of(violations) == ["REP005"]
+
+    def test_good_monotonic_clock_in_audited_module(self, lint_source):
+        violations, _ = lint_source("src/repro/obs/clock.py", """\
+            import time
+
+            def _system_clock():
+                return time.perf_counter()
+            """)
+        assert violations == []
+
     def test_bad_unsorted_listing(self, lint_source):
         violations, _ = lint_source("src/repro/scan.py", """\
             import os

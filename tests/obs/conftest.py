@@ -1,0 +1,36 @@
+"""Fixtures for the observability tests: clean registry and clock."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.obs import clock as clock_mod
+from repro.obs import metrics as metrics_mod
+from repro.obs import trace as trace_mod
+
+
+@pytest.fixture(autouse=True)
+def fresh_observability():
+    """Isolate each test: empty registry, null tracer, system clock."""
+    metrics_mod.registry().reset()
+    trace_mod.set_tracer(trace_mod.NULL_TRACER)
+    clock_mod.reset_clock()
+    yield
+    metrics_mod.registry().reset()
+    trace_mod.set_tracer(trace_mod.NULL_TRACER)
+    clock_mod.reset_clock()
+
+
+@pytest.fixture
+def fake_clock():
+    """An injectable clock ticking one second per read."""
+    counter = itertools.count()
+
+    def tick() -> float:
+        return float(next(counter))
+
+    clock_mod.set_clock(tick)
+    yield tick
+    clock_mod.reset_clock()

@@ -1,0 +1,193 @@
+"""Tracer behavior: no-op cost, aggregation, JSONL schema."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.obs import clock as clock_mod
+from repro.obs.trace import (
+    NULL_TRACER,
+    TRACE_SCHEMA_VERSION,
+    AggregatingTracer,
+    JsonlTracer,
+    NullTracer,
+    activated,
+    get_tracer,
+    set_tracer,
+)
+
+
+class TestNullTracer:
+    def test_singleton_shared_span(self):
+        # The disabled path allocates nothing: every span() call
+        # returns the same shared no-op context manager.
+        a = NULL_TRACER.span("round", n=8)
+        b = NULL_TRACER.span("look")
+        assert a is b
+
+    def test_disabled_flag_and_empty_totals(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.phase_totals() == {}
+        NULL_TRACER.close()  # must be harmless
+
+    def test_null_span_does_not_read_clock(self):
+        reads = []
+
+        def spying_clock() -> float:
+            reads.append(1)
+            return 0.0
+
+        clock_mod.set_clock(spying_clock)
+        with NULL_TRACER.span("round"):
+            pass
+        assert reads == []
+
+    def test_overhead_guard(self):
+        # Instrumented-but-disabled code must stay cheap: one null
+        # span per loop iteration, amortized under a generous absolute
+        # bound (the real cost is ~100ns; 5us catches accidental
+        # allocation or clock reads without flaking on slow CI).
+        import timeit
+
+        tracer = NullTracer()
+
+        def with_span():
+            with tracer.span("round"):
+                pass
+
+        repeats = [timeit.timeit(with_span, number=10_000) / 10_000
+                   for _ in range(5)]
+        assert min(repeats) < 5e-6
+
+    def test_default_tracer_is_null(self):
+        assert get_tracer() is NULL_TRACER
+
+
+class TestAggregatingTracer:
+    def test_totals_count_and_sum(self, fake_clock):
+        tracer = AggregatingTracer()
+        with tracer.span("round"):
+            with tracer.span("look"):
+                pass
+            with tracer.span("look"):
+                pass
+        totals = tracer.phase_totals()
+        assert totals["look"]["count"] == 2
+        assert totals["round"]["count"] == 1
+        # Fake clock ticks 1s per read; each leaf span spans one tick.
+        assert totals["look"]["total_s"] == 2.0
+        assert totals["round"]["total_s"] == 5.0
+
+    def test_totals_sorted_by_name(self, fake_clock):
+        tracer = AggregatingTracer()
+        for name in ("move", "compute", "look"):
+            with tracer.span(name):
+                pass
+        assert list(tracer.phase_totals()) == ["compute", "look", "move"]
+
+    def test_activated_restores_previous(self):
+        tracer = AggregatingTracer()
+        with activated(tracer):
+            assert get_tracer() is tracer
+        assert get_tracer() is NULL_TRACER
+
+    def test_activated_restores_on_error(self):
+        tracer = AggregatingTracer()
+        try:
+            with activated(tracer):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert get_tracer() is NULL_TRACER
+
+
+class TestJsonlTracer:
+    def test_header_pins_schema(self, tmp_path, fake_clock):
+        path = tmp_path / "trace.jsonl"
+        tracer = JsonlTracer(path)
+        tracer.close()
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert records[0] == {"kind": "trace-header",
+                              "schema": TRACE_SCHEMA_VERSION}
+
+    def test_span_records_shape(self, tmp_path, fake_clock):
+        path = tmp_path / "trace.jsonl"
+        tracer = JsonlTracer(path)
+        with tracer.span("round", n=4):
+            with tracer.span("look", n=4):
+                pass
+        tracer.close()
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        spans = [r for r in records if r["kind"] == "span"]
+        # Inner span closes first; depth reflects nesting.
+        assert [(s["name"], s["depth"]) for s in spans] == \
+            [("look", 1), ("round", 0)]
+        for span in spans:
+            assert set(span) == {"kind", "name", "depth", "t0_s",
+                                 "dur_s", "attrs"}
+            assert span["t0_s"] >= 0.0
+            assert span["dur_s"] >= 0.0
+
+    def test_timestamps_relative_not_epoch(self, tmp_path):
+        # With the real clock, t0 is relative to tracer creation:
+        # far smaller than any epoch timestamp would be.
+        path = tmp_path / "trace.jsonl"
+        tracer = JsonlTracer(path)
+        with tracer.span("round"):
+            pass
+        tracer.close()
+        spans = [json.loads(line)
+                 for line in path.read_text().splitlines()][1:]
+        assert all(s["t0_s"] < 1e6 for s in spans)
+
+
+class TestSchedulerSpans:
+    def test_run_emits_round_and_phase_spans(self, tmp_path, cube):
+        from repro import form_pattern
+        from repro.patterns.library import named_pattern
+
+        path = tmp_path / "trace.jsonl"
+        tracer = JsonlTracer(path)
+        with activated(tracer):
+            result = form_pattern(cube, named_pattern("octagon"), seed=1)
+        tracer.close()
+        assert result.reached
+        names = [json.loads(line)["name"]
+                 for line in path.read_text().splitlines()[1:]]
+        for expected in ("run", "round", "look", "compute", "move"):
+            assert expected in names
+        counts = tracer.phase_totals()
+        assert counts["round"]["count"] == result.rounds
+        assert counts["look"]["count"] == counts["compute"]["count"] \
+            == counts["move"]["count"] == result.rounds
+
+    def test_rows_identical_with_and_without_tracing(self, cube):
+        # Cold caches before both runs: cache state is the one
+        # legitimate source of last-ulp float noise, and it must not
+        # be confused with tracer interference.
+        from repro import form_pattern, perf
+        from repro.patterns.library import named_pattern
+
+        octagon = named_pattern("octagon")
+        perf.clear_caches()
+        plain = form_pattern(cube, octagon, seed=3)
+        perf.clear_caches()
+        with activated(AggregatingTracer()):
+            traced = form_pattern(cube, octagon, seed=3)
+        assert plain.reached == traced.reached
+        assert plain.rounds == traced.rounds
+        for a, b in zip(plain.final.points, traced.final.points):
+            assert np.array_equal(a, b)
+
+
+class TestSetTracer:
+    def test_set_and_restore(self):
+        tracer = AggregatingTracer()
+        set_tracer(tracer)
+        assert get_tracer() is tracer
+        set_tracer(NULL_TRACER)
+        assert get_tracer() is NULL_TRACER
