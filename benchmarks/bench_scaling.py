@@ -147,3 +147,66 @@ def test_epsilon_ablation(benchmark):
         go_to_center.EPSILON_FRACTION = original
     print_table("epsilon ablation (go-to-center, cube)", rows)
     assert all(row["in_rho"] for row in rows)
+
+
+# ---------------------------------------------------------------------------
+# Swarm scale (ROADMAP north star: n in the thousands).  These sizes
+# are where the O(n²) candidate-axis enumeration used to dominate; the
+# k-d shell pruning keeps detection near-linear, so the curve through
+# n=4096 must stay under the old n=256 cost.  All three benchmarks
+# honor the ``--backend`` flag and record the backend that actually
+# ran in ``extra_info``.
+# ---------------------------------------------------------------------------
+
+SWARM_SIZES = [256, 1024, 4096]
+
+
+@pytest.mark.parametrize("n", SWARM_SIZES)
+def test_swarm_detection_scaling(benchmark, bench_backend, n):
+    """γ(P) detection on generic (asymmetric) swarms: the cost is the
+    axis-candidate sweep, which the shell pruning bends sub-quadratic."""
+    rng = np.random.default_rng(n)
+    points = [rng.normal(size=3) for _ in range(n)]
+    report = benchmark(detect_rotation_group, points)
+    benchmark.extra_info["backend"] = bench_backend
+    benchmark.extra_info["n"] = n
+    assert report.kind == "finite"
+
+
+@pytest.mark.parametrize("n", SWARM_SIZES)
+def test_swarm_decomposition_scaling(benchmark, bench_backend, n):
+    """Orbit decomposition of a maximally symmetric swarm (a regular
+    n-gon: one orbit, group order 2n) — one k-d range query per orbit
+    instead of a greedy O(|G|·n²) claim sweep."""
+    from repro.core.decomposition import orbit_decomposition
+
+    points = polyhedra.regular_polygon_pattern(n)
+    config = Configuration(points)
+    group = config.symmetry.group
+    orbits = benchmark(orbit_decomposition, config, group)
+    benchmark.extra_info["backend"] = bench_backend
+    benchmark.extra_info["group_order"] = group.order
+    assert len(orbits) == 1
+
+
+@pytest.mark.parametrize("n", SWARM_SIZES)
+def test_swarm_round_scaling(benchmark, bench_backend, n):
+    """One full Look–Compute–Move cycle.  The batched Look einsum is
+    cheap at these sizes; what the measurement exposes is the Compute
+    phase's per-robot Observation objects, which dominate past
+    n ≈ 1024 — the honest cost of one round at swarm scale."""
+    from repro.robots.adversary import identity_frames
+
+    rng = np.random.default_rng(n)
+    points = [rng.normal(size=3) for _ in range(n)]
+
+    def contract(observation):
+        views = np.asarray(observation.points)
+        me = views[observation.self_index]
+        return me + 0.25 * (views.mean(axis=0) - me)
+
+    scheduler = FsyncScheduler(contract, identity_frames(n))
+    destinations = benchmark.pedantic(
+        scheduler.step, args=(points,), rounds=1, iterations=1)
+    benchmark.extra_info["backend"] = bench_backend
+    assert len(destinations) == n

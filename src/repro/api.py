@@ -38,14 +38,19 @@ class ExperimentSpec:
     ``baseline_2d`` — ignore it).  ``cache`` of ``None`` inherits the
     process's current cache-enablement; True/False force it for the
     duration of the run and restore the prior setting afterwards.
-    The three ``*_path`` fields request artifacts; ``None`` writes
-    nothing.
+    ``backend`` of ``None`` likewise inherits the process's active
+    array backend; a name (``"numpy"``, ``"numba"``, ``"cupy"``)
+    forces it for the run — with the usual graceful fallback to NumPy
+    when the requested backend is unavailable — and restores the
+    prior backend afterwards.  The three ``*_path`` fields request
+    artifacts; ``None`` writes nothing.
     """
 
     trials: int | None = None
     seed: int = 0
     jobs: int = 1
     cache: bool | None = None
+    backend: str | None = None
     trace_path: str | Path | None = None
     metrics_path: str | Path | None = None
     manifest_path: str | Path | None = None
@@ -113,6 +118,7 @@ def _spec_record(name: str, spec: ExperimentSpec,
         record["trials"] = inspect.signature(
             driver).parameters["trials"].default
     record["cache"] = spec.cache
+    record["backend"] = spec.backend
     return record
 
 
@@ -137,6 +143,12 @@ def run_experiment(name: str, spec: ExperimentSpec | None = None) -> RunResult:
 
         prior_cache = _perf.is_enabled()
         _perf.set_enabled(spec.cache)
+    prior_backend = None
+    if spec.backend is not None:
+        from repro import backend as _backend
+
+        prior_backend = _backend.backend_name()
+        _backend.set_backend(spec.backend)
     tracer = JsonlTracer(spec.trace_path) if spec.trace_path \
         else AggregatingTracer()
     reg = _metrics.registry()
@@ -152,17 +164,30 @@ def run_experiment(name: str, spec: ExperimentSpec | None = None) -> RunResult:
             from repro import perf as _perf
 
             _perf.set_enabled(prior_cache)
+        if prior_backend is not None:
+            from repro import backend as _backend
 
-    run_metrics = _metrics.snapshot_delta(before, reg.snapshot())
+            _backend.set_backend(prior_backend)
+
+    full_delta = _metrics.snapshot_delta(before, reg.snapshot())
+    logical, performance = _metrics.split_performance(
+        full_delta.get("counters", {}))
+    # The manifest's deterministic view embeds the metrics section, so
+    # it gets the logical delta only; the jobs-dependent backend
+    # performance counters travel on the result and the artifact.
+    logical_delta = {"counters": logical,
+                     "histograms": full_delta.get("histograms", {})}
+    run_metrics = {**logical_delta,
+                   "backend": dict(sorted(performance.items()))}
     artifacts = {"trace": spec.trace_path, "metrics": spec.metrics_path,
                  "manifest": spec.manifest_path}
     manifest = _manifest.build_manifest(
         experiment=name,
         spec=_spec_record(name, spec, _REGISTRY[name][1]),
         rows=rows,
-        metrics=run_metrics,
+        metrics=logical_delta,
         phase_totals=tracer.phase_totals(),
-        seed_streams=run_metrics["counters"].get("seeds.spawned", 0),
+        seed_streams=logical.get("seeds.spawned", 0),
         artifacts={k: v for k, v in artifacts.items() if v is not None})
     if spec.metrics_path is not None:
         _metrics.write_metrics(spec.metrics_path, run_metrics,

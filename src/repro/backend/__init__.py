@@ -1,0 +1,113 @@
+"""Pluggable array backends for the swarm-scale kernels.
+
+Selection, in priority order:
+
+1. :func:`set_backend` — explicit, e.g. from
+   :class:`repro.api.ExperimentSpec.backend` or the CLI's
+   ``--backend`` flag;
+2. the ``REPRO_BACKEND`` environment variable;
+3. the NumPy reference backend.
+
+A requested backend that fails its capability probe (missing optional
+dependency, no device) falls back to NumPy with a warning and a
+``backend.fallbacks`` metric increment — runs degrade gracefully, they
+never crash on a missing accelerator.
+
+Switching backends clears the L1 congruence caches: cached payloads
+(detected groups, alignments) may carry backend-specific floating
+noise, and the cache-key purity rule (REP003) forbids smuggling the
+backend name into keys whose payloads would then be compared across
+backends.  The cross-process L2 keys that *are* backend-dependent get
+the backend name appended where they are built (``repro/perf/``).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+from repro.backend.base import ArrayBackend, NeighborIndex
+from repro.backend.cupy_backend import CupyBackend
+from repro.backend.numba_backend import NumbaBackend
+from repro.backend.numpy_backend import NumpyBackend
+
+__all__ = [
+    "ArrayBackend",
+    "NeighborIndex",
+    "available_backends",
+    "backend_name",
+    "get_backend",
+    "set_backend",
+]
+
+#: Registry of known backends, probe-ordered: the reference
+#: implementation first, accelerators after.
+_BACKEND_CLASSES: dict[str, type[ArrayBackend]] = {
+    "numpy": NumpyBackend,
+    "numba": NumbaBackend,
+    "cupy": CupyBackend,
+}
+
+_ENV_VAR = "REPRO_BACKEND"
+
+_active: ArrayBackend | None = None
+
+
+def available_backends() -> dict[str, bool]:
+    """Probe result for every registered backend name."""
+    return {name: cls.is_available()
+            for name, cls in _BACKEND_CLASSES.items()}
+
+
+def _resolve(name: str) -> ArrayBackend:
+    """Instantiate ``name``, falling back to NumPy when unavailable."""
+    from repro.obs import metrics as _metrics
+
+    cls = _BACKEND_CLASSES.get(name)
+    if cls is None:
+        known = ", ".join(sorted(_BACKEND_CLASSES))
+        _metrics.inc("backend.fallbacks")
+        warnings.warn(
+            f"unknown backend {name!r} (known: {known}); "
+            f"falling back to numpy", RuntimeWarning, stacklevel=3)
+        return NumpyBackend()
+    if not cls.is_available():
+        _metrics.inc("backend.fallbacks")
+        warnings.warn(
+            f"backend {name!r} is not available in this environment; "
+            f"falling back to numpy", RuntimeWarning, stacklevel=3)
+        return NumpyBackend()
+    return cls()
+
+
+def get_backend() -> ArrayBackend:
+    """The active backend (resolving ``REPRO_BACKEND`` on first use)."""
+    global _active  # noqa: PLW0603 -- lifecycle singleton, set here and in set_backend
+    if _active is None:
+        _active = _resolve(os.environ.get(_ENV_VAR, "numpy"))
+    return _active
+
+
+def backend_name() -> str:
+    """Name of the active backend (resolves lazily like get_backend)."""
+    return get_backend().name
+
+
+def set_backend(name: str | None) -> ArrayBackend:
+    """Select a backend by name; ``None`` re-reads the environment.
+
+    Returns the backend actually activated (NumPy when the request
+    fell back).  Switching away from the current backend clears the
+    congruence caches — cached payloads may carry backend-specific
+    float noise and must not be served across a switch.
+    """
+    global _active  # noqa: PLW0603 -- lifecycle singleton, set here and in get_backend
+    previous = _active.name if _active is not None else None
+    resolved = _resolve(name if name is not None
+                        else os.environ.get(_ENV_VAR, "numpy"))
+    _active = resolved
+    if previous is not None and previous != resolved.name:
+        from repro import perf as _perf
+
+        _perf.clear_caches()
+    return resolved

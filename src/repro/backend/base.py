@@ -1,0 +1,170 @@
+"""The array-backend protocol behind the swarm-scale kernels.
+
+An :class:`ArrayBackend` bundles the handful of operations the hot
+kernels (symmetry detection, orbit decomposition, the batched Look
+phase, ψ_PF matching) spend their time in: allocation, ``einsum``,
+pairwise distances, ``argsort``/``lexsort``, the Kabsch solve, and
+nearest-neighbour queries.  Kernels call these through
+:func:`repro.backend.get_backend` instead of touching ``numpy``/
+``scipy``/``numba``/``cupy`` directly (enforced by reprolint REP006),
+so a single runtime switch retargets every kernel at once.
+
+Implementations subclass :class:`ArrayBackend` and override the
+underscore hooks (``_einsum``, ``_kabsch``, ...).  The public methods
+are thin counting wrappers: every call increments a
+``backend.calls.<op>`` counter on the process metrics registry, and
+implementations report device transfers / per-op fallbacks through
+:meth:`ArrayBackend._record_transfer` /
+:meth:`ArrayBackend._record_fallback` so ``--cache-stats`` can show
+where the work actually ran.
+
+The contract is *value* compatibility with the NumPy reference
+implementation: same shapes, same dtypes, and — for the reference
+backend itself — bit-identical results (it delegates to the exact
+NumPy expressions the kernels used before the port, which is what
+keeps the frozen-oracle equivalence suites byte-stable).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.obs import metrics as _metrics
+
+__all__ = ["ArrayBackend", "NeighborIndex"]
+
+
+class NeighborIndex:
+    """Nearest-neighbour index over a fixed ``(m, 3)`` point set.
+
+    The reference implementation wraps ``scipy.spatial.cKDTree``;
+    accelerator backends may substitute their own spatial index as
+    long as query semantics match (closed balls, Euclidean metric,
+    ``k=1`` ties resolved to the lowest index).
+    """
+
+    def query(self, points, k: int = 1,
+              distance_upper_bound: float = np.inf):
+        """Distances and indices of the ``k`` nearest stored points.
+
+        Matches ``cKDTree.query``: misses (beyond the bound) report
+        ``inf`` distance and an index equal to the stored point count.
+        """
+        raise NotImplementedError
+
+    def query_ball(self, points, radius: float) -> list:
+        """Indices of stored points within ``radius`` of each query."""
+        raise NotImplementedError
+
+    def query_pairs(self, radius: float) -> np.ndarray:
+        """``(k, 2)`` array of stored-point pairs within ``radius``."""
+        raise NotImplementedError
+
+
+class ArrayBackend:
+    """Protocol of array operations the swarm-scale kernels consume."""
+
+    #: Registry name; also what ``REPRO_BACKEND`` selects.
+    name = "abstract"
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+    @classmethod
+    def is_available(cls) -> bool:
+        """True when this backend can run in the current process."""
+        return False
+
+    def capabilities(self) -> dict:
+        """What this backend accelerates (informational, stable keys)."""
+        return {"name": self.name, "device": "cpu", "jit": False}
+
+    # ------------------------------------------------------------------
+    # Instrumentation plumbing
+    # ------------------------------------------------------------------
+    def _record(self, op: str) -> None:
+        _metrics.inc(f"backend.calls.{op}")
+
+    def _record_fallback(self, op: str) -> None:
+        """An op this backend could not accelerate ran on NumPy."""
+        _metrics.inc("backend.fallbacks")
+
+    def _record_transfer(self, count: int = 1) -> None:
+        """Host<->device copies performed by the last operation."""
+        _metrics.inc("backend.transfers", count)
+
+    # ------------------------------------------------------------------
+    # Allocation / movement
+    # ------------------------------------------------------------------
+    def asarray(self, data, dtype=float) -> np.ndarray:
+        self._record("asarray")
+        return self._asarray(data, dtype)
+
+    def zeros(self, shape, dtype=float) -> np.ndarray:
+        self._record("zeros")
+        return self._zeros(shape, dtype)
+
+    def to_numpy(self, array) -> np.ndarray:
+        """A host-side ``numpy.ndarray`` view/copy of ``array``."""
+        self._record("to_numpy")
+        return self._to_numpy(array)
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+    def einsum(self, spec: str, *operands) -> np.ndarray:
+        self._record("einsum")
+        return self._einsum(spec, *operands)
+
+    def pairwise_distances(self, a, b) -> np.ndarray:
+        """Euclidean distance matrix ``(len(a), len(b))``."""
+        self._record("pairwise_distances")
+        return self._pairwise_distances(a, b)
+
+    def argsort(self, values) -> np.ndarray:
+        self._record("argsort")
+        return self._argsort(values)
+
+    def lexsort(self, keys) -> np.ndarray:
+        """Indices sorting by the *last* key first (NumPy semantics)."""
+        self._record("lexsort")
+        return self._lexsort(keys)
+
+    def kabsch(self, src, dst) -> np.ndarray:
+        """The rotation minimizing ``Σ |R src_i - dst_i|²`` (det +1)."""
+        self._record("kabsch")
+        return self._kabsch(src, dst)
+
+    def neighbor_index(self, points) -> NeighborIndex:
+        self._record("neighbor_index")
+        return self._neighbor_index(points)
+
+    # ------------------------------------------------------------------
+    # Implementation hooks
+    # ------------------------------------------------------------------
+    def _asarray(self, data, dtype):
+        raise NotImplementedError
+
+    def _zeros(self, shape, dtype):
+        raise NotImplementedError
+
+    def _to_numpy(self, array):
+        raise NotImplementedError
+
+    def _einsum(self, spec, *operands):
+        raise NotImplementedError
+
+    def _pairwise_distances(self, a, b):
+        raise NotImplementedError
+
+    def _argsort(self, values):
+        raise NotImplementedError
+
+    def _lexsort(self, keys):
+        raise NotImplementedError
+
+    def _kabsch(self, src, dst):
+        raise NotImplementedError
+
+    def _neighbor_index(self, points):
+        raise NotImplementedError

@@ -1,0 +1,137 @@
+"""Optional Numba backend: JIT-compiled CPU kernels.
+
+Numba is an optional dependency — this module must import cleanly
+without it (:meth:`NumbaBackend.is_available` probes for it; the
+selection layer falls back to NumPy when the probe fails).  The
+``numba`` import itself therefore only happens inside the lazily
+compiled kernel factory.
+
+Only the einsum contractions the hot kernels actually issue are
+compiled (``cij,mj->cmi`` for candidate verification, ``nji,nkj->nki``
+for the Look phase, ``gij,j->gi`` for orbit images); every other spec
+falls back to ``np.einsum`` and is counted as a per-op fallback so the
+``backend.fallbacks`` metric shows exactly how much of a run left the
+JIT path.  The compiled loops use the same fixed-length inner products
+NumPy uses for 3-vectors, so results agree with the reference backend.
+
+Nearest-neighbour queries stay on ``cKDTree`` (a JIT'd linear scan
+loses to the tree for the shell sizes the detector produces).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+
+from repro.backend.numpy_backend import NumpyBackend
+
+__all__ = ["NumbaBackend"]
+
+
+def _probe() -> bool:
+    try:
+        return importlib.util.find_spec("numba") is not None
+    except (ImportError, ValueError):
+        return False
+
+
+class NumbaBackend(NumpyBackend):
+    """JIT-compiled CPU backend (requires ``numba``)."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        self._kernels: dict | None = None
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return _probe()
+
+    def capabilities(self) -> dict:
+        return {"name": self.name, "device": "cpu", "jit": True}
+
+    def _compiled(self) -> dict:
+        """Compile the kernel set on first use (import cost is lazy)."""
+        if self._kernels is None:
+            import numba  # noqa: F401 -- optional dep, probed above
+
+            @numba.njit(cache=True, fastmath=False)
+            def rotate_batch(rots, points):
+                # einsum("cij,mj->cmi"): image of every point under
+                # every candidate rotation.
+                c = rots.shape[0]
+                m = points.shape[0]
+                out = np.empty((c, m, 3))
+                for a in range(c):
+                    for b in range(m):
+                        for i in range(3):
+                            out[a, b, i] = (
+                                rots[a, i, 0] * points[b, 0]
+                                + rots[a, i, 1] * points[b, 1]
+                                + rots[a, i, 2] * points[b, 2])
+                return out
+
+            @numba.njit(cache=True, fastmath=False)
+            def look_batch(rots, rel):
+                # einsum("nji,nkj->nki"): every robot's local view of
+                # every position (note the transposed rotation).
+                n = rots.shape[0]
+                k = rel.shape[1]
+                out = np.empty((n, k, 3))
+                for a in range(n):
+                    for b in range(k):
+                        for i in range(3):
+                            out[a, b, i] = (
+                                rots[a, 0, i] * rel[a, b, 0]
+                                + rots[a, 1, i] * rel[a, b, 1]
+                                + rots[a, 2, i] * rel[a, b, 2])
+                return out
+
+            @numba.njit(cache=True, fastmath=False)
+            def orbit_images(rots, point):
+                # einsum("gij,j->gi"): one seed point under the whole
+                # group stack.
+                g = rots.shape[0]
+                out = np.empty((g, 3))
+                for a in range(g):
+                    for i in range(3):
+                        out[a, i] = (rots[a, i, 0] * point[0]
+                                     + rots[a, i, 1] * point[1]
+                                     + rots[a, i, 2] * point[2])
+                return out
+
+            @numba.njit(cache=True, fastmath=False)
+            def pairwise(a, b):
+                na = a.shape[0]
+                nb = b.shape[0]
+                out = np.empty((na, nb))
+                for i in range(na):
+                    for j in range(nb):
+                        dx = a[i, 0] - b[j, 0]
+                        dy = a[i, 1] - b[j, 1]
+                        dz = a[i, 2] - b[j, 2]
+                        out[i, j] = np.sqrt(dx * dx + dy * dy + dz * dz)
+                return out
+
+            self._kernels = {
+                "cij,mj->cmi": rotate_batch,
+                "nji,nkj->nki": look_batch,
+                "gij,j->gi": orbit_images,
+                "pairwise": pairwise,
+            }
+        return self._kernels
+
+    def _einsum(self, spec, *operands):
+        kernel = self._compiled().get(spec)
+        if kernel is None or len(operands) != 2:
+            self._record_fallback("einsum")
+            return np.einsum(spec, *operands)
+        a = np.ascontiguousarray(operands[0], dtype=float)
+        b = np.ascontiguousarray(operands[1], dtype=float)
+        return kernel(a, b)
+
+    def _pairwise_distances(self, a, b):
+        kernel = self._compiled()["pairwise"]
+        return kernel(np.ascontiguousarray(a, dtype=float),
+                      np.ascontiguousarray(b, dtype=float))

@@ -155,6 +155,7 @@ def _cmd_experiment(args) -> int:
 
     spec = ExperimentSpec(
         trials=args.trials, seed=args.seed, jobs=args.jobs,
+        backend=args.backend,
         trace_path=args.trace, metrics_path=args.metrics,
         manifest_path=args.manifest)
     result = run_experiment(args.name, spec)
@@ -296,6 +297,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trials", type=int, default=None,
         help="random trials per row (where applicable; default: the "
              "driver's documented default)")
+    experiment.add_argument(
+        "--backend", choices=["numpy", "numba", "cupy"], default=None,
+        help="array backend for the run's kernels (default: the "
+             "process's active backend; an unavailable backend falls "
+             "back to numpy with a warning — rows are byte-identical "
+             "either way)")
     _add_observability_flags(experiment, manifest=True)
     experiment.set_defaults(func=_cmd_experiment)
 
@@ -308,7 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
                    ).set_defaults(func=_cmd_tables)
 
     lint = sub.add_parser(
-        "lint", help="run reprolint (REP001-REP005 invariant checks)")
+        "lint", help="run reprolint (REP001-REP006 invariant checks)")
     lint.add_argument("paths", nargs="*",
                       help="files or directories (default: src benchmarks)")
     lint.add_argument("--format", choices=["text", "json"], default="text")

@@ -10,10 +10,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.errors import DetectionError, GroupError
 from repro.core.configuration import Configuration
 from repro.core.signatures import cylindrical_signature, line_signature
-from repro.geometry.tolerance import DEFAULT_TOL, Tolerance
+from repro.geometry.tolerance import AXIS_NORM_FLOOR, DEFAULT_TOL, Tolerance
 from repro.groups.group import GroupKind, RotationGroup
 
 __all__ = [
@@ -41,52 +42,65 @@ def orbit_decomposition(config: Configuration, group: RotationGroup,
     ``config.points``.  Coincident robots (multiplicities) are spread
     over the matching positions, so the result is a partition of all
     ``n`` indices.
+
+    The greedy claim semantics of the historical per-image scan are
+    preserved exactly — each image claims the unclaimed robot of
+    minimal ``(distance, index)`` within the slack, a position already
+    claimed by this orbit is a stabilizer hit — but candidates come
+    from one k-d range query per orbit instead of an
+    ``O(n · |G| · n)`` Python scan.  The query radius is inflated by
+    one relative floor and candidates are re-checked with the exact
+    norm, so the claimed sets cannot differ from the exact scan's.
     """
     c = np.asarray(center if center is not None else config.center,
                    dtype=float)
-    pts = [p - c for p in config.points]
+    n = len(config.points)
+    if group.order == 1:
+        # Identity-only action: every robot claims itself at distance
+        # zero, exactly what the greedy matcher would produce.
+        return [[i] for i in range(n)]
+    backend = get_backend()
+    pts = np.asarray([np.asarray(p, dtype=float)
+                      for p in config.points]) - c
     slack = _match_slack(config)
-    unassigned = set(range(len(pts)))
+    stack = np.stack(group.elements)
+    tree = backend.neighbor_index(pts)
+    radius = slack * (1.0 + AXIS_NORM_FLOOR)
+    assigned = np.zeros(n, dtype=bool)
     orbits: list[list[int]] = []
-    while unassigned:
-        seed = min(unassigned)
+    seed = 0
+    while seed < n:
+        if assigned[seed]:
+            seed += 1
+            continue
+        images = backend.einsum("gij,j->gi", stack, pts[seed])
+        hits = tree.query_ball(images, radius)
         orbit: list[int] = []
-        for mat in group.elements:
-            image = mat @ pts[seed]
-            match = _claim_nearest(image, pts, unassigned, orbit, slack)
-            if match is None:
+        in_orbit = np.zeros(n, dtype=bool)
+        for image, cand in zip(images, hits):
+            best = -1
+            best_d = None
+            stabilizer = False
+            for idx in sorted(cand):
+                d = float(np.linalg.norm(pts[idx] - image))
+                if d > slack:
+                    continue
+                if in_orbit[idx]:
+                    stabilizer = True
+                elif not assigned[idx] and (best_d is None or d < best_d):
+                    best = idx
+                    best_d = d
+            if best >= 0:
+                orbit.append(best)
+                in_orbit[best] = True
+            elif not stabilizer:
                 raise GroupError(
                     "group does not act on the configuration "
                     "(orbit image has no matching robot)")
-            if match >= 0:
-                orbit.append(match)
         for idx in orbit:
-            unassigned.discard(idx)
+            assigned[idx] = True
         orbits.append(sorted(orbit))
     return orbits
-
-
-def _claim_nearest(image, pts, unassigned, claimed, slack) -> int | None:
-    """Index of an unclaimed robot at ``image``.
-
-    Returns -1 when the position is already claimed by this orbit
-    (stabilizer hit), None when no robot sits there at all.
-    """
-    best = None
-    best_d = None
-    for idx in unassigned:
-        if idx in claimed:
-            continue
-        d = float(np.linalg.norm(pts[idx] - image))
-        if d <= slack and (best_d is None or d < best_d):
-            best = idx
-            best_d = d
-    if best is not None:
-        return best
-    for idx in claimed:
-        if float(np.linalg.norm(pts[idx] - image)) <= slack:
-            return -1
-    return None
 
 
 def orbit_folding(config: Configuration, group: RotationGroup,

@@ -29,6 +29,19 @@ __all__ = [
     "is_spherical",
 ]
 
+# From this many points on, Welzl runs on the convex-hull vertices
+# only (the support of the smallest enclosing ball is a subset of the
+# hull).  Below the gate the historical full-set path runs unchanged,
+# so small (oracle-pinned) workloads stay bit-identical.
+_HULL_PRUNE_MIN = 512
+
+# Skip hull pruning when every point lies in a thin spherical shell
+# around the centroid (min radius above this fraction of the max):
+# nearly every point is then a hull vertex, so Qhull — slowest exactly
+# on such degenerate inputs — would do all the work for no pruning,
+# while Welzl's violation scans terminate quickly anyway.
+_THIN_SHELL = 0.9
+
 
 @dataclass(frozen=True)
 class Ball:
@@ -141,16 +154,58 @@ def _circumball_tetrahedron(a, b, c, d) -> Ball:
     return Ball(center=center, radius=radius)
 
 
+def _boundary_candidates(pts: np.ndarray, tol: Tolerance) -> np.ndarray:
+    """Convex-hull vertices of ``pts``.
+
+    The support set of the smallest enclosing ball lies on the convex
+    hull, so Welzl may run on the hull vertices alone.  Qhull rejects
+    rank-deficient input, so the rank is detected first and flat
+    configurations are projected: coplanar sets keep the property
+    (their ball center lies in the plane), collinear sets reduce to
+    the extreme pair.  Any Qhull failure returns the full set —
+    pruning is an optimization, never a correctness dependency.
+    """
+    from scipy.spatial import ConvexHull, QhullError
+
+    centered = pts - pts.mean(axis=0)
+    try:
+        _, sing, vt = np.linalg.svd(centered, full_matrices=False)
+    except np.linalg.LinAlgError:
+        return pts
+    floor = tol.relative_slack(float(sing[0]))
+    rank = int(np.sum(sing > floor))
+    try:
+        if rank >= 3:
+            return pts[ConvexHull(centered).vertices]
+        if rank == 2:
+            return pts[ConvexHull(centered @ vt[:2].T).vertices]
+        if rank == 1:
+            along = centered @ vt[0]
+            return pts[[int(np.argmin(along)), int(np.argmax(along))]]
+        return pts[:1]
+    except (QhullError, ValueError):
+        return pts
+
+
 def smallest_enclosing_ball(points, tol: Tolerance = DEFAULT_TOL,
                             seed: int = 0) -> Ball:
     """Smallest enclosing ball ``B(P)`` of a non-empty point set.
 
     Implements Welzl's randomized move-to-front algorithm.  The
     shuffle uses a deterministic seed so results are reproducible.
+    Large inputs are pre-pruned to their convex-hull vertices (see
+    :data:`_HULL_PRUNE_MIN`); the recursion then runs on the support
+    superset only.
     """
     pts = [np.asarray(p, dtype=float) for p in points]
     if not pts:
         raise GeometryError("smallest enclosing ball of an empty set")
+    if len(pts) >= _HULL_PRUNE_MIN:
+        arr = np.asarray(pts, dtype=float)
+        radii = np.linalg.norm(arr - arr.mean(axis=0), axis=1)
+        rmax = float(radii.max())
+        if rmax <= 0.0 or float(radii.min()) < _THIN_SHELL * rmax:
+            pts = list(_boundary_candidates(arr, tol))
     rng = random.Random(seed)
     shuffled = pts[:]
     rng.shuffle(shuffled)

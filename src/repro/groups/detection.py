@@ -25,6 +25,19 @@ einsum, and the tolerant nearest-neighbour matching that verifies each
 candidate runs through one k-d tree query per batch instead of a
 per-point Python scan.  A cheap probe pass over the most constrained
 shell rejects most wrong candidates before the full-multiset check.
+
+Array work routes through the pluggable backend protocol
+(:func:`repro.backend.get_backend`): einsum contractions, lexsorts and
+nearest-neighbour queries are backend calls, so the detector runs
+unchanged on the NumPy reference backend and on the optional
+accelerator backends.  Two large-``n`` regimes get dedicated paths
+that the small-``n`` (oracle-pinned) workloads never enter: candidate
+pair generation switches from the dense ``s1 × s2`` dot matrix to
+k-d ball queries around a *nearest* reference pair
+(:func:`_pruned_pairs`), and verification of large candidate sets
+proceeds by generators plus group closure
+(:func:`_verify_by_closure`) instead of checking every candidate
+against the full multiset.
 """
 
 from __future__ import annotations
@@ -34,13 +47,19 @@ import math
 from dataclasses import dataclass, field
 
 import numpy as np
-from scipy.spatial import cKDTree
 
+from repro.backend import get_backend
 from repro.errors import DetectionError
 from repro.geometry.balls import smallest_enclosing_ball
 from repro.geometry.tolerance import AXIS_NORM_FLOOR, DEFAULT_TOL, Tolerance
 from repro.groups.axes import RotationAxis
-from repro.groups.group import RotationGroup, GroupSpec, GroupKind, element_key
+from repro.groups.group import (
+    RotationGroup,
+    GroupSpec,
+    GroupKind,
+    batch_rotation_angles,
+    element_key,
+)
 from repro.groups.infinite import InfiniteGroupKind, detect_collinear_kind
 from repro.geometry.rotations import rotation_about_axis
 
@@ -49,6 +68,28 @@ __all__ = ["SymmetryReport", "detect_rotation_group", "align_rotation"]
 # Cap on the number of (candidate, point) products held in memory at
 # once while verifying candidate rotations; batches are chunked to it.
 _VERIFY_BLOCK = 2_000_000
+
+# Above this many anchor-shell × second-shell pairs, candidate
+# generation leaves the dense dot-matrix path (which is kept
+# bit-identical below the limit — every oracle-pinned workload stays
+# dense) for the k-d pruned path.
+_DENSE_PAIR_LIMIT = 262_144
+
+# Candidate sets up to this size are batch-verified one by one (the
+# historical, bit-stable path); larger sets use generator + closure
+# verification.
+_SMALL_CANDIDATES = 512
+
+# Budgets of the large-``n`` paths; blowing either falls back to the
+# exhaustive (memory-bounded) computation, never to a wrong answer.
+_CLOSURE_CHECK_BUDGET = 64
+_CLOSURE_PRODUCT_LIMIT = 1_000_000
+_CLOSURE_FOLD_CAP = 65_536
+
+# Largest probe subset the batched verifier uses for its cheap
+# rejection pass; the probe is a necessary condition only, so the cap
+# never changes a verdict.
+_PROBE_CAP = 64
 
 
 @dataclass
@@ -111,7 +152,7 @@ def _collapse_multiset(points, slack: float):
     """
     pts = np.asarray(points, dtype=float).reshape(-1, 3)
     n = len(pts)
-    pairs = cKDTree(pts).query_pairs(slack, output_type="ndarray")
+    pairs = get_backend().neighbor_index(pts).query_pairs(slack)
     if pairs.size == 0:
         return pts.copy(), np.ones(n, dtype=np.int64)
 
@@ -196,12 +237,10 @@ def _finish_finite_report(report: SymmetryReport, pre: _Prepared,
     elements = _symmetry_rotations(pre.rel, pre.mults, pre.radii,
                                    pre.slack, scale)
     group = RotationGroup(elements, tol=tol)
-    group.axes = [
-        axis.with_occupied(_axis_occupied(axis, pre.rel, pre.radii,
-                                          pre.slack,
-                                          report.center_occupied))
-        for axis in group.axes
-    ]
+    occupied = _axes_occupied(group.axes, pre.rel, pre.radii, pre.slack,
+                              report.center_occupied)
+    group.axes = [axis.with_occupied(flag)
+                  for axis, flag in zip(group.axes, occupied)]
     report.group = group
     return report
 
@@ -245,24 +284,82 @@ def _axis_occupied(axis: RotationAxis, rel, radii, slack: float,
     return bool(((radii > slack) & (perp <= 10 * slack)).any())
 
 
-def _shells(radii, mults, slack: float) -> list[np.ndarray]:
-    """Indices of distinct points grouped by (radius, multiplicity).
+def _axes_occupied(axes: list[RotationAxis], rel, radii, slack: float,
+                   center_occupied: bool) -> list[bool]:
+    """Occupied flags for a whole axis list, chunk-batched.
 
-    Off-center points are sorted by (multiplicity, radius) and split
-    where the multiplicity changes or the radius gap exceeds the shell
-    tolerance — equivalent to the sequential bucketing for the
-    well-separated shells the model admits.
+    Elementwise identical to calling :func:`_axis_occupied` per axis
+    (same cross products, same comparisons), but the cross products of
+    all (axis, point) pairs are taken in memory-bounded blocks — for a
+    ``D_n`` group at large ``n`` the per-axis loop is quadratic.
+    """
+    if center_occupied:
+        return [True] * len(axes)
+    if not axes:
+        return []
+    off = radii > slack
+    pts = rel[off]
+    if len(pts) == 0:
+        return [False] * len(axes)
+    dirs = np.stack([axis.direction for axis in axes])
+    flags = np.zeros(len(axes), dtype=bool)
+    block = max(1, _VERIFY_BLOCK // len(pts))
+    large = len(dirs) * len(pts) > _DENSE_PAIR_LIMIT
+    if large:
+        # |u × p|² = |p|² − (u·p)² for unit u: one matmul per block
+        # instead of materializing all cross products.  Gated to the
+        # large regime so small (oracle-pinned) inputs keep the
+        # elementwise path bit-for-bit.
+        norms_sq = np.sum(pts * pts, axis=1)
+        bound_sq = (10 * slack) ** 2
+    for start in range(0, len(dirs), block):
+        chunk = dirs[start:start + block]
+        if large:
+            dots = chunk @ pts.T
+            perp_sq = norms_sq[None, :] - dots * dots
+            flags[start:start + len(chunk)] = \
+                (perp_sq <= bound_sq).any(axis=1)
+        else:
+            cross = np.cross(chunk[:, None, :], pts[None, :, :])
+            perp = np.linalg.norm(cross, axis=2)
+            flags[start:start + len(chunk)] = \
+                (perp <= 10 * slack).any(axis=1)
+    return [bool(flag) for flag in flags]
+
+
+def _shell_slices(radii, mults, slack: float) -> tuple[np.ndarray,
+                                                       np.ndarray]:
+    """Off-center points bucketed by (radius, multiplicity), as slices.
+
+    Returns ``(idx_sorted, bounds)``: shell ``k`` is
+    ``idx_sorted[bounds[k]:bounds[k + 1]]``.  Points are sorted by
+    (multiplicity, radius) and split where the multiplicity changes or
+    the radius gap exceeds the shell tolerance — equivalent to the
+    sequential bucketing for the well-separated shells the model
+    admits, without materializing one array per shell (a generic cloud
+    has ~``m`` singleton shells).
     """
     idx = np.nonzero(radii > slack)[0]
     if idx.size == 0:
-        return []
-    order = np.lexsort((radii[idx], mults[idx]))
+        return idx, np.zeros(1, dtype=np.int64)
+    order = get_backend().lexsort((radii[idx], mults[idx]))
     idx = idx[order]
     r_sorted = radii[idx]
     m_sorted = mults[idx]
     breaks = np.nonzero((np.diff(r_sorted) > 10 * slack)
                         | (np.diff(m_sorted) != 0))[0] + 1
-    return [np.asarray(g) for g in np.split(idx, breaks)]
+    bounds = np.concatenate((np.zeros(1, dtype=np.int64), breaks,
+                             np.asarray([idx.size], dtype=np.int64)))
+    return idx, bounds
+
+
+def _shells(radii, mults, slack: float) -> list[np.ndarray]:
+    """Indices of distinct points grouped by (radius, multiplicity)."""
+    idx_sorted, bounds = _shell_slices(radii, mults, slack)
+    if idx_sorted.size == 0:
+        return []
+    return [idx_sorted[bounds[k]:bounds[k + 1]]
+            for k in range(len(bounds) - 1)]
 
 
 class _BatchVerifier:
@@ -281,7 +378,15 @@ class _BatchVerifier:
         self.rel = rel
         self.mults = mults
         self.check_slack = check_slack
-        self.tree = cKDTree(rel)
+        self.backend = get_backend()
+        self.tree = self.backend.neighbor_index(rel)
+        # The probe is a necessary-condition prefilter (every probe
+        # point must land on an equal-multiplicity point), so any
+        # subset yields identical final verdicts; capping its size
+        # keeps the cheap pass cheap when the most constrained shell
+        # is itself large.
+        if probe is not None and len(probe) > _PROBE_CAP:
+            probe = probe[:_PROBE_CAP]
         self.probe = probe if probe is not None and len(probe) < len(rel) \
             else None
 
@@ -293,7 +398,7 @@ class _BatchVerifier:
         block = max(1, _VERIFY_BLOCK // max(m, 1))
         for start in range(0, count, block):
             chunk = rots[start:start + block]
-            images = np.einsum("cij,mj->cmi", chunk, points)
+            images = self.backend.einsum("cij,mj->cmi", chunk, points)
             dist, idx = self.tree.query(
                 images.reshape(-1, 3), k=1,
                 distance_upper_bound=self.check_slack
@@ -318,6 +423,13 @@ class _BatchVerifier:
             return result
         return self._check(rots, None)
 
+    def probe_pass(self, rots) -> np.ndarray:
+        """The cheap necessary-condition mask (full check still due)."""
+        rots = np.asarray(rots, dtype=float).reshape(-1, 3, 3)
+        if self.probe is None or len(rots) == 0:
+            return np.ones(len(rots), dtype=bool)
+        return self._check(rots, self.probe)
+
     def preserves(self, rot) -> bool:
         """Scalar convenience wrapper."""
         return bool(self(np.asarray(rot)[None])[0])
@@ -328,11 +440,18 @@ def _symmetry_rotations(rel, mults, radii, slack: float,
     """All rotations about the origin preserving the multiset."""
     check_slack = 20 * slack
 
-    shells = _shells(radii, mults, slack)
-    if not shells:
+    idx_sorted, bounds = _shell_slices(radii, mults, slack)
+    if idx_sorted.size == 0:
         raise DetectionError("no off-center points in finite detection")
-    shells.sort(key=len)
-    anchor_shell = shells[0]
+    sizes = np.diff(bounds)
+    # Stable size-ascending shell order; reproduces the historical
+    # ``shells.sort(key=len)`` (Python sorts are stable).
+    by_size = sorted(range(len(sizes)), key=lambda k: int(sizes[k]))
+
+    def shell(k: int) -> np.ndarray:
+        return idx_sorted[bounds[k]:bounds[k + 1]]
+
+    anchor_shell = shell(by_size[0])
     verifier = _BatchVerifier(rel, mults, check_slack, probe=anchor_shell)
     p1 = rel[anchor_shell[0]]
     r1 = float(radii[anchor_shell[0]])
@@ -343,15 +462,25 @@ def _symmetry_rotations(rel, mults, radii, slack: float,
 
     # Second reference: not parallel to p1; prefer the anchor shell.
     p2_index = second_shell = None
-    for shell in [anchor_shell] + shells[1:]:
-        norms = np.linalg.norm(np.cross(p1, rel[shell]), axis=1)
+    for k in by_size:
+        members = shell(k)
+        norms = np.linalg.norm(np.cross(p1, rel[members]), axis=1)
         independent = np.nonzero(norms > check_slack * r1)[0]
         if independent.size:
-            p2_index = int(shell[independent[0]])
-            second_shell = shell
+            p2_index = int(members[independent[0]])
+            second_shell = members
             break
     if p2_index is None:
         raise DetectionError("configuration unexpectedly collinear")
+
+    dense = len(anchor_shell) * len(second_shell) <= _DENSE_PAIR_LIMIT
+    if not dense:
+        # Large shells: re-pick p2 as the nearest independent point to
+        # p1 — a short reference pair keeps the pruning balls small —
+        # and generate candidate pairs through the k-d tree.
+        p2_index = _nearest_independent(p1, r1, p2_index, rel,
+                                        idx_sorted, check_slack)
+        second_shell = shell(_shell_of(p2_index, idx_sorted, bounds))
     p2 = rel[p2_index]
     r2 = float(radii[p2_index])
     dot12 = float(np.dot(p1, p2))
@@ -362,36 +491,214 @@ def _symmetry_rotations(rel, mults, radii, slack: float,
     # product matches the reference pair's (rotations preserve it).
     first_points = rel[anchor_shell]
     second_points = rel[second_shell]
-    dots = first_points @ second_points.T
-    ii, jj = np.nonzero(np.abs(dots - dot12) <= threshold)
-    candidates = _rotations_from_pairs(p1, p2, first_points[ii],
-                                       second_points[jj])
+    if dense:
+        dots = first_points @ second_points.T
+        ii, jj = np.nonzero(np.abs(dots - dot12) <= threshold)
+        q1s, q2s = first_points[ii], second_points[jj]
+    else:
+        q1s, q2s = _pruned_pairs(rel, radii, anchor_shell, second_shell,
+                                 dot12, threshold)
+    candidates = _rotations_from_pairs(p1, p2, q1s, q2s)
 
     elements: dict[tuple, np.ndarray] = {}
     identity = np.eye(3)
     elements[element_key(identity)] = identity
     if len(candidates):
         # Dedupe candidates on the same rounded key used for group
-        # elements, then batch-verify the survivors.
+        # elements, then verify the survivors.
         keys = np.round(candidates.reshape(len(candidates), 9), 5) + 0.0
         _, first_of = np.unique(keys, axis=0, return_index=True)
         unique = candidates[np.sort(first_of)]
-        verified = verifier(unique)
-        for rot, good in zip(unique, verified):
-            if not good:
-                continue
-            key = element_key(rot)
-            if key not in elements:
-                elements[key] = rot
+        if len(unique) <= _SMALL_CANDIDATES:
+            verified = verifier(unique)
+            for rot, good in zip(unique, verified):
+                if not good:
+                    continue
+                key = element_key(rot)
+                if key not in elements:
+                    elements[key] = rot
+        else:
+            _verify_by_closure(unique, verifier, elements)
     return list(elements.values())
+
+
+def _nearest_independent(p1, r1: float, fallback: int, rel, idx_sorted,
+                         check_slack: float) -> int:
+    """Off-center point nearest to ``p1`` and independent of it.
+
+    Any independent point works as the second reference — every
+    symmetry maps its shell onto itself — so the pruned path picks the
+    nearest one: a short reference pair means a small separation bound
+    and therefore small ball queries in :func:`_pruned_pairs`.
+    """
+    norms = np.linalg.norm(np.cross(p1, rel[idx_sorted]), axis=1)
+    independent = norms > check_slack * r1
+    if not independent.any():
+        return fallback
+    cand = idx_sorted[independent]
+    dists = np.linalg.norm(rel[cand] - p1, axis=1)
+    return int(cand[int(np.argmin(dists))])
+
+
+def _shell_of(index: int, idx_sorted, bounds) -> int:
+    """Shell number (into ``bounds``) holding a distinct-point index."""
+    pos = int(np.nonzero(idx_sorted == index)[0][0])
+    return int(np.searchsorted(bounds, pos, side="right") - 1)
+
+
+def _pruned_pairs(rel, radii, anchor_shell, second_shell, dot12: float,
+                  threshold: float):
+    """Candidate ``(q1, q2)`` image pairs via ball queries.
+
+    A rotation maps the reference pair onto a pair with the same inner
+    product, so ``⟨q1, q2⟩ ≥ dot12 − threshold`` bounds the separation
+    ``‖q1 − q2‖²  ≤ r1max² + r2max² − 2(dot12 − threshold)`` — valid
+    partners of ``q1`` lie inside that ball.  The exact dense predicate
+    is re-applied to the retrieved superset, so the surviving pairs
+    coincide with the dense path's.  A retrieval budget guards
+    adversarial geometry; blowing it falls back to the blocked dense
+    sweep, never to a wrong answer.
+    """
+    backend = get_backend()
+    first_points = rel[anchor_shell]
+    second_points = rel[second_shell]
+    r1max = float(radii[anchor_shell].max())
+    r2max = float(radii[second_shell].max())
+    sep_sq = r1max * r1max + r2max * r2max - 2.0 * (dot12 - threshold)
+    if sep_sq <= 0.0:
+        return _dense_pairs_blocked(first_points, second_points, dot12,
+                                    threshold)
+    radius = math.sqrt(sep_sq) * (1.0 + AXIS_NORM_FLOOR)
+    tree = backend.neighbor_index(second_points)
+    hits = tree.query_ball(first_points, radius)
+    counts = [len(h) for h in hits]
+    total = sum(counts)
+    if total > 64 * len(first_points) + 65_536:
+        return _dense_pairs_blocked(first_points, second_points, dot12,
+                                    threshold)
+    if total == 0:
+        return np.zeros((0, 3)), np.zeros((0, 3))
+    ii = np.repeat(np.arange(len(first_points)), counts)
+    jj = np.concatenate([np.asarray(h, dtype=np.int64) for h in hits
+                         if len(h)])
+    q1s = first_points[ii]
+    q2s = second_points[jj]
+    dots = backend.einsum("ij,ij->i", q1s, q2s)
+    keep = np.abs(dots - dot12) <= threshold
+    return q1s[keep], q2s[keep]
+
+
+def _dense_pairs_blocked(first_points, second_points, dot12: float,
+                         threshold: float):
+    """The dense pair predicate in memory-bounded blocks."""
+    n2 = len(second_points)
+    block = max(1, _VERIFY_BLOCK // max(n2, 1))
+    parts_i, parts_j = [], []
+    for start in range(0, len(first_points), block):
+        chunk = first_points[start:start + block]
+        dots = chunk @ second_points.T
+        ii, jj = np.nonzero(np.abs(dots - dot12) <= threshold)
+        parts_i.append(chunk[ii])
+        parts_j.append(second_points[jj])
+    if not parts_i:
+        return np.zeros((0, 3)), np.zeros((0, 3))
+    return np.concatenate(parts_i), np.concatenate(parts_j)
+
+
+def _absorb(elements: dict, rot: np.ndarray) -> None:
+    """Close ``elements`` under a newly verified rotation.
+
+    Products of symmetries are symmetries, so everything added here is
+    certified without touching the multiset: the powers of ``rot``
+    (which absorb its whole cyclic subgroup) and one round of products
+    with the already-verified elements.  Both expansions are capped —
+    the caps only cost extra individual checks later, never soundness.
+    """
+    key = element_key(rot)
+    if key in elements:
+        return
+    elements[key] = rot
+    # Powers of the new element (they absorb its whole cyclic
+    # subgroup).  Built from the axis-angle form, not a multiply
+    # chain: repeated multiplication accumulates angle drift that,
+    # once a power lands near a half turn, pushes the classifier's
+    # axis extraction off the principal line.  Half turns themselves
+    # need no expansion (their square is the identity).
+    w = np.array([rot[2, 1] - rot[1, 2],
+                  rot[0, 2] - rot[2, 0],
+                  rot[1, 0] - rot[0, 1]])
+    twice_sin = float(np.linalg.norm(w))
+    if twice_sin > AXIS_NORM_FLOOR:
+        axis = w / twice_sin
+        theta = math.atan2(0.5 * twice_sin,
+                           0.5 * (float(np.trace(rot)) - 1.0))
+        for k in range(2, _CLOSURE_FOLD_CAP + 2):
+            power = rotation_about_axis(axis, k * theta)
+            pkey = element_key(power)
+            if pkey in elements:
+                break
+            elements[pkey] = power
+    existing = list(elements.values())
+    if 2 * len(existing) > _CLOSURE_PRODUCT_LIMIT:
+        return
+    for g in existing:
+        for h in (g @ rot, rot @ g):
+            hkey = element_key(h)
+            if hkey not in elements:
+                elements[hkey] = h
+
+
+def _verify_by_closure(candidates: np.ndarray, verifier: _BatchVerifier,
+                       elements: dict) -> None:
+    """Verify a large candidate set via generators plus closure.
+
+    Candidates are processed in ascending rotation-angle order: the
+    smallest verified angle about the principal axis generates its
+    whole cyclic subgroup, so one full-multiset check absorbs most of
+    the remaining candidates through :func:`_absorb`.  The cheap
+    probe prefilter runs over the whole set first so the budgeted
+    full checks are spent on plausible generators, not on spurious
+    small-angle candidates.  Whatever survives the budget unabsorbed
+    is batch-verified wholesale, so the budget bounds time, not
+    correctness.
+    """
+    angles = batch_rotation_angles(candidates)
+    order = get_backend().argsort(angles)
+    plausible = verifier.probe_pass(candidates)
+    checks = 0
+    leftover = []
+    for pos in order:
+        if not plausible[int(pos)]:
+            continue
+        rot = candidates[int(pos)]
+        if element_key(rot) in elements:
+            continue
+        if checks >= _CLOSURE_CHECK_BUDGET:
+            leftover.append(rot)
+            continue
+        checks += 1
+        if verifier.preserves(rot):
+            _absorb(elements, rot)
+    remaining = [rot for rot in leftover
+                 if element_key(rot) not in elements]
+    if remaining:
+        stack = np.stack(remaining)
+        for rot, good in zip(stack, verifier(stack)):
+            if good:
+                _absorb(elements, rot)
 
 
 def _cyclic_about_fixed_point(p1, rel, radii, mults, slack, verifier):
     """All symmetries fix ``p1``: the group is cyclic about its axis."""
     axis = p1 / float(np.linalg.norm(p1))
     off = np.linalg.norm(np.cross(axis, rel), axis=1) > 10 * slack
-    off_counts = [int(off[shell].sum()) for shell in
-                  _shells(radii, mults, slack) if off[shell].any()]
+    idx_sorted, bounds = _shell_slices(radii, mults, slack)
+    if idx_sorted.size:
+        shell_sums = np.add.reduceat(off[idx_sorted].astype(np.int64),
+                                     bounds[:-1])
+        off_counts = [int(s) for s in shell_sums if s > 0]
+    else:
+        off_counts = []
     bound = math.gcd(*off_counts) if off_counts else 1
     elements = [np.eye(3)]
     for k in range(bound, 1, -1):
@@ -492,22 +799,27 @@ def align_rotation(src_rel, src_mults, src_radii,
         return None
     q1s = dst_rel[q1_mask]
     q2s = dst_rel[q2_mask]
-    dots = q1s @ q2s.T
     threshold = check_slack * max(
         1.0, r1 * r2 / max(scale, AXIS_NORM_FLOOR)) * scale
-    ii, jj = np.nonzero(np.abs(dots - dot12) <= threshold)
-    if ii.size == 0:
+    if len(q1s) * len(q2s) > _DENSE_PAIR_LIMIT:
+        q1c, q2c = _dense_pairs_blocked(q1s, q2s, dot12, threshold)
+    else:
+        dots = q1s @ q2s.T
+        ii, jj = np.nonzero(np.abs(dots - dot12) <= threshold)
+        q1c, q2c = q1s[ii], q2s[jj]
+    if not len(q1c):
         return None
-    candidates = _rotations_from_pairs(p1, p2, q1s[ii], q2s[jj])
+    candidates = _rotations_from_pairs(p1, p2, q1c, q2c)
     if not len(candidates):
         return None
 
-    tree = cKDTree(dst_rel)
+    backend = get_backend()
+    tree = backend.neighbor_index(dst_rel)
     m = len(src_rel)
     block = max(1, _VERIFY_BLOCK // max(m, 1))
     for start in range(0, len(candidates), block):
         chunk = candidates[start:start + block]
-        images = np.einsum("cij,mj->cmi", chunk, src_rel)
+        images = backend.einsum("cij,mj->cmi", chunk, src_rel)
         dist, idx = tree.query(
             images.reshape(-1, 3), k=1,
             distance_upper_bound=check_slack

@@ -7,6 +7,7 @@ id order.  New rules register here; ids are never reused.
 from __future__ import annotations
 
 from repro.lint.framework import Rule
+from repro.lint.rules.backend_purity import BackendPurity
 from repro.lint.rules.cache_purity import CachePurity
 from repro.lint.rules.determinism import RowDeterminism
 from repro.lint.rules.obliviousness import ObliviousnessContract
@@ -21,6 +22,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     CachePurity,
     SeedingDiscipline,
     RowDeterminism,
+    BackendPurity,
 )
 
 

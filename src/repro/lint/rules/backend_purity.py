@@ -1,0 +1,144 @@
+"""REP006 — array-backend purity.
+
+The swarm-scale kernels are retargetable because every protocol
+operation (``einsum``, ``lexsort``/``argsort``, the Kabsch SVD,
+nearest-neighbour queries) flows through
+:func:`repro.backend.get_backend`; a single runtime switch then moves
+all of them to Numba or CuPy at once, and the ``backend.*`` metrics
+stay an honest account of where the work ran.  A direct NumPy/SciPy
+call inside a ported kernel silently pins that kernel to the host
+CPU — the benchmark still passes, the backend switch just stops
+meaning anything — and a direct ``numba``/``cupy`` import outside
+``src/repro/backend/`` bypasses the capability probing and graceful
+fallback that keep the tree importable on machines without the
+optional accelerators.
+
+Two checks:
+
+* **optional-accelerator imports** — ``import numba`` / ``import
+  cupy`` (and ``from numba import ...``) anywhere outside
+  ``src/repro/backend/``;
+* **protocol ops in ported kernels** — inside the ported kernel
+  modules (symmetry detection, orbit decomposition, the batched Look
+  phase, ψ_PF matching), calls to ``np.einsum`` / ``np.lexsort`` /
+  ``np.argsort`` / ``np.linalg.svd``, any ``cKDTree`` / ``KDTree`` /
+  ``cdist`` construction, and ``scipy.spatial`` imports.  Other
+  ``np.*`` calls (norms, stacking, boolean masks) are fine — only the
+  operations the protocol abstracts must go through it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.framework import FileContext, Rule, Violation
+
+__all__ = ["BackendPurity"]
+
+#: Files allowed to touch numba/cupy and the raw protocol ops.
+_BACKEND_DIR = "repro/backend/"
+
+#: The ported kernel modules (path suffixes).
+_KERNEL_SUFFIXES = (
+    "repro/groups/detection.py",
+    "repro/groups/axes.py",
+    "repro/core/decomposition.py",
+    "repro/core/local_views.py",
+    "repro/robots/scheduler.py",
+    "repro/robots/algorithms/matching.py",
+)
+
+#: Optional accelerator packages gated behind the backend registry.
+_ACCELERATORS = ("numba", "cupy")
+
+#: ``np.<attr>`` calls the protocol abstracts.
+_NP_PROTOCOL_OPS = ("einsum", "lexsort", "argsort")
+
+#: Spatial-index constructors the protocol abstracts.
+_SPATIAL_NAMES = ("cKDTree", "KDTree", "cdist")
+
+
+def _is_np(node: ast.AST) -> bool:
+    return isinstance(node, ast.Name) and node.id in ("np", "numpy")
+
+
+def _root_module(name: str) -> str:
+    return name.split(".", 1)[0]
+
+
+class BackendPurity(Rule):
+    rule_id = "REP006"
+    summary = ("kernels reach numpy/scipy/numba/cupy only through "
+               "the repro.backend protocol")
+
+    def applies(self, posix_path: str) -> bool:
+        return _BACKEND_DIR not in posix_path
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        in_kernel = ctx.posix_path.endswith(_KERNEL_SUFFIXES)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = _root_module(alias.name)
+                    if root in _ACCELERATORS:
+                        yield ctx.violation(
+                            node, self.rule_id,
+                            f"direct 'import {alias.name}' outside "
+                            f"src/repro/backend/ bypasses capability "
+                            f"probing; select the accelerator through "
+                            f"repro.backend.get_backend()")
+                    elif in_kernel and root == "scipy":
+                        yield ctx.violation(
+                            node, self.rule_id,
+                            f"'import {alias.name}' in a ported kernel "
+                            f"module; use the backend's neighbor_index/"
+                            f"pairwise_distances instead")
+                continue
+            if isinstance(node, ast.ImportFrom):
+                root = _root_module(node.module or "")
+                if root in _ACCELERATORS:
+                    yield ctx.violation(
+                        node, self.rule_id,
+                        f"direct 'from {node.module} import ...' outside "
+                        f"src/repro/backend/ bypasses capability "
+                        f"probing; select the accelerator through "
+                        f"repro.backend.get_backend()")
+                elif in_kernel and root == "scipy":
+                    yield ctx.violation(
+                        node, self.rule_id,
+                        f"'from {node.module} import ...' in a ported "
+                        f"kernel module; use the backend's "
+                        f"neighbor_index/pairwise_distances instead")
+                continue
+            if not in_kernel or not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                # np.einsum / np.lexsort / np.argsort
+                if _is_np(func.value) and func.attr in _NP_PROTOCOL_OPS:
+                    yield ctx.violation(
+                        node, self.rule_id,
+                        f"np.{func.attr}() in a ported kernel module; "
+                        f"call get_backend().{func.attr}() so the op "
+                        f"retargets with the backend switch")
+                    continue
+                # np.linalg.svd
+                if (func.attr == "svd"
+                        and isinstance(func.value, ast.Attribute)
+                        and func.value.attr == "linalg"
+                        and _is_np(func.value.value)):
+                    yield ctx.violation(
+                        node, self.rule_id,
+                        "np.linalg.svd() in a ported kernel module; "
+                        "call get_backend().kabsch() (or move the "
+                        "decomposition behind the protocol)")
+                    continue
+            name = func.attr if isinstance(func, ast.Attribute) else \
+                func.id if isinstance(func, ast.Name) else None
+            if name in _SPATIAL_NAMES:
+                yield ctx.violation(
+                    node, self.rule_id,
+                    f"{name}() in a ported kernel module; use "
+                    f"get_backend().neighbor_index() / "
+                    f"pairwise_distances() instead")

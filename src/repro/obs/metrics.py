@@ -21,15 +21,28 @@ flattens them into the same ``name -> value`` namespace
 :class:`repro.robots.scheduler.ExecutionResult` both read the L1
 counters through :func:`l1_snapshot`/:func:`l1_delta`, so their
 numbers can never disagree.
+
+The array-backend layer (:mod:`repro.backend`) counts its kernel
+calls, fallbacks and device transfers on the ``backend.*`` namespace.
+Those are *performance* counters, not logical ones: how many einsum
+or lexsort calls a run issues depends on cache luck (a cold worker
+cache redoes detections a warm inline cache would have served), so
+they are jobs-dependent by nature.  :func:`split_performance`
+separates them from the logical counters and the run façade reports
+them beside the cache hierarchy — in the ``backend`` section of the
+metrics artifact and the ``--cache-stats`` render — never inside the
+jobs-invariant logical snapshot.
 """
 
 from __future__ import annotations
 
 __all__ = [
     "METRICS_SCHEMA_VERSION",
+    "PERFORMANCE_PREFIXES",
     "Counter",
     "Histogram",
     "MetricsRegistry",
+    "backend_metrics",
     "cache_metrics",
     "inc",
     "l1_delta",
@@ -40,8 +53,16 @@ __all__ = [
     "render_cache_metrics",
     "render_snapshot",
     "snapshot_delta",
+    "split_performance",
     "write_metrics",
 ]
+
+#: Counter namespaces that measure performance (kernel calls issued,
+#: fallbacks taken, device transfers paid) rather than logical model
+#: events.  Performance counters depend on cache luck and therefore on
+#: the ``--jobs`` partition; the jobs-invariance contract only covers
+#: the logical remainder.
+PERFORMANCE_PREFIXES = ("backend.",)
 
 METRICS_SCHEMA_VERSION = 1
 
@@ -222,6 +243,27 @@ def cache_metrics(stats: dict | None = None) -> dict[str, int]:
     return dict(sorted(flat.items()))
 
 
+def split_performance(counters: dict) -> tuple[dict, dict]:
+    """Split a counter mapping into (logical, performance) parts.
+
+    Performance counters are the :data:`PERFORMANCE_PREFIXES`
+    namespaces; everything else is logical.  Key order is preserved.
+    """
+    logical: dict = {}
+    performance: dict = {}
+    for name, value in counters.items():
+        target = performance if name.startswith(PERFORMANCE_PREFIXES) \
+            else logical
+        target[name] = value
+    return logical, performance
+
+
+def backend_metrics() -> dict[str, int]:
+    """The live ``backend.*`` performance counters, flat and sorted."""
+    counters = _default_registry.snapshot()["counters"]
+    return dict(sorted(split_performance(counters)[1].items()))
+
+
 def l1_snapshot() -> dict[str, dict[str, int]]:
     """Nested integer counters of the L1 congruence/round caches.
 
@@ -261,16 +303,27 @@ def render_snapshot(snapshot: dict, header: str = "metrics:") -> str:
     return "\n".join(lines)
 
 
-def render_cache_metrics(flat: dict[str, int] | None = None) -> str:
+def render_cache_metrics(flat: dict[str, int] | None = None,
+                         backend: dict[str, int] | None = None) -> str:
     """One stable sorted rendering of the L1/L2/L3 counters.
 
     Replaces the CLI's bespoke per-command cache printers: every
-    ``--cache-stats`` flag routes through here.
+    ``--cache-stats`` flag routes through here.  Live (no-argument)
+    calls also report the ``backend.*`` performance counters in their
+    own section; explicit ``flat`` callers keep the historical
+    cache-only output unless they pass ``backend`` too.
     """
-    flat = cache_metrics() if flat is None else flat
+    if flat is None:
+        flat = cache_metrics()
+        if backend is None:
+            backend = backend_metrics()
     lines = ["cache hierarchy:"]
     for name in sorted(flat):
         lines.append(f"  {name} = {flat[name]}")
+    if backend:
+        lines.append("backend:")
+        for name in sorted(backend):
+            lines.append(f"  {name} = {backend[name]}")
     return "\n".join(lines)
 
 
@@ -279,12 +332,17 @@ def metrics_artifact(snapshot: dict | None = None,
     """The schema-versioned payload behind ``--metrics PATH``."""
     snapshot = snapshot if snapshot is not None \
         else _default_registry.snapshot()
+    logical, performance = split_performance(snapshot.get("counters", {}))
+    backend = snapshot.get("backend")
+    if backend is None:
+        backend = dict(sorted(performance.items()))
     payload = {
         "schema": METRICS_SCHEMA_VERSION,
         "kind": "metrics-snapshot",
-        "counters": snapshot.get("counters", {}),
+        "counters": logical,
         "histograms": snapshot.get("histograms", {}),
         "cache": cache_metrics(),
+        "backend": backend,
     }
     if extra:
         payload.update(extra)

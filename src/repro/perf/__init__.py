@@ -39,13 +39,17 @@ from repro.perf.cache import (
     cached_symmetry,
     clear_caches,
     is_enabled,
+    probe_symmetry,
     set_enabled,
 )
 from repro.perf.parallel import parallel_map, seeded_trials, spawn_seeds
 from repro.perf.round import (
     cached_equivariant_points,
     cached_invariant,
+    incremental_enabled,
+    prime_symmetry,
     round_view,
+    set_incremental,
 )
 from repro.perf.stats import format_hierarchy, hierarchy_stats
 
@@ -60,10 +64,14 @@ __all__ = [
     "clear_caches",
     "format_hierarchy",
     "hierarchy_stats",
+    "incremental_enabled",
     "is_enabled",
     "parallel_map",
+    "prime_symmetry",
+    "probe_symmetry",
     "round_view",
     "seeded_trials",
     "set_enabled",
+    "set_incremental",
     "spawn_seeds",
 ]

@@ -11,7 +11,8 @@ a chirality rule: among tied targets ``f, f'`` the robot picks the one
 with positive triple product ``det[p - c, f - c, f' - c]`` — a
 rotation-invariant, handedness-aware rule all robots share.
 
-Point-set membership tests run on ``scipy.spatial.cKDTree`` and the
+Point-set membership tests run on the active array backend's
+neighbour index (:func:`repro.backend.get_backend`) and the
 distance/triple-product profiles on batched array kernels; the greedy
 orderings and the Lemma 14 tie-break are semantically identical to the
 straightforward quadratic loops (pinned by the property tests against
@@ -21,8 +22,9 @@ the frozen oracle in ``tests/properties/round_oracle.py``).
 from __future__ import annotations
 
 import numpy as np
-from scipy.spatial import cKDTree
 
+from repro.backend import get_backend
+from repro.backend.base import NeighborIndex
 from repro.core.configuration import Configuration
 from repro.core.local_views import local_view, ordered_orbits
 from repro.errors import MatchingError
@@ -93,7 +95,7 @@ def _same_point_set(a, b, slack) -> bool:
     b_arr = np.asarray(b, dtype=float)
     if a_arr.shape != b_arr.shape:
         return False
-    candidates = cKDTree(b_arr).query_ball_point(a_arr, slack)
+    candidates = get_backend().neighbor_index(b_arr).query_ball(a_arr, slack)
     used = [False] * len(b_arr)
     for near in candidates:
         hit = None
@@ -116,7 +118,7 @@ def _collapse(points, slack):
     """
     pts = np.asarray(points, dtype=float)
     n = len(pts)
-    neighbors = cKDTree(pts).query_ball_point(pts, slack)
+    neighbors = get_backend().neighbor_index(pts).query_ball(pts, slack)
     distinct: list[np.ndarray] = []
     multiplicities: list[int] = []
     slot_of: dict[int, int] = {}
@@ -147,7 +149,7 @@ def _target_position_orbits(config, group: RotationGroup, positions,
     position; ``capacity`` counts how many P-orbits the entry absorbs.
     """
     center = config.center
-    tree = cKDTree(np.asarray(positions, dtype=float))
+    tree = get_backend().neighbor_index(np.asarray(positions, dtype=float))
     unassigned = list(range(len(positions)))
     orbits: list[list[int]] = []
     while unassigned:
@@ -284,8 +286,8 @@ def _orbit_chiral_key(config, positions) -> tuple:
     return tuple(profile)
 
 
-def _find_index(tree: cKDTree, image, slack) -> int | None:
-    near = tree.query_ball_point(np.asarray(image, dtype=float), 10 * slack)
+def _find_index(tree: NeighborIndex, image, slack) -> int | None:
+    near = tree.query_ball(np.asarray(image, dtype=float), 10 * slack)
     return min(near) if near else None
 
 
@@ -318,7 +320,7 @@ def _match_within_orbit(config, group, orbit, positions, per_position,
     center = config.center
     pts = np.asarray([config.points[r] for r in orbit], dtype=float)
     pos = np.asarray(positions, dtype=float)
-    dists = np.linalg.norm(pts[:, None, :] - pos[None, :, :], axis=2)
+    dists = get_backend().pairwise_distances(pts, pos)
     tied_mask = dists <= dists.min(axis=1, keepdims=True) + 10 * slack
 
     chosen: dict[int, int] = {}

@@ -21,6 +21,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.backend import get_backend
 from repro.core.configuration import Configuration
 from repro.errors import SimulationError
 from repro.geometry.tolerance import DEFAULT_TOL
@@ -118,7 +119,8 @@ class FsyncScheduler:
             with tracer.span("look", n=n):
                 pts = np.asarray(points, dtype=float)
                 rel = pts[None, :, :] - pts[:, None, :]
-                local = np.einsum("nji,nkj->nki", self._rotations, rel)
+                local = get_backend().einsum("nji,nkj->nki",
+                                             self._rotations, rel)
                 local /= self._scales[:, None, None]
                 local.setflags(write=False)
             with tracer.span("compute", n=n):
@@ -173,6 +175,8 @@ class FsyncScheduler:
                                         result.rounds)
             return result
 
+        from repro.perf.round import prime_symmetry
+
         with tracer.span("run", n=len(initial_points)):
             points = [np.asarray(p, dtype=float) for p in initial_points]
             trace = [Configuration(points)]
@@ -185,7 +189,13 @@ class FsyncScheduler:
                     > DEFAULT_TOL.motion_slack(float(np.linalg.norm(b)))
                     for a, b in zip(new_points, points))
                 points = new_points
-                trace.append(Configuration(points))
+                new_config = Configuration(points)
+                # Incremental γ(P): when the round's displacement is
+                # coherent, the previous certified group is conjugated
+                # and seeded so this round's observations (and the stop
+                # condition) skip a fresh full detection.
+                prime_symmetry(trace[-1], new_config)
+                trace.append(new_config)
                 if stop_condition is not None and stop_condition(trace[-1]):
                     return finish(trace, reached=True, fixpoint=False)
                 if not moved:
