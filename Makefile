@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint reprolint typecheck bench bench-smoke bench-smoke-json bench-json trace-smoke
+.PHONY: test lint reprolint typecheck bench bench-smoke bench-smoke-json bench-gate bench-json trace-smoke profile
 
 test:
 	$(PYTHON) -m pytest -q
@@ -34,22 +34,44 @@ typecheck:
 bench:
 	$(PYTHON) -m pytest benchmarks --benchmark-only
 
-# Fast correctness pass over the detection benchmarks: runs each
-# benchmarked callable once with timing disabled.
+# Fast correctness pass over the detection benchmarks plus one
+# batched swarm round: runs each benchmarked callable once with
+# timing disabled.
 bench-smoke:
-	$(PYTHON) -m pytest benchmarks -k detection --benchmark-disable -q
+	$(PYTHON) -m pytest benchmarks \
+		-k "detection or (swarm_round_scaling and 256)" \
+		--benchmark-disable -q
 
-# CI artifact: one quick timed pass over the same detection
-# benchmarks, condensed to bench-smoke.json at the repo root.
+# CI artifact: one quick timed pass over the same benchmarks,
+# condensed to bench-smoke.json at the repo root.
 # (--benchmark-disable produces no JSON, so this uses minimal rounds.)
 bench-smoke-json:
 	$(PYTHON) benchmarks/run_benchmarks.py --output bench-smoke.json \
-		--select "benchmarks/bench_scaling.py -k detection \
+		--select "benchmarks/bench_scaling.py \
+		-k 'detection or (swarm_round_scaling and 256)' \
 		--benchmark-min-rounds=1 --benchmark-max-time=0.1 \
 		--benchmark-warmup=off"
 
+# Regression gate over the bench-smoke.json just measured: every
+# benchmark shared with the committed baseline must stay within
+# 1.5x of it, after dividing out the machine-speed factor measured
+# on the reference benchmark (see benchmarks/check_regression.py).
+BENCH_BASELINE ?= BENCH_2026-08-08-smoke-baseline.json
+bench-gate:
+	$(PYTHON) benchmarks/check_regression.py bench-smoke.json \
+		$(BENCH_BASELINE) --threshold 1.5 \
+		--reference "test_detection_scaling[64]"
+
 bench-json:
 	$(PYTHON) benchmarks/run_benchmarks.py
+
+# Where does one swarm-scale round go?  cProfile over a single
+# batched Look-Compute-Move step at n=1024, top 20 by cumulative
+# time.  (Interpreting it: the Look matmul and the compute_batch
+# kernels should dominate; any repro.robots.model.Observation frames
+# in the hot path mean the batched engine fell back.)
+profile:
+	$(PYTHON) benchmarks/profile_round.py --n 1024 --top 20
 
 # Observability smoke: one small experiment through the repro.api
 # façade, emitting all three schema-versioned artifacts (JSONL span

@@ -189,24 +189,59 @@ def test_swarm_decomposition_scaling(benchmark, bench_backend, n):
     assert len(orbits) == 1
 
 
+class _SwarmContract:
+    """Mean-field contraction exposing both Compute engines.
+
+    The per-robot ``__call__`` is the reference; ``compute_batch``
+    answers the whole round from the ``(n, n, 3)`` local-view tensor.
+    Both express the same map (a robot's own local position is the
+    origin, so the destination is a quarter of the local centroid)."""
+
+    def __call__(self, observation):
+        views = np.asarray(observation.points)
+        me = views[observation.self_index]
+        return me + 0.25 * (views.mean(axis=0) - me)
+
+    def compute_batch(self, batch):
+        own = batch.own_rows()
+        return own + 0.25 * (batch.local.mean(axis=1) - own)
+
+
 @pytest.mark.parametrize("n", SWARM_SIZES)
 def test_swarm_round_scaling(benchmark, bench_backend, n):
-    """One full Look–Compute–Move cycle.  The batched Look einsum is
-    cheap at these sizes; what the measurement exposes is the Compute
-    phase's per-robot Observation objects, which dominate past
-    n ≈ 1024 — the honest cost of one round at swarm scale."""
+    """One full Look–Compute–Move cycle on the batched round engine:
+    the Look einsum, one ``compute_batch`` over the local-view tensor,
+    and the vectorized Move — no per-robot Python objects on the hot
+    path.  One warmup round keeps allocator/BLAS first-touch out of
+    the measurement (a run's rounds after the first are the steady
+    state).  ``test_swarm_round_fallback_scaling`` keeps the
+    per-robot reference engine's cost on record next to it."""
     from repro.robots.adversary import identity_frames
 
     rng = np.random.default_rng(n)
     points = [rng.normal(size=3) for _ in range(n)]
 
-    def contract(observation):
-        views = np.asarray(observation.points)
-        me = views[observation.self_index]
-        return me + 0.25 * (views.mean(axis=0) - me)
-
-    scheduler = FsyncScheduler(contract, identity_frames(n))
+    scheduler = FsyncScheduler(_SwarmContract(), identity_frames(n))
     destinations = benchmark.pedantic(
-        scheduler.step, args=(points,), rounds=1, iterations=1)
+        scheduler.step, args=(points,), rounds=3, iterations=1,
+        warmup_rounds=1)
+    benchmark.extra_info["backend"] = bench_backend
+    assert len(destinations) == n
+
+
+@pytest.mark.parametrize("n", [256, 1024])
+def test_swarm_round_fallback_scaling(benchmark, bench_backend, n):
+    """The same round through the per-robot reference loop (one
+    ``Observation`` per robot): the cost the batched engine removes."""
+    from repro.robots.adversary import identity_frames
+
+    rng = np.random.default_rng(n)
+    points = [rng.normal(size=3) for _ in range(n)]
+
+    scheduler = FsyncScheduler(_SwarmContract(), identity_frames(n),
+                               batched=False)
+    destinations = benchmark.pedantic(
+        scheduler.step, args=(points,), rounds=3, iterations=1,
+        warmup_rounds=1)
     benchmark.extra_info["backend"] = bench_backend
     assert len(destinations) == n

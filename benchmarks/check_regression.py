@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Gate a fresh benchmark run against a committed baseline.
+
+Compares two condensed benchmark files (the ``BENCH_*.json`` /
+``bench-smoke.json`` shape emitted by ``run_benchmarks.py``; raw
+pytest-benchmark JSON is also accepted) record-by-record by benchmark
+name and fails when any shared benchmark got slower than the
+threshold factor::
+
+    python benchmarks/check_regression.py bench-smoke.json \
+        BENCH_2026-08-08-smoke-baseline.json --threshold 1.5 \
+        --reference "test_detection_scaling[64]"
+
+``--reference`` names a benchmark present in both files whose ratio
+is divided out of every comparison: it cancels overall machine speed,
+so a committed baseline recorded on one machine can gate runs on
+another (CI runners included) without re-recording.  What remains is
+the *relative* profile across benchmarks — exactly the thing a real
+regression shifts and a slower machine does not.  Benchmarks present
+in only one file are reported and skipped, never failed: the gate
+must not punish adding or retiring benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_means(path: Path) -> dict[str, float]:
+    """``{benchmark name: mean milliseconds}`` from either file shape."""
+    data = json.loads(path.read_text())
+    records = data.get("benchmarks", []) if isinstance(data, dict) else data
+    means: dict[str, float] = {}
+    for entry in records:
+        mean = entry.get("mean_ms")
+        if mean is None and "stats" in entry:  # raw pytest-benchmark file
+            mean = entry["stats"]["mean"] * 1000.0
+        if mean is not None and float(mean) > 0.0:
+            means[entry["name"]] = float(mean)
+    return means
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", type=Path,
+                        help="the just-measured benchmark JSON")
+    parser.add_argument("baseline", type=Path,
+                        help="the committed baseline JSON")
+    parser.add_argument(
+        "--threshold", type=float, default=1.5,
+        help="fail when fresh/baseline exceeds this factor (default 1.5)")
+    parser.add_argument(
+        "--reference", default=None,
+        help="benchmark whose fresh/baseline ratio is divided out of "
+             "every comparison (cancels machine-speed differences)")
+    args = parser.parse_args(argv)
+
+    for path in (args.fresh, args.baseline):
+        if not path.exists():
+            print(f"check_regression: {path} not found", file=sys.stderr)
+            return 2
+    fresh = load_means(args.fresh)
+    baseline = load_means(args.baseline)
+    shared = sorted(set(fresh) & set(baseline))
+    if not shared:
+        print("check_regression: no benchmark names in common",
+              file=sys.stderr)
+        return 2
+
+    norm = 1.0
+    if args.reference is not None:
+        if args.reference not in fresh or args.reference not in baseline:
+            print(f"check_regression: reference {args.reference!r} "
+                  f"missing from one of the files", file=sys.stderr)
+            return 2
+        norm = fresh[args.reference] / baseline[args.reference]
+        print(f"reference {args.reference}: machine factor {norm:.2f}x")
+
+    failures = []
+    for name in shared:
+        if name == args.reference:
+            continue
+        ratio = (fresh[name] / baseline[name]) / norm
+        verdict = "ok"
+        if ratio > args.threshold:
+            verdict = "REGRESSION"
+            failures.append(name)
+        print(f"  {name:50s} {baseline[name]:10.3f} -> "
+              f"{fresh[name]:10.3f} ms  x{ratio:5.2f}  {verdict}")
+    for name in sorted(set(fresh) ^ set(baseline)):
+        side = "fresh only" if name in fresh else "baseline only"
+        print(f"  {name:50s} ({side}; skipped)")
+
+    if failures:
+        print(f"check_regression: {len(failures)} benchmark(s) slower "
+              f"than {args.threshold}x baseline: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    print(f"check_regression: {len(shared)} benchmark(s) within "
+          f"{args.threshold}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

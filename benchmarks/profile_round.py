@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Profile one swarm-scale Look-Compute-Move round (``make profile``).
+
+Runs a single ``FsyncScheduler.step`` under cProfile — by default the
+batched engine at n=1024 with the same mean-field contraction the
+swarm benchmarks use — and prints the top functions by cumulative
+time.  One untimed warmup step keeps allocator and BLAS first-touch
+out of the profile, so the output is the steady-state round.
+
+    PYTHONPATH=src python benchmarks/profile_round.py --n 1024 --top 20
+    PYTHONPATH=src python benchmarks/profile_round.py --per-robot
+
+Reading it: on the batched engine the Look ``matmul`` and the
+``compute_batch`` array kernels should dominate, with no
+``Observation`` construction in sight; ``--per-robot`` profiles the
+reference loop for comparison, where the per-robot Python calls are
+the expected cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+
+import numpy as np
+
+
+class _SwarmContract:
+    """The swarm benchmarks' mean-field contraction, both engines."""
+
+    def __call__(self, observation):
+        views = np.asarray(observation.points)
+        me = views[observation.self_index]
+        return me + 0.25 * (views.mean(axis=0) - me)
+
+    def compute_batch(self, batch):
+        own = batch.own_rows()
+        return own + 0.25 * (batch.local.mean(axis=1) - own)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=1024,
+                        help="swarm size (default 1024)")
+    parser.add_argument("--top", type=int, default=20,
+                        help="rows of profile output (default 20)")
+    parser.add_argument(
+        "--per-robot", action="store_true",
+        help="profile the per-robot reference engine instead of the "
+             "batched one")
+    args = parser.parse_args(argv)
+
+    from repro.robots.adversary import identity_frames
+    from repro.robots.scheduler import FsyncScheduler
+
+    rng = np.random.default_rng(args.n)
+    points = [rng.normal(size=3) for _ in range(args.n)]
+    scheduler = FsyncScheduler(_SwarmContract(), identity_frames(args.n),
+                               batched=not args.per_robot)
+    scheduler.step(points)  # warmup: first-touch allocation, BLAS init
+
+    engine = "per-robot reference" if args.per_robot else "batched"
+    print(f"one {engine} round at n={args.n}, top {args.top} by "
+          f"cumulative time:")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    scheduler.step(points)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -27,11 +27,24 @@ keeps the frozen-oracle equivalence suites byte-stable).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.obs import metrics as _metrics
 
-__all__ = ["ArrayBackend", "NeighborIndex"]
+__all__ = ["ArrayBackend", "DenseNeighborIndex", "NeighborIndex",
+           "DENSE_INDEX_CUTOVER"]
+
+#: Stored-point count at or below which :meth:`ArrayBackend.
+#: neighbor_index` serves queries from the brute-force
+#: :class:`DenseNeighborIndex` instead of the backend's spatial index.
+#: Building a k-d tree costs more than the whole O(m²) dense sweep for
+#: small supports, and the small-``n`` detection/matching workloads
+#: build a fresh index per verifier — the crossover sits near a few
+#: hundred points (measured on ``test_detection_scaling``).  Override
+#: with ``REPRO_DENSE_INDEX_CUTOVER`` (0 disables the dense path).
+DENSE_INDEX_CUTOVER = int(os.environ.get("REPRO_DENSE_INDEX_CUTOVER", "256"))
 
 
 class NeighborIndex:
@@ -59,6 +72,94 @@ class NeighborIndex:
     def query_pairs(self, radius: float) -> np.ndarray:
         """``(k, 2)`` array of stored-point pairs within ``radius``."""
         raise NotImplementedError
+
+
+#: Distance-matrix entries (queries × stored points) a single dense
+#: query may compute before the :class:`DenseNeighborIndex` promotes
+#: itself to the backend's spatial index.  Brute force wins only while
+#: the whole workload is smaller than a tree *build*; past this much
+#: work per call the tree's pruned traversal wins by widening margins
+#: (measured: a 256-point regular polygon's verifier queries run 20×
+#: faster on the k-d tree).
+_DENSE_QUERY_WORK = 4_096
+
+
+class DenseNeighborIndex(NeighborIndex):
+    """Brute-force NumPy index with lazy spatial-index promotion.
+
+    Semantics mirror the k-d reference exactly: squared-distance
+    comparisons (as ``cKDTree`` performs internally), closed balls,
+    misses as ``inf``/``m``, ``k=1`` ties to the lowest stored index.
+    Construction is free (the points are stored as-is), which is the
+    whole point — the small-``n`` detection and matching paths build a
+    fresh index per call, where the tree build dominates the handful
+    of tiny queries that follow.  The first query whose dense cost
+    exceeds :data:`_DENSE_QUERY_WORK` builds the backend's real
+    spatial index once and delegates everything after, so a dense
+    index can never lose more than one bounded brute-force pass.
+    """
+
+    def __init__(self, points, spatial_factory=None) -> None:
+        self._points = np.asarray(points, dtype=float).reshape(-1, 3)
+        self._spatial_factory = spatial_factory
+        self._spatial = None
+
+    def _promote(self) -> NeighborIndex | None:
+        if self._spatial is None and self._spatial_factory is not None:
+            self._spatial = self._spatial_factory(self._points)
+            _metrics.inc("backend.neighbor_index.dense_promotions")
+        return self._spatial
+
+    def _sq_distances(self, queries: np.ndarray) -> np.ndarray:
+        diff = queries[:, None, :] - self._points[None, :, :]
+        return np.einsum("qmi,qmi->qm", diff, diff)
+
+    def query(self, points, k: int = 1,
+              distance_upper_bound: float = np.inf):
+        queries = np.asarray(points, dtype=float)
+        single = queries.ndim == 1
+        queries = queries.reshape(-1, 3)
+        m = len(self._points)
+        if k != 1 or len(queries) * m > _DENSE_QUERY_WORK:
+            spatial = self._promote()
+            if spatial is not None:
+                return spatial.query(points, k=k,
+                                     distance_upper_bound=distance_upper_bound)
+            if k != 1:
+                raise NotImplementedError(
+                    "DenseNeighborIndex serves k=1 queries only")
+        d2 = self._sq_distances(queries)
+        idx = np.argmin(d2, axis=1)
+        dist = np.sqrt(d2[np.arange(len(idx)), idx])
+        miss = ~(dist <= distance_upper_bound)
+        dist[miss] = np.inf
+        idx = np.where(miss, m, idx).astype(np.intp)
+        if single:
+            return float(dist[0]), int(idx[0])
+        return dist, idx
+
+    def query_ball(self, points, radius: float) -> list:
+        queries = np.asarray(points, dtype=float)
+        single = queries.ndim == 1
+        queries = queries.reshape(-1, 3)
+        if len(queries) * len(self._points) > _DENSE_QUERY_WORK:
+            spatial = self._promote()
+            if spatial is not None:
+                return spatial.query_ball(points, radius)
+        within = self._sq_distances(queries) <= radius * radius
+        hits = [np.nonzero(row)[0].tolist() for row in within]
+        return hits[0] if single else hits
+
+    def query_pairs(self, radius: float) -> np.ndarray:
+        m = len(self._points)
+        if m * m > _DENSE_QUERY_WORK:
+            spatial = self._promote()
+            if spatial is not None:
+                return spatial.query_pairs(radius)
+        d2 = self._sq_distances(self._points)
+        close = np.triu(d2 <= radius * radius, 1)
+        ii, jj = np.nonzero(close)
+        return np.column_stack([ii, jj]).astype(np.intp)
 
 
 class ArrayBackend:
@@ -116,6 +217,18 @@ class ArrayBackend:
         self._record("einsum")
         return self._einsum(spec, *operands)
 
+    def matmul(self, a, b) -> np.ndarray:
+        """Batched matrix product with ``numpy.matmul`` broadcasting.
+
+        The Look phase's ``(n, n, 3) @ (n, 3, 3)`` stacked-frame
+        transform goes through here: unlike ``einsum`` (which NumPy
+        lowers to an elementwise ``c_einsum`` loop for this spec),
+        ``matmul`` dispatches to BLAS and is what keeps one whole-swarm
+        round sub-second at ``n = 4096``.
+        """
+        self._record("matmul")
+        return self._matmul(a, b)
+
     def pairwise_distances(self, a, b) -> np.ndarray:
         """Euclidean distance matrix ``(len(a), len(b))``."""
         self._record("pairwise_distances")
@@ -136,8 +249,25 @@ class ArrayBackend:
         return self._kabsch(src, dst)
 
     def neighbor_index(self, points) -> NeighborIndex:
+        """A :class:`NeighborIndex` over ``points``, sized to fit.
+
+        At or below :data:`DENSE_INDEX_CUTOVER` stored points the
+        brute-force :class:`DenseNeighborIndex` answers every query
+        faster than a spatial index can be *built* (the small-``n``
+        detection and matching paths construct a fresh index per
+        round, so build cost dominates); above it the backend's own
+        spatial index takes over.  The split is reported on the
+        ``backend.neighbor_index.dense`` / ``.kd`` counters and the
+        active cutover shows up in ``--cache-stats``.
+        """
         self._record("neighbor_index")
-        return self._neighbor_index(points)
+        pts = np.asarray(points, dtype=float)
+        if len(pts) <= DENSE_INDEX_CUTOVER:
+            _metrics.inc("backend.neighbor_index.dense")
+            return DenseNeighborIndex(pts,
+                                      spatial_factory=self._neighbor_index)
+        _metrics.inc("backend.neighbor_index.kd")
+        return self._neighbor_index(pts)
 
     # ------------------------------------------------------------------
     # Implementation hooks
@@ -152,6 +282,9 @@ class ArrayBackend:
         raise NotImplementedError
 
     def _einsum(self, spec, *operands):
+        raise NotImplementedError
+
+    def _matmul(self, a, b):
         raise NotImplementedError
 
     def _pairwise_distances(self, a, b):

@@ -60,6 +60,9 @@ class NumpyBackend(ArrayBackend):
     def _einsum(self, spec, *operands):
         return np.einsum(spec, *operands)
 
+    def _matmul(self, a, b):
+        return np.matmul(a, b)
+
     def _pairwise_distances(self, a, b):
         a = np.asarray(a, dtype=float)
         b = np.asarray(b, dtype=float)

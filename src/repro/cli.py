@@ -112,7 +112,8 @@ def _cmd_check(args) -> int:
 
 def _cmd_form(args) -> int:
     from repro.obs import metrics as _metrics
-    from repro.obs.trace import JsonlTracer, NULL_TRACER, activated
+    from repro.obs.trace import (JsonlTracer, NULL_TRACER, activated,
+                                 render_phase_totals)
 
     initial = _load_pattern(args.initial)
     target = _load_pattern(args.target)
@@ -127,6 +128,8 @@ def _cmd_form(args) -> int:
                                   max_rounds=args.max_rounds)
     finally:
         tracer.close()
+    if args.trace:
+        print(render_phase_totals(tracer.phase_totals()), file=sys.stderr)
     print(f"formed: {result.reached} in {result.rounds} rounds")
     for t, config in enumerate(result.configurations):
         report = config.symmetry
@@ -162,6 +165,11 @@ def _cmd_experiment(args) -> int:
     rows = [asdict(row) if is_dataclass(row) else row
             for row in result.rows]
     print(json.dumps(rows, indent=2, default=str))
+    if args.trace:
+        from repro.obs.trace import render_phase_totals
+
+        print(render_phase_totals(
+            result.manifest["timing"]["phases"]), file=sys.stderr)
     if args.cache_stats:
         _emit_cache_stats()
     return 0

@@ -160,6 +160,17 @@ class Tolerance:
         """
         return 1e-5 * max(self.abs_tol, self.rel_tol * max(scale, 1.0))
 
+    def motion_slack_batch(self, scales: np.ndarray) -> np.ndarray:
+        """:meth:`motion_slack` over an array of scales at once.
+
+        Elementwise identical (same operations, NumPy maximum instead
+        of the scalar ``max``) — the scheduler's vectorized fixpoint
+        check must agree bit for bit with the historical per-robot
+        comparison.
+        """
+        return 1e-5 * np.maximum(self.abs_tol,
+                                 self.rel_tol * np.maximum(scales, 1.0))
+
 
 DEFAULT_TOL = Tolerance()
 

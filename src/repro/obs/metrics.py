@@ -259,9 +259,20 @@ def split_performance(counters: dict) -> tuple[dict, dict]:
 
 
 def backend_metrics() -> dict[str, int]:
-    """The live ``backend.*`` performance counters, flat and sorted."""
+    """The live ``backend.*`` performance counters, flat and sorted.
+
+    When the run built any neighbor index, the active dense/k-d
+    cutover is reported beside the ``backend.neighbor_index.*`` split
+    counters (a configuration gauge, not a counter — it names the
+    threshold the split was measured under).
+    """
     counters = _default_registry.snapshot()["counters"]
-    return dict(sorted(split_performance(counters)[1].items()))
+    flat = dict(split_performance(counters)[1])
+    if any(name.startswith("backend.neighbor_index.") for name in flat):
+        from repro.backend.base import DENSE_INDEX_CUTOVER
+
+        flat["backend.neighbor_index.dense_cutover"] = DENSE_INDEX_CUTOVER
+    return dict(sorted(flat.items()))
 
 
 def l1_snapshot() -> dict[str, dict[str, int]]:

@@ -42,6 +42,7 @@ __all__ = [
     "NullTracer",
     "activated",
     "get_tracer",
+    "render_phase_totals",
     "set_tracer",
 ]
 
@@ -196,6 +197,29 @@ class JsonlTracer(AggregatingTracer):
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+
+
+def render_phase_totals(totals: dict[str, dict],
+                        header: str = "trace phases:") -> str:
+    """Stable text rollup of :meth:`AggregatingTracer.phase_totals`.
+
+    One line per span name (the tracer already sorts them) with the
+    call count, mean and total wall time in milliseconds — the
+    ``look``/``compute``/``move`` rows summarize where a run's rounds
+    spent their time.  This renders the *existing* ``phase_totals``
+    schema (``{name: {"count", "total_s"}}``); it never reshapes it.
+    """
+    lines = [header]
+    if not totals:
+        lines.append("  (no spans recorded)")
+        return "\n".join(lines)
+    for name, data in totals.items():
+        count = data["count"]
+        total_ms = data["total_s"] * 1000.0
+        mean_ms = total_ms / count if count else 0.0
+        lines.append(f"  {name}: count={count} mean_ms={mean_ms:.3f} "
+                     f"total_ms={total_ms:.3f}")
+    return "\n".join(lines)
 
 
 _active_tracer = NULL_TRACER

@@ -151,7 +151,31 @@ def _goc_round_info(points, radius: float):
     return (name, tuple(admissible), float(ratio))
 
 
-def go_to_center_algorithm(observation: Observation) -> np.ndarray:
+def _local_face_choice(points: np.ndarray, own_index: int, faces,
+                       epsilon: float) -> np.ndarray:
+    """The strictly-local remainder of Algorithm 4.1 for one robot.
+
+    ``points`` are the vertices in the robot's own frame; the
+    admissible ``faces`` (vertex-index tuples) and ``epsilon`` come
+    from the round-class payload.  Shared verbatim by the per-robot
+    and batched paths so both make the identical face choice.
+    """
+    if not faces:
+        raise GeometryError("no admissible adjacent face found")
+    own = points[own_index]
+    best_key = None
+    best_center = None
+    for indices in faces:
+        center = points[list(indices)].mean(axis=0)
+        key = tuple(canonical_round(center - own, 9).tolist())
+        if best_key is None or key < best_key:
+            best_key, best_center = key, center
+    to_center = best_center - own
+    distance = float(np.linalg.norm(to_center))
+    return own + to_center * (1.0 - epsilon / distance)
+
+
+class _GoToCenter:
     """Algorithm 4.1 as a standalone oblivious algorithm.
 
     If the observed configuration is not one of the seven polyhedra
@@ -163,32 +187,53 @@ def go_to_center_algorithm(observation: Observation) -> np.ndarray:
     congruence class per round instead of once per robot.  The face
     *choice* stays strictly local: each robot minimizes over face
     centers expressed in its own coordinates (symmetric frames thus
-    still make symmetric choices, as Lemma 2 requires).
+    still make symmetric choices, as Lemma 2 requires).  The batched
+    strategy (``compute_batch``) computes the class payload once from
+    the world configuration and replays the same local face choice per
+    tensor row — the polyhedra have at most 30 vertices, so the
+    remainder is a short gather loop.
     """
-    from repro.perf import cached_invariant, round_view
 
-    config = Configuration(observation.points)
-    view = round_view(config)
-    radius = float(config.radius)
-    info = cached_invariant(
-        view, ("goc",),
-        lambda: _goc_round_info(observation.points, radius))
-    if info is None:
-        return observation.own_position()
-    _, admissible, ratio = info
-    faces = admissible[observation.self_index]
-    if not faces:
-        raise GeometryError("no admissible adjacent face found")
-    points = np.asarray(observation.points, dtype=float)
-    own = points[observation.self_index]
-    epsilon = ratio * radius * EPSILON_FRACTION
-    best_key = None
-    best_center = None
-    for indices in faces:
-        center = points[list(indices)].mean(axis=0)
-        key = tuple(canonical_round(center - own, 9).tolist())
-        if best_key is None or key < best_key:
-            best_key, best_center = key, center
-    to_center = best_center - own
-    distance = float(np.linalg.norm(to_center))
-    return own + to_center * (1.0 - epsilon / distance)
+    def __call__(self, observation: Observation) -> np.ndarray:
+        from repro.perf import cached_invariant, round_view
+
+        config = Configuration(observation.points)
+        view = round_view(config)
+        radius = float(config.radius)
+        info = cached_invariant(
+            view, ("goc",),
+            lambda: _goc_round_info(observation.points, radius))
+        if info is None:
+            return observation.own_position()
+        _, admissible, ratio = info
+        points = np.asarray(observation.points, dtype=float)
+        epsilon = ratio * radius * EPSILON_FRACTION
+        return _local_face_choice(points, observation.self_index,
+                                  admissible[observation.self_index],
+                                  epsilon)
+
+    def compute_batch(self, batch) -> np.ndarray:
+        from repro.perf import cached_invariant, round_view
+
+        config = batch.configuration()
+        view = round_view(config)
+        radius = float(config.radius)
+        info = cached_invariant(
+            view, ("goc",),
+            lambda: _goc_round_info(config.points, radius))
+        if info is None:
+            return batch.own_rows()
+        _, admissible, ratio = info
+        n = batch.n
+        destinations = np.empty((n, 3), dtype=float)
+        for i in range(n):
+            # ε in robot i's frame: the scale-free edge/radius ratio
+            # times the circumradius as robot i measures it.
+            epsilon = ratio * (radius / float(batch.scales[i])) \
+                * EPSILON_FRACTION
+            destinations[i] = _local_face_choice(
+                batch.local[i], i, admissible[i], epsilon)
+        return destinations
+
+
+go_to_center_algorithm = _GoToCenter()

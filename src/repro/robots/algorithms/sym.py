@@ -67,10 +67,146 @@ def is_sym_terminal(config: Configuration) -> bool:
     return not any(axis.occupied for axis in group.axes)
 
 
-def psi_sym(observation: Observation) -> np.ndarray:
-    """``ψ_SYM`` for one robot: next position in local coordinates."""
-    move = _psi_sym_move(observation)
-    return observation.own_position() if move is None else move
+class _PsiSym:
+    """``ψ_SYM`` as a callable: per-robot reference + batched strategy.
+
+    The batched path (``compute_batch``) runs the branch analysis of
+    :func:`_psi_sym_move` once in the world frame — every predicate it
+    evaluates (symmetry kind, center occupancy, orbit ordering, the
+    Expand guard, which orbit sits on occupied axes) is similarity-
+    invariant, so the decision is the one each robot reaches from its
+    own observation.  Frame-*independent* moves (Expand, Shrink) are
+    then pure vectorized radial formulas; frame-*dependent* moves
+    (go-to-sphere, go-to-corner, go-to-center — the symmetry-breaking
+    choices, at most one orbit of at most ``|G|`` robots) delegate to
+    the per-robot reference on zero-copy tensor rows.
+    """
+
+    def __call__(self, observation: Observation) -> np.ndarray:
+        """``ψ_SYM`` for one robot: next position in local coordinates."""
+        move = _psi_sym_move(observation)
+        return observation.own_position() if move is None else move
+
+    def compute_batch(self, batch) -> np.ndarray:
+        config = batch.configuration()
+        report = config.symmetry
+        destinations = np.array(batch.own_rows(), dtype=float)
+        if report.kind == "degenerate":
+            return destinations
+
+        def delegate(indices) -> None:
+            for i in indices:
+                destinations[i] = self(batch.observation(int(i)))
+
+        center = config.center
+        radius = float(config.radius)
+        slack = DEFAULT_TOL.geometric_slack(radius)
+        world = np.asarray(batch.points, dtype=float)
+        dists = np.linalg.norm(world - center, axis=1)
+        at_center = np.nonzero(dists <= slack)[0]
+        delegate(at_center)  # go-to-sphere, frame-dependent direction
+
+        if report.kind == "collinear":
+            positive = dists[dists > slack]
+            inner = float(positive.min()) if positive.size else radius
+            movers = np.nonzero((dists > slack)
+                                & (dists <= inner + 10 * slack))[0]
+            delegate(movers)  # leave the line, frame-dependent
+            return destinations
+
+        group = report.group
+        if group.is_trivial:
+            return destinations
+        if regular_polygon_fold(config.points) is not None:
+            return destinations
+        if not any(axis.occupied for axis in group.axes):
+            return destinations
+
+        orbits = ordered_orbits(config, group)
+
+        def off_center(orbit) -> list[int]:
+            return [i for i in orbit if dists[i] > slack]
+
+        def shrink_rows(orbit: list[int]) -> None:
+            # "others" excludes the whole selected orbit (the
+            # per-robot _shrink semantics), even though only its
+            # off-center members move.
+            orbit_set = set(orbit)
+            others = dists[[i for i in range(batch.n)
+                            if i not in orbit_set]]
+            inner = float(others.min())
+            movers = off_center(orbit)
+            rel = world[movers] - center
+            r = np.linalg.norm(rel, axis=1)
+            wdest = center + rel * (inner / 2.0 / r)[:, None]
+            destinations[movers] = batch.to_local_rows(movers, wdest)
+
+        if group.spec.kind is not GroupKind.CYCLIC:
+            on_ball = {int(i) for i
+                       in np.nonzero(dists >= radius - 10 * slack)[0]}
+            if on_ball != set(orbits[-1]):
+                movers = off_center(orbits[-1])
+                rel = world[movers] - center
+                r = np.linalg.norm(rel, axis=1)
+                wdest = center + rel * (2.0 * radius / r)[:, None]
+                destinations[movers] = batch.to_local_rows(movers, wdest)
+                return destinations
+
+        kind = group.spec.kind
+        if kind is GroupKind.CYCLIC:
+            axis = group.axes[0].direction
+            selected = _first_orbit_on_lines(config, orbits, [axis])
+            if selected is None:
+                return destinations
+            if selected != orbits[0]:
+                shrink_rows(selected)
+            else:
+                delegate(off_center(selected))  # go-to-sphere
+            return destinations
+
+        if kind is GroupKind.DIHEDRAL:
+            if group.spec.param == 2:
+                principal = principal_axis_of_d2(config, group)
+            else:
+                principal = group.principal_axis.direction
+            secondary = [a.direction for a in group.axes
+                         if float(abs(np.dot(a.direction, principal)))
+                         < DEFAULT_TOL.geometric_slack(1.0)]
+            on_principal = _first_orbit_on_lines(config, orbits,
+                                                 [principal])
+            if on_principal is not None:
+                if on_principal != orbits[0]:
+                    shrink_rows(on_principal)
+                else:
+                    delegate(off_center(on_principal))  # go-to-corner
+                return destinations
+            on_secondary = _first_orbit_on_lines(config, orbits, secondary)
+            if on_secondary is None \
+                    or on_secondary == list(range(config.n)):
+                return destinations
+            if on_secondary != orbits[0]:
+                shrink_rows(on_secondary)
+            else:
+                delegate(off_center(on_secondary))  # go-to-corner
+            return destinations
+
+        occupied_folds = sorted({a.fold for a in group.axes if a.occupied},
+                                reverse=True)
+        if not occupied_folds:
+            return destinations
+        lines = [a.direction for a in group.axes
+                 if a.fold == occupied_folds[0] and a.occupied]
+        selected = _first_orbit_on_lines(config, orbits, lines)
+        if selected is None:
+            return destinations
+        if selected != orbits[0]:
+            shrink_rows(selected)
+        else:
+            delegate(off_center(selected))  # go-to-center
+        return destinations
+
+
+psi_sym = _PsiSym()
 
 
 def _psi_sym_move(observation: Observation) -> np.ndarray | None:

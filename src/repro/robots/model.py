@@ -13,11 +13,20 @@ and returning the robot's next position in local coordinates.  The
 scheduler never passes global information: frame-invariance of an
 algorithm is exactly the property that its world-level behaviour
 commutes with similarity transforms of everything.
+
+Algorithms may additionally implement the :class:`BatchedAlgorithm`
+protocol — a ``compute_batch(batch)`` method over the whole round's
+:class:`BatchView` — and the scheduler will prefer it.  Batching is a
+pure execution strategy: the batched method must land every robot on
+the destination the per-robot callable would have chosen (the
+per-robot path stays as the reference fallback, and the equivalence
+suite in ``tests/properties`` holds the two together).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
@@ -25,7 +34,8 @@ from repro.errors import SimulationError
 from repro.geometry.rotations import is_rotation_matrix, random_rotation
 from repro.geometry.tolerance import DEFAULT_TOL
 
-__all__ = ["LocalFrame", "Observation", "OBLIVIOUS_STAY"]
+__all__ = ["BatchView", "BatchedAlgorithm", "LocalFrame", "Observation",
+           "OBLIVIOUS_STAY"]
 
 
 @dataclass(frozen=True)
@@ -80,16 +90,49 @@ class Observation:
     own entry.  Optionally carries the target pattern ``F`` — every
     robot knows ``F`` a priori (it is part of the problem input, not of
     the observation), expressed in an arbitrary coordinate system.
+
+    ``points`` is a read-only ``(n, 3)`` float array.  Indexing,
+    iteration and ``len`` behave as the historical list of 3-vectors
+    did, and ``np.asarray(observation.points)`` is free.  The array is
+    marked non-writable so an algorithm cannot stash state in its own
+    observation (obliviousness, REP002).
     """
 
+    __slots__ = ("points", "self_index", "target")
+
     def __init__(self, points, self_index: int, target=None) -> None:
-        self.points = [np.asarray(p, dtype=float) for p in points]
+        pts = np.asarray([np.asarray(p, dtype=float) for p in points],
+                         dtype=float)
         self.self_index = int(self_index)
-        if not np.allclose(self.points[self.self_index], 0.0,
+        if not np.allclose(pts[self.self_index], 0.0,
                            atol=DEFAULT_TOL.coincidence_slack(1.0)):
             raise SimulationError("own position must be the local origin")
-        self.target = None if target is None else [
-            np.asarray(p, dtype=float) for p in target]
+        pts.setflags(write=False)
+        self.points = pts
+        if target is None:
+            self.target = None
+        else:
+            tgt = np.asarray([np.asarray(p, dtype=float) for p in target],
+                             dtype=float)
+            tgt.setflags(write=False)
+            self.target = tgt
+
+    @classmethod
+    def from_rows(cls, points: np.ndarray, self_index: int,
+                  target=None) -> "Observation":
+        """Zero-copy observation over one row of the Look tensor.
+
+        ``points`` must be a read-only ``(n, 3)`` view whose
+        ``self_index`` row is exactly the origin — the scheduler's
+        batched Look guarantees both (``rel[i, i]`` is an exact zero
+        before the frame transform), so the per-point conversion and
+        the origin check of the public constructor are skipped.
+        """
+        observation = cls.__new__(cls)
+        observation.points = points
+        observation.self_index = self_index
+        observation.target = target
+        return observation
 
     @property
     def n(self) -> int:
@@ -99,6 +142,107 @@ class Observation:
     def own_position(self) -> np.ndarray:
         """The robot's own position (the local origin)."""
         return self.points[self.self_index]
+
+
+class BatchView:
+    """Whole-round Compute input for a :class:`BatchedAlgorithm`.
+
+    Bundles the batched Look products the scheduler already has: the
+    world positions, the full ``(n, n, 3)`` local-view tensor (row
+    ``i`` is exactly robot ``i``'s :class:`Observation` points), and
+    the stacked frames.  All arrays are read-only.
+
+    A batched algorithm sees *more* than one robot does (the world
+    frame), so obliviousness is a proof obligation on the
+    implementation rather than on the interface: each returned row
+    must equal what the per-robot callable computes from row ``i``
+    alone.  The provided algorithms discharge it by deriving every
+    class-level decision through the congruence-keyed round cache —
+    the same payloads the per-robot path reads — and the equivalence
+    suite enforces it.
+    """
+
+    __slots__ = ("points", "local", "rotations", "scales", "target",
+                 "_config")
+
+    def __init__(self, points: np.ndarray, local: np.ndarray,
+                 rotations: np.ndarray, scales: np.ndarray,
+                 target=None) -> None:
+        self.points = points
+        self.local = local
+        self.rotations = rotations
+        self.scales = scales
+        self.target = target
+        self._config = None
+
+    @property
+    def n(self) -> int:
+        """Number of robots in the round."""
+        return len(self.points)
+
+    def configuration(self):
+        """The world-frame :class:`Configuration`, built once on demand."""
+        if self._config is None:
+            from repro.core.configuration import Configuration
+
+            self._config = Configuration(self.points)
+        return self._config
+
+    def observation(self, index: int) -> Observation:
+        """Robot ``index``'s per-robot view (zero-copy tensor row)."""
+        return Observation.from_rows(self.local[index], index,
+                                     target=self.target)
+
+    def own_rows(self) -> np.ndarray:
+        """Each robot's own local position — the ``(n, 3)`` stay move.
+
+        The diagonal of the local tensor; exact zeros by construction
+        of the Look phase.
+        """
+        idx = np.arange(len(self.points))
+        return self.local[idx, idx]
+
+    def to_local(self, world_points: np.ndarray) -> np.ndarray:
+        """Batched ``Z_i``: world destinations → per-robot local ones.
+
+        One einsum over the stacked frames —
+        ``d_i = R_iᵀ (w_i - p_i) / s_i`` for every robot at once.
+        """
+        from repro.backend import get_backend
+
+        rel = np.asarray(world_points, dtype=float) - self.points
+        d = get_backend().einsum("nji,nj->ni", self.rotations, rel)
+        return d / self.scales[:, None]
+
+    def to_local_rows(self, indices, world_points: np.ndarray) -> np.ndarray:
+        """:meth:`to_local` for a subset of robots.
+
+        ``world_points[j]`` is the world destination of robot
+        ``indices[j]``; the result row ``j`` is that destination in
+        robot ``indices[j]``'s frame.
+        """
+        from repro.backend import get_backend
+
+        idx = np.asarray(indices, dtype=int)
+        rel = np.asarray(world_points, dtype=float) - self.points[idx]
+        d = get_backend().einsum("nji,nj->ni", self.rotations[idx], rel)
+        return d / self.scales[idx, None]
+
+
+@runtime_checkable
+class BatchedAlgorithm(Protocol):
+    """An algorithm that can compute a whole round in one shot.
+
+    ``compute_batch`` receives the round's :class:`BatchView` and
+    returns the ``(n, 3)`` *local* destinations (one row per robot, in
+    that robot's own frame — the same contract as the per-robot
+    callable, stacked), or ``None`` to decline the round and fall back
+    to the per-robot path.
+    """
+
+    def __call__(self, observation: Observation) -> np.ndarray: ...
+
+    def compute_batch(self, batch: BatchView) -> np.ndarray | None: ...
 
 
 def OBLIVIOUS_STAY(observation: Observation) -> np.ndarray:

@@ -31,6 +31,17 @@ class MovementModel(Protocol):
         """Position reached during one Move phase."""
         ...
 
+    def execute_batch(self, starts: np.ndarray,
+                      destinations: np.ndarray) -> np.ndarray:
+        """Whole-round Move: ``(n, 3)`` starts → ``(n, 3)`` reached.
+
+        Must equal stacking ``execute`` row by row (in index order —
+        adversarial models consume their random stream per robot).
+        The scheduler falls back to the per-robot ``execute`` loop for
+        models that do not provide it.
+        """
+        ...
+
 
 class RigidMovement:
     """The paper's model: every robot reaches its destination."""
@@ -38,6 +49,10 @@ class RigidMovement:
     def execute(self, start: np.ndarray,
                 destination: np.ndarray) -> np.ndarray:
         return np.asarray(destination, dtype=float)
+
+    def execute_batch(self, starts: np.ndarray,
+                      destinations: np.ndarray) -> np.ndarray:
+        return np.asarray(destinations, dtype=float)
 
 
 class NonRigidMovement:
@@ -64,3 +79,17 @@ class NonRigidMovement:
             return destination
         fraction = self._rng.uniform(self.delta / track, 1.0)
         return start + fraction * (destination - start)
+
+    def execute_batch(self, starts: np.ndarray,
+                      destinations: np.ndarray) -> np.ndarray:
+        starts = np.asarray(starts, dtype=float)
+        destinations = np.asarray(destinations, dtype=float)
+        reached = destinations.copy()
+        tracks = np.linalg.norm(destinations - starts, axis=1)
+        # One rng draw per stopped robot, in index order — the exact
+        # stream the per-robot execute loop consumes, so a run is
+        # bit-reproducible across the two Move paths.
+        for i in np.nonzero(tracks > self.delta)[0]:
+            fraction = self._rng.uniform(self.delta / float(tracks[i]), 1.0)
+            reached[i] = starts[i] + fraction * (destinations[i] - starts[i])
+        return reached

@@ -12,10 +12,22 @@ phases open ``look`` / ``compute`` / ``move`` spans inside it
 Logical counters (``scheduler.rounds``, ``scheduler.observations``,
 ...) go to the metrics registry (:mod:`repro.obs.metrics`) — wall
 clock readings never do, and never reach rows (REP005).
+
+The Compute phase has two execution strategies.  When the algorithm
+implements :class:`repro.robots.model.BatchedAlgorithm` (a
+``compute_batch`` method) the whole round is computed in one call over
+the ``(n, n, 3)`` local-view tensor.  Otherwise — or when the batched
+method declines, or batching is disabled via ``set_batched_compute`` /
+``REPRO_BATCHED_COMPUTE=0`` — the per-robot reference loop runs, and
+the ``scheduler.batched_fallbacks`` counter records it.  Either way
+the local destinations are mapped to world coordinates by a single
+batched ``to_world`` einsum and the Move phase applies them through
+``movement.execute_batch`` in one shot.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -27,9 +39,29 @@ from repro.errors import SimulationError
 from repro.geometry.tolerance import DEFAULT_TOL
 from repro.obs import metrics as _metrics
 from repro.obs.trace import get_tracer
-from repro.robots.model import LocalFrame, Observation
+from repro.robots.model import BatchView, LocalFrame, Observation
 
-__all__ = ["ExecutionResult", "FsyncScheduler"]
+__all__ = ["ExecutionResult", "FsyncScheduler", "batched_compute_enabled",
+           "set_batched_compute"]
+
+
+_BATCHED_COMPUTE = os.environ.get("REPRO_BATCHED_COMPUTE", "1") != "0"
+
+
+def set_batched_compute(enabled: bool) -> None:
+    """Process-wide default for the batched Compute strategy.
+
+    The per-robot path is the reference implementation; forcing it
+    (``set_batched_compute(False)`` or ``REPRO_BATCHED_COMPUTE=0``)
+    must not change any row — the equivalence suite runs both ways.
+    """
+    global _BATCHED_COMPUTE
+    _BATCHED_COMPUTE = bool(enabled)
+
+
+def batched_compute_enabled() -> bool:
+    """Whether schedulers currently prefer ``compute_batch``."""
+    return _BATCHED_COMPUTE
 
 
 @dataclass
@@ -87,13 +119,16 @@ class FsyncScheduler:
 
     def __init__(self, algorithm: Callable[[Observation], np.ndarray],
                  frames: list[LocalFrame], target=None,
-                 movement=None) -> None:
+                 movement=None, batched: bool | None = None) -> None:
         from repro.robots.movement import RigidMovement
 
         self.algorithm = algorithm
         self.frames = list(frames)
         self.target = target
         self.movement = movement if movement is not None else RigidMovement()
+        # None defers to the process-wide default at step time, so
+        # set_batched_compute() also affects already-built schedulers.
+        self.batched = batched
         # The frames are fixed for the whole run, so their rotations
         # and unit distances are stacked once and the Look phase of
         # every round becomes a single batched transform.
@@ -102,6 +137,23 @@ class FsyncScheduler:
             else np.zeros((0, 3, 3))
         self._scales = np.asarray([f.scale for f in self.frames],
                                   dtype=float)
+        # Z_i as one matrix: local = rel @ (R_i / s_i) — the scale is
+        # folded into the stacked rotations so the Look phase is a
+        # single BLAS batched matmul with no separate division pass
+        # over the (n, n, 3) tensor.
+        self._view_mats = self._rotations / self._scales[:, None, None] \
+            if self.frames else self._rotations
+        # The target pattern is known a priori in an arbitrary global
+        # frame; handing each robot the same array models that (robots
+        # may not correlate it with their local axes, and the provided
+        # algorithms never do — they only use F up to similarity).
+        if target is None:
+            self._target_rows = None
+        else:
+            rows = np.asarray([np.asarray(p, dtype=float) for p in target],
+                              dtype=float)
+            rows.setflags(write=False)
+            self._target_rows = rows
 
     def step(self, points: list[np.ndarray]) -> list[np.ndarray]:
         """One synchronized Look–Compute–Move cycle.
@@ -118,36 +170,75 @@ class FsyncScheduler:
         with tracer.span("round", n=n):
             with tracer.span("look", n=n):
                 pts = np.asarray(points, dtype=float)
+                if pts.shape != (n, 3):
+                    raise SimulationError("positions must be 3-vectors")
                 rel = pts[None, :, :] - pts[:, None, :]
-                local = get_backend().einsum("nji,nkj->nki",
-                                             self._rotations, rel)
-                local /= self._scales[:, None, None]
+                # local[i, k] = R_iᵀ (p_k - p_i) / s_i, via the folded
+                # view matrices: rel[i] @ (R_i / s_i) for all i in one
+                # BLAS batched matmul (see __init__).
+                local = get_backend().matmul(rel, self._view_mats)
                 local.setflags(write=False)
             with tracer.span("compute", n=n):
-                world_targets = []
-                for i, (pos, frame) in enumerate(zip(points, self.frames)):
-                    observation = Observation(
-                        list(local[i]), self_index=i,
-                        target=self._local_target(frame))
-                    d = np.asarray(self.algorithm(observation), dtype=float)
-                    if d.shape != (3,) or not np.all(np.isfinite(d)):
-                        raise SimulationError(
-                            "algorithm must return a finite 3-vector")
-                    world_targets.append(frame.to_world(d, pos))
+                local_dest = self._compute_batched(pts, local)
+                if local_dest is None:
+                    local_dest = self._compute_per_robot(local)
+                # One batched to_world over the stacked frames:
+                # w_i = p_i + s_i R_i d_i for all robots at once.
+                world_targets = pts + self._scales[:, None] * get_backend(
+                    ).einsum("nij,nj->ni", self._rotations, local_dest)
             with tracer.span("move", n=n):
-                destinations = [
-                    self.movement.execute(pos, world_target)
-                    for pos, world_target in zip(points, world_targets)]
+                execute_batch = getattr(self.movement, "execute_batch",
+                                        None)
+                if execute_batch is not None:
+                    reached = np.asarray(execute_batch(pts, world_targets),
+                                         dtype=float)
+                else:
+                    reached = np.asarray(
+                        [self.movement.execute(pos, world_target)
+                         for pos, world_target
+                         in zip(pts, world_targets)], dtype=float)
+                reached.setflags(write=False)
         _metrics.inc("scheduler.rounds")
         _metrics.inc("scheduler.observations", n)
-        return destinations
+        return list(reached)
 
-    def _local_target(self, frame: LocalFrame):
-        # The target pattern is known a priori in an arbitrary global
-        # frame; handing each robot the same list models that (robots
-        # may not correlate it with their local axes, and the provided
-        # algorithms never do — they only use F up to similarity).
-        return self.target
+    def _compute_batched(self, pts: np.ndarray,
+                         local: np.ndarray) -> np.ndarray | None:
+        """The whole-round Compute, when the algorithm supports it."""
+        compute_batch = getattr(self.algorithm, "compute_batch", None)
+        if compute_batch is None:
+            return None
+        use_batched = self.batched if self.batched is not None \
+            else _BATCHED_COMPUTE
+        if not use_batched:
+            return None
+        batch = BatchView(pts, local, self._rotations, self._scales,
+                          target=self._target_rows)
+        result = compute_batch(batch)
+        if result is None:
+            return None
+        local_dest = np.asarray(result, dtype=float)
+        if local_dest.shape != local.shape[:1] + (3,) \
+                or not np.all(np.isfinite(local_dest)):
+            raise SimulationError(
+                "batched algorithm must return one finite 3-vector "
+                "per robot")
+        return local_dest
+
+    def _compute_per_robot(self, local: np.ndarray) -> np.ndarray:
+        """The per-robot reference Compute loop (zero-copy views)."""
+        n = len(local)
+        _metrics.inc("scheduler.batched_fallbacks")
+        local_dest = np.empty((n, 3), dtype=float)
+        for i in range(n):
+            observation = Observation.from_rows(
+                local[i], i, target=self._target_rows)
+            d = np.asarray(self.algorithm(observation), dtype=float)
+            if d.shape != (3,) or not np.all(np.isfinite(d)):
+                raise SimulationError(
+                    "algorithm must return a finite 3-vector")
+            local_dest[i] = d
+        return local_dest
 
     def run(self, initial_points,
             stop_condition: Callable[[Configuration], bool] | None = None,
@@ -184,10 +275,15 @@ class FsyncScheduler:
                 return finish(trace, reached=True, fixpoint=False)
             for _ in range(max_rounds):
                 new_points = self.step(points)
-                moved = any(
-                    float(np.linalg.norm(a - b))
-                    > DEFAULT_TOL.motion_slack(float(np.linalg.norm(b)))
-                    for a, b in zip(new_points, points))
+                # Vectorized fixpoint check — motion_slack_batch is
+                # elementwise identical to the historical per-robot
+                # motion_slack comparison.
+                old = np.asarray(points, dtype=float)
+                new = np.asarray(new_points, dtype=float)
+                moved = bool(np.any(
+                    np.linalg.norm(new - old, axis=1)
+                    > DEFAULT_TOL.motion_slack_batch(
+                        np.linalg.norm(old, axis=1))))
                 points = new_points
                 new_config = Configuration(points)
                 # Incremental γ(P): when the round's displacement is

@@ -210,6 +210,86 @@ class TestEquivalence:
                  np.asarray(index.query_pairs(0.8)).reshape(-1, 2)}
         assert pairs == {tuple(sorted(p)) for p in tree.query_pairs(0.8)}
 
+class TestDenseNeighborIndex:
+    """The small-n dense/k-d hybrid behind ``neighbor_index``."""
+
+    def _counters(self):
+        metrics = _metrics.backend_metrics()
+        return (metrics.get("backend.neighbor_index.dense", 0),
+                metrics.get("backend.neighbor_index.kd", 0),
+                metrics.get("backend.neighbor_index.dense_promotions", 0))
+
+    def test_cutover_routes_by_size(self):
+        from repro.backend.base import DENSE_INDEX_CUTOVER, \
+            DenseNeighborIndex
+
+        backend = set_backend("numpy")
+        rng = _rng()
+        dense0, kd0, _ = self._counters()
+        small = backend.neighbor_index(
+            _points(rng, DENSE_INDEX_CUTOVER))
+        assert isinstance(small, DenseNeighborIndex)
+        large = backend.neighbor_index(
+            _points(rng, DENSE_INDEX_CUTOVER + 1))
+        assert not isinstance(large, DenseNeighborIndex)
+        dense1, kd1, _ = self._counters()
+        assert (dense1 - dense0, kd1 - kd0) == (1, 1)
+
+    def test_cutover_gauge_in_cache_stats(self):
+        from repro.backend.base import DENSE_INDEX_CUTOVER
+
+        backend = set_backend("numpy")
+        backend.neighbor_index(_points(_rng(), 8))
+        metrics = _metrics.backend_metrics()
+        assert metrics["backend.neighbor_index.dense_cutover"] == \
+            DENSE_INDEX_CUTOVER
+
+    def test_heavy_query_promotes_to_spatial_index(self):
+        backend = set_backend("numpy")
+        rng = _rng()
+        stored = _points(rng, 200)
+        index = backend.neighbor_index(stored)
+        tree = cKDTree(stored)
+        _, _, promoted0 = self._counters()
+        # 200 queries x 200 points > the dense work limit: the index
+        # must hand off to the real spatial structure, once.
+        queries = _points(rng, 200)
+        dist, idx = index.query(queries)
+        _, _, promoted1 = self._counters()
+        assert promoted1 == promoted0 + 1
+        odist, oidx = tree.query(queries)
+        assert np.array_equal(idx, oidx)
+        assert dist.tobytes() == odist.tobytes()
+        # A second heavy query reuses the promoted structure: the
+        # promotion is paid once per index, not per call.
+        index.query(queries)
+        _, _, promoted2 = self._counters()
+        assert promoted2 == promoted1
+
+    def test_dense_semantics_match_ckdtree(self):
+        backend = set_backend("numpy")
+        rng = _rng()
+        stored = _points(rng, 12)
+        index = backend.neighbor_index(stored)
+        tree = cKDTree(stored)
+        # Misses report inf distance and index m, exactly like scipy.
+        far = stored + 100.0
+        dist, idx = index.query(far, k=1, distance_upper_bound=0.5)
+        odist, oidx = tree.query(far, k=1, distance_upper_bound=0.5)
+        assert np.array_equal(idx, oidx)
+        assert np.all(np.isinf(dist)) and np.all(idx == len(stored))
+        # Exact ties resolve to the lowest stored index.
+        twin = np.vstack([stored[3], stored])
+        tie = backend.neighbor_index(twin)
+        _, tie_idx = tie.query(stored[3])
+        assert tie_idx == 0
+        # Single-point query_ball returns a flat list, like scipy's
+        # 1-d input path.
+        ball = index.query_ball(stored[0], 1.0)
+        assert ball == sorted(tree.query_ball_point(stored[0], 1.0))
+
+
+class TestPipeline:
     @pytest.mark.parametrize("name", BACKEND_PARAMS)
     def test_symmetry_detection_pipeline(self, name):
         perf.clear_caches()

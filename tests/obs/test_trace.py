@@ -15,6 +15,7 @@ from repro.obs.trace import (
     NullTracer,
     activated,
     get_tracer,
+    render_phase_totals,
     set_tracer,
 )
 
@@ -101,6 +102,34 @@ class TestAggregatingTracer:
         except RuntimeError:
             pass
         assert get_tracer() is NULL_TRACER
+
+
+class TestRenderPhaseTotals:
+    def test_renders_tracer_totals(self, fake_clock):
+        tracer = AggregatingTracer()
+        with tracer.span("round"):
+            with tracer.span("look"):
+                pass
+            with tracer.span("look"):
+                pass
+        text = render_phase_totals(tracer.phase_totals())
+        lines = text.splitlines()
+        assert lines[0] == "trace phases:"
+        # Fake clock ticks 1s per read: each look span is one tick.
+        assert "  look: count=2 mean_ms=1000.000 total_ms=2000.000" in lines
+        assert any(line.startswith("  round: count=1") for line in lines)
+
+    def test_empty_totals(self):
+        assert render_phase_totals({}) == \
+            "trace phases:\n  (no spans recorded)"
+
+    def test_accepts_manifest_phase_schema(self):
+        # The manifest embeds phase_totals() verbatim under
+        # timing.phases; the renderer must take that dict as-is.
+        totals = {"compute": {"count": 4, "total_s": 0.002}}
+        text = render_phase_totals(totals, header="phases:")
+        assert text == \
+            "phases:\n  compute: count=4 mean_ms=0.500 total_ms=2.000"
 
 
 class TestJsonlTracer:

@@ -1,0 +1,259 @@
+"""Batched Compute vs the per-robot reference path.
+
+The batched strategy (``compute_batch`` over the round's
+:class:`repro.robots.model.BatchView`) is a pure execution strategy:
+every destination it produces must be the one the per-robot callable
+would have chosen from its own observation alone.  This suite holds
+the two engines together three ways:
+
+* per-round destination equivalence over a configuration zoo covering
+  all three ported algorithms (go-to-center, ψ_SYM, ψ_PF) under
+  adversarial local frames;
+* byte-identical experiment rows for every registered experiment with
+  the batched engine forced on and forced off;
+* the fallback contract — algorithms without ``compute_batch`` (or
+  declining a round) run through the reference loop and the
+  ``scheduler.batched_fallbacks`` counter records it.
+"""
+
+import json
+from dataclasses import asdict, is_dataclass
+
+import numpy as np
+import pytest
+
+from repro import perf
+from repro.core.configuration import Configuration
+from repro.obs import metrics as _metrics
+from repro.patterns import polyhedra
+from repro.patterns.library import named_pattern
+from repro.robots.adversary import random_frames
+from repro.robots.algorithms.go_to_center import go_to_center_algorithm
+from repro.robots.algorithms.pattern_formation import (
+    make_pattern_formation_algorithm,
+)
+from repro.robots.algorithms.sym import psi_sym
+from repro.robots.movement import NonRigidMovement
+from repro.robots.scheduler import (
+    FsyncScheduler,
+    batched_compute_enabled,
+    set_batched_compute,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    perf.clear_caches()
+    perf.set_enabled(True)
+    yield
+    perf.set_enabled(True)
+    perf.clear_caches()
+
+
+def _fallbacks() -> int:
+    counters = _metrics.registry().snapshot()["counters"]
+    return counters.get("scheduler.batched_fallbacks", 0)
+
+
+def _posed(points, rng):
+    q = rng.normal(size=4)
+    q /= np.linalg.norm(q)
+    w, x, y, z = q
+    rot = np.array([
+        [1 - 2 * (y * y + z * z), 2 * (x * y - w * z), 2 * (x * z + w * y)],
+        [2 * (x * y + w * z), 1 - 2 * (x * x + z * z), 2 * (y * z - w * x)],
+        [2 * (x * z - w * y), 2 * (y * z + w * x), 1 - 2 * (x * x + y * y)],
+    ])
+    scale = float(rng.uniform(0.5, 3.0))
+    shift = rng.normal(size=3)
+    return [rot @ (scale * np.asarray(p, dtype=float)) + shift
+            for p in points]
+
+
+def _instance(seed: int):
+    """(algorithm, points, target) covering every batched code path."""
+    rng = np.random.default_rng(seed)
+    family = seed % 6
+    if family == 0:  # ψ_PF on a generic cloud (matching + conjugation)
+        n = int(rng.integers(4, 13))
+        points = [rng.normal(size=3) for _ in range(n)]
+        target = polyhedra.regular_polygon_pattern(n)
+        return make_pattern_formation_algorithm(target), points, target
+    if family == 1:  # go-to-center on its recognized polyhedra
+        name = ("cube", "octahedron", "icosahedron")[seed % 3]
+        return go_to_center_algorithm, _posed(named_pattern(name), rng), None
+    if family == 2:  # ψ_SYM on a symmetric polyhedron (orbit moves)
+        name = ("cube", "icosahedron", "dodecahedron")[seed % 3]
+        return psi_sym, _posed(named_pattern(name), rng), None
+    if family == 3:  # ψ_SYM on concentric shells (shrink selection)
+        k = int(rng.integers(3, 7))
+        inner = [0.5 * np.asarray(p) for p in
+                 polyhedra.regular_polygon_pattern(k)]
+        outer = list(polyhedra.antiprism(k))
+        return psi_sym, _posed(inner + outer, rng), None
+    if family == 4:  # ψ_SYM on a generic cloud (trivial-group branch)
+        n = int(rng.integers(4, 10))
+        return psi_sym, [rng.normal(size=3) for _ in range(n)], None
+    # family == 5: ψ_SYM on a collinear configuration (infinite group)
+    k = int(rng.integers(3, 6))
+    line = [np.array([0.0, 0.0, float(h)]) for h in range(-k, k + 1)]
+    return psi_sym, _posed(line, rng), None
+
+
+@pytest.mark.parametrize("seed", range(36))
+def test_batched_destinations_match_per_robot(seed):
+    """Both engines land every robot on the same world destination."""
+    algorithm, points, target = _instance(seed)
+    frames = random_frames(len(points), np.random.default_rng(1000 + seed))
+
+    perf.clear_caches()
+    batched_scheduler = FsyncScheduler(algorithm, frames, target=target,
+                                       batched=True)
+    before = _fallbacks()
+    batched = batched_scheduler.step(points)
+    assert _fallbacks() == before  # the batched path actually ran
+
+    perf.clear_caches()
+    reference_scheduler = FsyncScheduler(algorithm, frames, target=target,
+                                         batched=False)
+    before = _fallbacks()
+    reference = reference_scheduler.step(points)
+    assert _fallbacks() == before + 1  # the reference loop actually ran
+
+    scale = max(Configuration(points).radius, 1.0)
+    for a, b in zip(batched, reference):
+        assert float(np.linalg.norm(a - b)) <= 1e-7 * scale
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_batched_run_matches_per_robot_run(seed):
+    """Whole ψ_PF executions agree round by round, not just one step."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(4, 9))
+    points = [rng.normal(size=3) for _ in range(n)]
+    target = polyhedra.regular_polygon_pattern(n)
+    frames = random_frames(n, rng)
+    algorithm = make_pattern_formation_algorithm(target)
+
+    traces = {}
+    for batched in (True, False):
+        perf.clear_caches()
+        scheduler = FsyncScheduler(algorithm, frames, target=target,
+                                   batched=batched)
+        result = scheduler.run(
+            points, stop_condition=lambda c: c.is_similar_to(target),
+            max_rounds=30)
+        assert result.reached
+        traces[batched] = result.configurations
+
+    assert len(traces[True]) == len(traces[False])
+    for batched_config, reference_config in zip(traces[True], traces[False]):
+        scale = max(reference_config.radius, 1.0)
+        for a, b in zip(batched_config.points, reference_config.points):
+            assert float(np.linalg.norm(a - b)) <= 1e-6 * scale
+
+
+EXPERIMENTS = ("lemma7", "theorem41", "theorem11", "figure1",
+               "plane_formation", "baseline_2d")
+
+
+def _canonical_rows(rows) -> str:
+    payload = [asdict(row) if is_dataclass(row) else row for row in rows]
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+@pytest.mark.parametrize("name", EXPERIMENTS)
+def test_experiment_rows_identical_on_both_engines(name):
+    """Forcing the per-robot reference engine changes no row bytes."""
+    from repro.api import ExperimentSpec, run_experiment
+
+    spec = ExperimentSpec(trials=2, seed=0, jobs=1)
+    assert batched_compute_enabled()
+    rendered = {}
+    try:
+        for batched in (True, False):
+            set_batched_compute(batched)
+            perf.clear_caches()
+            rendered[batched] = _canonical_rows(
+                run_experiment(name, spec).rows)
+    finally:
+        set_batched_compute(True)
+    assert rendered[True] == rendered[False]
+
+
+class _DecliningAlgorithm:
+    """A batched algorithm that always declines the round."""
+
+    def __call__(self, observation):
+        return observation.own_position()
+
+    def compute_batch(self, batch):
+        return None
+
+
+class TestFallback:
+    def test_plain_callable_runs_reference_loop(self):
+        n = 6
+        rng = np.random.default_rng(2)
+        points = [rng.normal(size=3) for _ in range(n)]
+
+        def contract(observation):
+            views = np.asarray(observation.points)
+            me = views[observation.self_index]
+            return me + 0.25 * (views.mean(axis=0) - me)
+
+        scheduler = FsyncScheduler(contract, random_frames(n, rng))
+        before = _fallbacks()
+        destinations = scheduler.step(points)
+        assert _fallbacks() == before + 1
+        assert len(destinations) == n
+
+    def test_declining_compute_batch_falls_back(self):
+        n = 5
+        rng = np.random.default_rng(3)
+        points = [rng.normal(size=3) for _ in range(n)]
+        scheduler = FsyncScheduler(_DecliningAlgorithm(),
+                                   random_frames(n, rng))
+        before = _fallbacks()
+        reached = scheduler.step(points)
+        assert _fallbacks() == before + 1
+        for start, end in zip(points, reached):
+            assert float(np.linalg.norm(end - np.asarray(start))) < 1e-9
+
+    def test_process_default_disables_batching(self):
+        n = 6
+        rng = np.random.default_rng(4)
+        points = [rng.normal(size=3) for _ in range(n)]
+        target = polyhedra.regular_polygon_pattern(n)
+        algorithm = make_pattern_formation_algorithm(target)
+        scheduler = FsyncScheduler(algorithm, random_frames(n, rng),
+                                   target=target)
+        assert batched_compute_enabled()
+        try:
+            set_batched_compute(False)
+            before = _fallbacks()
+            scheduler.step(points)
+            assert _fallbacks() == before + 1
+        finally:
+            set_batched_compute(True)
+        # Explicit per-scheduler choice beats the process default.
+        pinned = FsyncScheduler(algorithm, random_frames(n, rng),
+                                target=target, batched=True)
+        before = _fallbacks()
+        pinned.step(points)
+        assert _fallbacks() == before
+
+
+def test_nonrigid_move_batch_matches_per_robot_stream():
+    """``execute_batch`` consumes the adversary's stream exactly as the
+    sequential per-robot loop does — bit-identical reached positions."""
+    rng = np.random.default_rng(9)
+    starts = rng.normal(size=(12, 3))
+    destinations = starts + rng.normal(size=(12, 3))
+
+    loop_model = NonRigidMovement(0.3, np.random.default_rng(77))
+    looped = np.asarray([loop_model.execute(s, d)
+                         for s, d in zip(starts, destinations)])
+    batch_model = NonRigidMovement(0.3, np.random.default_rng(77))
+    batched = batch_model.execute_batch(starts, destinations)
+    assert np.array_equal(looped, batched)

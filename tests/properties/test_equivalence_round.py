@@ -224,14 +224,20 @@ def test_matching_kernels_match_oracle(seed, enabled):
 @pytest.mark.parametrize("seed", range(12))
 def test_psi_pf_destinations_cache_on_equals_cache_off(seed):
     """The round cache's conjugated destinations must agree with the
-    direct per-robot computation for every robot of a round."""
+    direct per-robot computation for every robot of a round.
+
+    This property is about the per-robot reference path (the batched
+    strategy queries the cache once, in the world frame), so the
+    scheduler is pinned to ``batched=False``.
+    """
     rng = np.random.default_rng(seed)
     n = int(rng.integers(4, 13))
     points = [rng.normal(size=3) for _ in range(n)]
     target = polyhedra.regular_polygon_pattern(n)
     frames = random_frames(n, rng)
     algorithm = make_pattern_formation_algorithm(target)
-    scheduler = FsyncScheduler(algorithm, frames, target=target)
+    scheduler = FsyncScheduler(algorithm, frames, target=target,
+                               batched=False)
 
     perf.set_enabled(True)
     perf.clear_caches()
