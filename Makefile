@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint reprolint typecheck bench bench-smoke bench-smoke-json bench-gate bench-json trace-smoke profile
+.PHONY: test lint reprolint typecheck bench bench-smoke bench-smoke-json bench-gate bench-json trace-smoke campaign-smoke profile
 
 test:
 	$(PYTHON) -m pytest -q
@@ -34,12 +34,13 @@ typecheck:
 bench:
 	$(PYTHON) -m pytest benchmarks --benchmark-only
 
-# Fast correctness pass over the detection benchmarks plus one
-# batched swarm round: runs each benchmarked callable once with
-# timing disabled.
+# Fast correctness pass over the detection benchmarks (including the
+# n=4096 swarm point), one batched swarm round, and one warm-pool
+# campaign: runs each benchmarked callable once with timing disabled.
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks \
-		-k "detection or (swarm_round_scaling and 256)" \
+		-k "detection or (swarm_round_scaling and 256) \
+		or campaign_smoke_warm" \
 		--benchmark-disable -q
 
 # CI artifact: one quick timed pass over the same benchmarks,
@@ -48,7 +49,9 @@ bench-smoke:
 bench-smoke-json:
 	$(PYTHON) benchmarks/run_benchmarks.py --output bench-smoke.json \
 		--select "benchmarks/bench_scaling.py \
-		-k 'detection or (swarm_round_scaling and 256)' \
+		benchmarks/bench_campaign.py \
+		-k 'detection or (swarm_round_scaling and 256) \
+		or campaign_smoke_warm' \
 		--benchmark-min-rounds=1 --benchmark-max-time=0.1 \
 		--benchmark-warmup=off"
 
@@ -72,6 +75,22 @@ bench-json:
 # in the hot path mean the batched engine fell back.)
 profile:
 	$(PYTHON) benchmarks/profile_round.py --n 1024 --top 20
+
+# Campaign smoke: the CI grid (2 experiments x 2 seeds) on the warm
+# pool, resumed once (must skip every cell), then re-run serially into
+# a second store — the canonical exports must be byte-identical.
+campaign-smoke:
+	rm -rf .repro-campaign-smoke
+	$(PYTHON) -m repro.cli campaign run examples/campaign-smoke.toml \
+		--jobs 4 --store .repro-campaign-smoke/pool.jsonl
+	$(PYTHON) -m repro.cli campaign run examples/campaign-smoke.toml \
+		--jobs 4 --store .repro-campaign-smoke/pool.jsonl \
+		| grep -q "executed:  0"
+	$(PYTHON) -m repro.cli campaign run examples/campaign-smoke.toml \
+		--jobs 1 --store .repro-campaign-smoke/serial.jsonl > /dev/null
+	diff .repro-campaign-smoke/pool.jsonl \
+		.repro-campaign-smoke/serial.jsonl
+	@echo "campaign-smoke: pool and serial stores byte-identical"
 
 # Observability smoke: one small experiment through the repro.api
 # façade, emitting all three schema-versioned artifacts (JSONL span

@@ -26,7 +26,7 @@ from pathlib import Path
 from repro.errors import ReproError
 
 __all__ = ["ExperimentSpec", "RunResult", "experiment_names",
-           "run_experiment"]
+           "resolved_spec_record", "run_experiment"]
 
 
 @dataclass(frozen=True)
@@ -120,6 +120,23 @@ def _spec_record(name: str, spec: ExperimentSpec,
     record["cache"] = spec.cache
     record["backend"] = spec.backend
     return record
+
+
+def resolved_spec_record(name: str, spec: ExperimentSpec) -> dict:
+    """The manifest ``spec`` section for ``(name, spec)``, pre-run.
+
+    Only the driver-consumed parameters appear (plus ``cache`` and
+    ``backend``), with ``trials=None`` resolved to the driver's
+    documented default — exactly what :func:`run_experiment` will
+    record in the manifest.  The campaign layer keys cells on a digest
+    of this record *before* running them, so resume can skip a cell
+    without recomputing it.  Raises :class:`repro.errors.ReproError`
+    for an unknown ``name``.
+    """
+    if name not in _REGISTRY:
+        known = ", ".join(experiment_names())
+        raise ReproError(f"unknown experiment {name!r} (known: {known})")
+    return _spec_record(name, spec, _REGISTRY[name][1])
 
 
 def run_experiment(name: str, spec: ExperimentSpec | None = None) -> RunResult:

@@ -1,0 +1,210 @@
+"""The campaign's persistent warm worker pool.
+
+:mod:`repro.perf.parallel` builds a fresh ``ProcessPoolExecutor`` —
+and a fresh L2 shared store — inside *every* driver call, because a
+single experiment is its unit of work.  A campaign runs hundreds of
+cells, so here the lifetimes invert: one pool of long-lived worker
+processes spans the whole campaign, workers pull cells from a shared
+queue (the runner enqueues largest-cost cells first so the tail stays
+short), and one L2 :class:`repro.perf.shared.SharedStore` plus the L3
+disk cache stay attached — and warm — across cells.
+
+Determinism is inherited, not re-argued:
+
+* every cell executes ``run_experiment(name, spec)`` with ``jobs=1``
+  — the byte-exact inline reference path — after clearing the L1
+  congruence caches, so a cell's float noise cannot depend on which
+  cells shared its worker (the same rule ``parallel_map`` applies per
+  trial);
+* the warm L2 store is keyed by exact input bytes and stores pure
+  functions of those bytes (:mod:`repro.perf.shared`), so cross-cell
+  reuse is unobservable in rows;
+* each completed cell ships its *logical* metric delta back and the
+  runner merges it (commutative addition), so campaign counters are
+  identical for any pool width.
+
+Worker failures surface as :class:`repro.errors.SimulationError` with
+the worker traceback; a hard worker death (the process vanishes) is
+detected by liveness polling, never a hang.  Completed cells are
+already persisted by then, so a resumed campaign loses at most the
+in-flight cells.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import traceback
+from typing import Iterator
+
+from repro.errors import SimulationError
+
+__all__ = ["CellOutcome", "WarmPool", "run_cell_task"]
+
+_POLL_SECONDS = 0.25
+
+
+class CellOutcome:
+    """What one executed cell sends back to the runner."""
+
+    __slots__ = ("task_id", "record", "journal", "metrics_delta")
+
+    def __init__(self, task_id: str, record: dict, journal: dict,
+                 metrics_delta: dict) -> None:
+        self.task_id = task_id
+        self.record = record
+        self.journal = journal
+        self.metrics_delta = metrics_delta
+
+
+def run_cell_task(task) -> tuple[dict, dict, dict]:
+    """Execute one campaign cell in the current process.
+
+    ``task`` is ``(digest, experiment, spec)``.  Returns the
+    deterministic store record, the journal payload (phase rollups and
+    performance counters — wall-clock lives only here), and the cell's
+    logical metric delta.  Shared by the pool workers and the inline
+    ``jobs=1`` path, which is therefore the byte-exact reference.
+    """
+    from repro import perf
+    from repro.api import run_experiment
+    from repro.campaign.store import build_cell_record
+
+    digest, experiment, spec = task
+    # Fresh L1 per cell: first-observer conjugation noise must not
+    # depend on cell co-residency (same argument as the per-trial
+    # reset in repro.perf.parallel).  L2/L3 stay warm — exact-byte
+    # keys make them unobservable in rows.
+    perf.clear_caches()
+    result = run_experiment(experiment, spec)
+    record = build_cell_record(digest, experiment, result)
+    journal = {
+        "kind": "cell-journal",
+        "digest": digest,
+        "experiment": experiment,
+        "phase_totals": result.manifest["timing"]["phases"],
+        "backend": dict(result.metrics.get("backend", {})),
+    }
+    delta = {"counters": dict(result.metrics.get("counters", {})),
+             "histograms": dict(result.metrics.get("histograms", {}))}
+    return record, journal, delta
+
+
+def _worker_main(tasks, results, store_name, store_lock) -> None:
+    """Long-lived worker loop: attach the L2 store once, then serve
+    cells until the ``None`` sentinel arrives."""
+    from repro.perf import shared
+
+    if store_name is not None:
+        try:
+            shared.activate(shared.SharedStore.attach(store_name,
+                                                      store_lock))
+        except (OSError, ValueError):
+            pass  # the store is an accelerator; never fail the worker
+    while True:
+        task = tasks.get()
+        if task is None:
+            break
+        task_id = task[0]
+        try:
+            payload = run_cell_task(task)
+            outcome = ("ok", task_id, payload)
+        except Exception as exc:  # noqa: BLE001 — reported to the runner
+            outcome = ("err", task_id,
+                       f"{type(exc).__name__}: {exc}\n"
+                       f"{traceback.format_exc()}")
+        store = shared.active_store()
+        if store is not None:
+            store.flush_stats()
+        results.put(outcome)
+
+
+class WarmPool:
+    """``jobs`` persistent workers sharing one task queue and one L2
+    store for the lifetime of a campaign."""
+
+    def __init__(self, jobs: int) -> None:
+        from repro.perf import shared
+
+        self.jobs = max(1, int(jobs))
+        self._context = multiprocessing.get_context()
+        self._store_lock = self._context.Lock()
+        self._store = shared.SharedStore.create(self._store_lock)
+        self._tasks = self._context.Queue()
+        self._results = self._context.Queue()
+        self._workers = [
+            self._context.Process(
+                target=_worker_main,
+                args=(self._tasks, self._results, self._store.name,
+                      self._store_lock),
+                daemon=True)
+            for _ in range(self.jobs)]
+        for worker in self._workers:
+            worker.start()
+        self._closed = False
+
+    def run(self, tasks) -> Iterator[CellOutcome]:
+        """Dispatch ``tasks`` and yield outcomes as cells complete.
+
+        Completion order is scheduling-dependent; callers must key
+        everything on the task id (the cell digest), never on arrival
+        order.  Raises :class:`SimulationError` on a cell exception or
+        a vanished worker.
+        """
+        tasks = list(tasks)
+        for task in tasks:
+            self._tasks.put(task)
+        pending = len(tasks)
+        while pending:
+            try:
+                status, task_id, payload = self._results.get(
+                    timeout=_POLL_SECONDS)
+            except queue.Empty:
+                self._check_workers()
+                continue
+            if status == "err":
+                raise SimulationError(
+                    f"campaign cell {task_id} failed in worker:\n"
+                    f"{payload}")
+            record, journal, delta = payload
+            pending -= 1
+            yield CellOutcome(task_id, record, journal, delta)
+
+    def _check_workers(self) -> None:
+        dead = [worker for worker in self._workers
+                if not worker.is_alive()]
+        if dead:
+            codes = ", ".join(str(worker.exitcode) for worker in dead)
+            raise SimulationError(
+                f"campaign worker process died unexpectedly "
+                f"(exit codes: {codes}; crash or out-of-memory kill)")
+
+    def close(self) -> None:
+        """Stop the workers and fold the L2 store's stats into the
+        process counters.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        from repro.perf import shared
+
+        for _ in self._workers:
+            try:
+                self._tasks.put_nowait(None)
+            except (OSError, ValueError):
+                break
+        for worker in self._workers:
+            worker.join(timeout=5.0)
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=1.0)
+        self._tasks.close()
+        self._results.close()
+        shared.accumulate_run(self._store.aggregated_stats())
+        self._store.close()
+        self._store.unlink()
+
+    def __enter__(self) -> "WarmPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -175,6 +175,68 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_campaign(args) -> int:
+    from repro.campaign import (
+        generate_report,
+        open_store,
+        run_campaign,
+        write_report,
+    )
+    from repro.campaign.store import default_store_path, duckdb_available
+
+    if args.action == "run":
+        if not args.spec:
+            print("error: `repro campaign run` needs a spec file "
+                  "(.toml or .json)", file=sys.stderr)
+            return 2
+        result = run_campaign(
+            args.spec, jobs=args.jobs, store_path=args.store,
+            max_cells=args.max_cells, fresh=args.fresh)
+        print(result.render())
+        if args.report:
+            with open_store(result.store_path) as store:
+                write_report(store, args.report)
+            print(f"report written to {args.report}")
+        if args.cache_stats:
+            _emit_cache_stats()
+        return 0
+    store_path = Path(args.store) if args.store else default_store_path()
+    if store_path.suffix == ".duckdb" and not duckdb_available():
+        # mirror open_store's graceful degrade for the existence check
+        store_path = store_path.with_suffix(".jsonl")
+    if not store_path.exists():
+        print(f"error: no campaign store at {store_path} "
+              f"(run `repro campaign run <spec>` first)",
+              file=sys.stderr)
+        return 2
+    with open_store(store_path) as store:
+        if args.action == "report":
+            if args.output:
+                write_report(store, args.output, fmt=args.format)
+                print(f"report written to {args.output}")
+            else:
+                print(generate_report(store, args.format or "markdown"),
+                      end="")
+        elif args.action == "export":
+            text = store.export_canonical()
+            if args.output:
+                Path(args.output).write_text(text, encoding="utf-8")
+                print(f"canonical export written to {args.output}")
+            else:
+                print(text, end="")
+        elif args.action == "status":
+            cells = store.cells()
+            by_experiment: dict[str, int] = {}
+            for record in cells:
+                name = record["experiment"]
+                by_experiment[name] = by_experiment.get(name, 0) + 1
+            print(f"campaign store {store.path} ({store.kind}): "
+                  f"{len(cells)} completed cells")
+            for name, count in sorted(by_experiment.items()):
+                print(f"  {name:20s} {count} cells")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from repro.perf import disk
 
@@ -314,6 +376,48 @@ def build_parser() -> argparse.ArgumentParser:
     _add_observability_flags(experiment, manifest=True)
     experiment.set_defaults(func=_cmd_experiment)
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a declarative experiment campaign (resumable, "
+             "warm-pool, results store)")
+    campaign.add_argument("action",
+                          choices=["run", "report", "export", "status"])
+    campaign.add_argument(
+        "spec", nargs="?",
+        help="campaign spec file (.toml or .json; required for `run`)")
+    campaign.add_argument(
+        "--jobs", type=int, default=1,
+        help="persistent warm workers for the cell fan-out (cells "
+             "always run single-process inside a worker; store "
+             "contents are byte-identical for any value)")
+    campaign.add_argument(
+        "--store", metavar="PATH",
+        help="results store path (default: .repro-campaign/"
+             "results.duckdb, or .jsonl without the campaign extra)")
+    campaign.add_argument(
+        "--max-cells", type=int, default=None,
+        help="execute at most this many cells this invocation "
+             "(re-run to resume the remainder)")
+    campaign.add_argument(
+        "--fresh", action="store_true",
+        help="clear the store before running (default: resume — "
+             "completed cells are skipped by digest)")
+    campaign.add_argument(
+        "--report", metavar="PATH",
+        help="after `run`, also write the report to PATH "
+             "(.html → HTML, else markdown)")
+    campaign.add_argument(
+        "--format", choices=["markdown", "html"], default=None,
+        help="report format for `report` (default: markdown, or by "
+             "--output suffix)")
+    campaign.add_argument(
+        "--output", metavar="PATH",
+        help="write `report`/`export` output to PATH instead of stdout")
+    campaign.add_argument("--cache-stats", action="store_true",
+                          help="print cache-hierarchy counters after "
+                               "`run`")
+    campaign.set_defaults(func=_cmd_campaign)
+
     cache = sub.add_parser(
         "cache", help="inspect or clear the on-disk (L3) cache")
     cache.add_argument("action", choices=["info", "clear"])
@@ -323,7 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
                    ).set_defaults(func=_cmd_tables)
 
     lint = sub.add_parser(
-        "lint", help="run reprolint (REP001-REP006 invariant checks)")
+        "lint", help="run reprolint (REP001-REP007 invariant checks)")
     lint.add_argument("paths", nargs="*",
                       help="files or directories (default: src benchmarks)")
     lint.add_argument("--format", choices=["text", "json"], default="text")

@@ -9,6 +9,7 @@ from __future__ import annotations
 from repro.lint.framework import Rule
 from repro.lint.rules.backend_purity import BackendPurity
 from repro.lint.rules.cache_purity import CachePurity
+from repro.lint.rules.campaign_purity import CampaignPurity
 from repro.lint.rules.determinism import RowDeterminism
 from repro.lint.rules.obliviousness import ObliviousnessContract
 from repro.lint.rules.seeding import SeedingDiscipline
@@ -23,6 +24,7 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     SeedingDiscipline,
     RowDeterminism,
     BackendPurity,
+    CampaignPurity,
 )
 
 

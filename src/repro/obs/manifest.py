@@ -26,6 +26,7 @@ __all__ = [
     "build_manifest",
     "cache_config",
     "deterministic_view",
+    "jsonable_rows",
     "package_info",
     "rows_digest",
     "write_manifest",
@@ -109,10 +110,14 @@ def build_manifest(*, experiment: str, spec: dict, rows,
     return manifest
 
 
-def _jsonable_rows(rows) -> list:
+def jsonable_rows(rows) -> list:
+    """Rows with dataclass entries expanded to plain dicts."""
     from dataclasses import asdict, is_dataclass
 
     return [asdict(row) if is_dataclass(row) else row for row in rows]
+
+
+_jsonable_rows = jsonable_rows
 
 
 def deterministic_view(manifest: dict) -> dict:

@@ -51,7 +51,15 @@ __all__ = ["parallel_map", "seeded_trials", "spawn_seeds"]
 
 
 def spawn_seeds(seed: int, count: int) -> list[np.random.SeedSequence]:
-    """One independent ``SeedSequence`` child per trial."""
+    """One independent ``SeedSequence`` child per trial.
+
+    The exact contract (pinned by a regression test): child ``t`` is
+    ``SeedSequence(seed).spawn(count)[t]``, i.e. it carries
+    ``entropy == seed`` and ``spawn_key == (t,)``.  Children of
+    *adjacent* parent seeds therefore never collide — unlike the
+    naive ``default_rng(seed + t)``, where trial ``t`` of seed ``s``
+    is trial ``t-1`` of seed ``s+1``.
+    """
     from repro.obs import metrics as _metrics
 
     _metrics.inc("seeds.spawned", int(count))
@@ -174,8 +182,10 @@ def seeded_trials(fn, trials: int, *, seed: int = 0,
                   jobs: int = 1) -> list:
     """Run ``fn(stream_t)`` for ``t in range(trials)``, fanned out.
 
-    ``stream_t`` is the ``t``-th ``SeedSequence`` child of ``seed`` —
-    pass it to ``np.random.default_rng``.  Results come back ordered
-    by ``t`` and are bit-identical for any ``jobs`` value.
+    ``stream_t`` is the ``t``-th ``SeedSequence`` child of ``seed``
+    (``entropy == seed``, ``spawn_key == (t,)``, see
+    :func:`spawn_seeds`) — pass it to ``np.random.default_rng``.
+    Results come back ordered by ``t`` and are bit-identical for any
+    ``jobs`` value.
     """
     return parallel_map(fn, spawn_seeds(seed, trials), jobs=jobs)

@@ -99,3 +99,41 @@ class TestDriverDeterminism:
         serial = experiments.theorem11_experiment(seed=0, jobs=1)
         fanned = experiments.theorem11_experiment(seed=0, jobs=4)
         assert [asdict(r) for r in serial] == [asdict(r) for r in fanned]
+
+
+class TestSpawnStreamContract:
+    """Regression-pins the per-trial seeding scheme.
+
+    ``spawn_seeds(seed, n)[t]`` must stay ``SeedSequence(seed)``'s
+    ``t``-th spawn child — switching back to ``default_rng(seed + t)``
+    (or any reparameterization of the child streams) would silently
+    change every experiment's rows *and* reintroduce the
+    adjacent-seed collision the spawn scheme exists to prevent.
+    """
+
+    def test_children_carry_entropy_and_spawn_key(self):
+        for t, child in enumerate(spawn_seeds(42, 3)):
+            assert child.entropy == 42
+            assert child.spawn_key == (t,)
+
+    def test_first_draws_pinned(self):
+        draws = [float(np.random.default_rng(child).random())
+                 for child in spawn_seeds(42, 3)]
+        assert draws == pytest.approx([
+            0.9167441575549085,
+            0.4674907799518424,
+            0.07123920291270869,
+        ], abs=0.0)
+
+    def test_adjacent_parent_seeds_do_not_collide(self):
+        # the defect of default_rng(seed + t): trial t of seed s
+        # equals trial t-1 of seed s+1.  Spawn children must not.
+        later_trial = np.random.default_rng(spawn_seeds(7, 4)[1]).random(8)
+        first_trial = np.random.default_rng(spawn_seeds(8, 4)[0]).random(8)
+        assert not np.array_equal(later_trial, first_trial)
+
+    def test_seeded_trials_uses_spawn_children(self):
+        streams = seeded_trials(_first_draw, 3, seed=42, jobs=1)
+        direct = [float(np.random.default_rng(child).random())
+                  for child in spawn_seeds(42, 3)]
+        assert streams == direct

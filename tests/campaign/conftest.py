@@ -1,0 +1,38 @@
+"""Shared fixtures for the campaign tests.
+
+Every fixture campaign is tiny (lemma7 / baseline_2d with 1-2 trials)
+so the whole suite stays in the seconds range; the pool tests are the
+only ones that spawn processes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.spec import campaign_from_mapping
+
+
+@pytest.fixture
+def tiny_mapping():
+    return {
+        "name": "tiny",
+        "defaults": {"trials": 2},
+        "experiments": [
+            {"name": "lemma7", "seed": [1, 2]},
+            {"name": "baseline_2d", "seed": 1},
+        ],
+    }
+
+
+@pytest.fixture
+def tiny_campaign(tiny_mapping):
+    return campaign_from_mapping(tiny_mapping)
+
+
+@pytest.fixture
+def spec_file(tmp_path, tiny_mapping):
+    path = tmp_path / "campaign.json"
+    path.write_text(json.dumps(tiny_mapping), encoding="utf-8")
+    return path

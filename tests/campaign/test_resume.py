@@ -1,0 +1,71 @@
+"""Resume semantics: an interrupted campaign (simulated with a cell
+budget) resumes with zero recompute and a final store byte-identical
+to the uninterrupted run's."""
+
+from __future__ import annotations
+
+from repro.campaign import open_store, run_campaign
+from repro.obs import metrics as _metrics
+
+
+def _export(store_path) -> str:
+    with open_store(store_path) as store:
+        return store.export_canonical()
+
+
+class TestResume:
+    def test_budget_interrupt_then_resume(self, tiny_campaign, tmp_path):
+        uninterrupted = tmp_path / "full.jsonl"
+        run_campaign(tiny_campaign, store_path=uninterrupted)
+        reference = _export(uninterrupted)
+
+        interrupted = tmp_path / "resumed.jsonl"
+        first = run_campaign(tiny_campaign, store_path=interrupted,
+                             max_cells=1)
+        assert first.cells_executed == 1
+        assert first.cells_pending == 2
+        partial = _export(interrupted)
+        assert partial != reference  # genuinely incomplete
+
+        second = run_campaign(tiny_campaign, store_path=interrupted)
+        assert second.cells_skipped == 1
+        assert second.cells_executed == 2
+        assert second.cells_pending == 0
+        assert _export(interrupted) == reference
+
+    def test_rerun_recomputes_nothing(self, tiny_campaign, tmp_path):
+        store_path = tmp_path / "r.jsonl"
+        run_campaign(tiny_campaign, store_path=store_path)
+        done = _export(store_path)
+
+        before = _metrics.registry().snapshot()
+        rerun = run_campaign(tiny_campaign, store_path=store_path)
+        delta = _metrics.snapshot_delta(
+            before, _metrics.registry().snapshot())
+
+        assert rerun.cells_skipped == 3
+        assert rerun.cells_executed == 0
+        assert _export(store_path) == done
+        # zero recompute, measured: no experiment counters moved
+        counters = delta.get("counters", {})
+        assert counters.get("campaign.cells.executed", 0) == 0
+        assert all(count == 0 for name, count in counters.items()
+                   if name.startswith("experiment."))
+
+    def test_max_cells_zero_executes_nothing(self, tiny_campaign,
+                                             tmp_path):
+        store_path = tmp_path / "r.jsonl"
+        result = run_campaign(tiny_campaign, store_path=store_path,
+                              max_cells=0)
+        assert result.cells_executed == 0
+        assert result.cells_pending == 3
+
+    def test_resume_order_is_cost_then_digest(self, tiny_campaign,
+                                              tmp_path):
+        # With max_cells=1 the largest-cost cell runs first;
+        # baseline_2d (weight 40) outweighs lemma7 (weight 7).
+        store_path = tmp_path / "r.jsonl"
+        run_campaign(tiny_campaign, store_path=store_path, max_cells=1)
+        with open_store(store_path) as store:
+            (record,) = store.cells()
+        assert record["experiment"] == "baseline_2d"

@@ -1,0 +1,131 @@
+"""The campaign runner: inline reference path, warm pool
+byte-identity, coalescing, and error surfacing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ExperimentSpec, run_experiment
+from repro.campaign import open_store, run_campaign
+from repro.campaign.runner import _unique_tasks
+from repro.campaign.spec import CampaignCell, CampaignSpec, cell_digest
+from repro.errors import ReproError
+from repro.obs.manifest import jsonable_rows
+
+
+def _spec(cells) -> CampaignSpec:
+    return CampaignSpec(name="t", cells=tuple(cells))
+
+
+class TestInline:
+    def test_rows_match_direct_run(self, tmp_path):
+        spec = ExperimentSpec(trials=2, seed=1)
+        campaign = _spec([CampaignCell("lemma7", spec, 0)])
+        store_path = tmp_path / "r.jsonl"
+        result = run_campaign(campaign, jobs=1, store_path=store_path)
+        assert result.cells_executed == 1
+
+        direct = run_experiment("lemma7", spec)
+        with open_store(store_path) as store:
+            (record,) = store.cells()
+        assert record["rows"] == jsonable_rows(direct.rows)
+        assert record["rows_sha256"] == \
+            direct.manifest["rows"]["sha256"]
+        assert record["digest"] == \
+            cell_digest(CampaignCell("lemma7", spec, 0))
+
+    def test_summary_counts(self, tiny_campaign, tmp_path):
+        result = run_campaign(tiny_campaign, jobs=1,
+                              store_path=tmp_path / "r.jsonl")
+        assert result.cells_total == 3
+        assert result.cells_executed == 3
+        assert result.cells_skipped == 0
+        assert result.cells_coalesced == 0
+        assert result.cells_pending == 0
+        assert result.store_kind == "jsonl"
+        rendered = result.render()
+        assert "executed:  3" in rendered
+
+    def test_journal_records_each_cell(self, tiny_campaign, tmp_path):
+        store_path = tmp_path / "r.jsonl"
+        run_campaign(tiny_campaign, jobs=1, store_path=store_path)
+        with open_store(store_path) as store:
+            journal = store.journal()
+        kinds = [event["kind"] for event in journal]
+        assert kinds.count("cell-journal") == 3
+        assert kinds[-1] == "campaign-run"
+        # wall-clock lives only in the journal, never in cells
+        assert all("phase_totals" in event for event in journal
+                   if event["kind"] == "cell-journal")
+
+
+class TestCoalescing:
+    def test_duplicate_digests_run_once(self, tmp_path):
+        spec = ExperimentSpec(trials=2, seed=1)
+        campaign = _spec([
+            CampaignCell("lemma7", spec, 0),
+            CampaignCell("lemma7", spec, 1),  # identical -> coalesced
+            CampaignCell("baseline_2d", spec, 2),
+        ])
+        result = run_campaign(campaign, jobs=1,
+                              store_path=tmp_path / "r.jsonl")
+        assert result.cells_total == 3
+        assert result.cells_coalesced == 1
+        assert result.cells_executed == 2
+
+    def test_unique_tasks_order_is_deterministic(self, tiny_campaign):
+        tasks, coalesced = _unique_tasks(tiny_campaign)
+        assert coalesced == 0
+        assert [task[1] for task in tasks] == \
+            ["lemma7", "lemma7", "baseline_2d"]
+
+
+class TestWarmPool:
+    def test_store_byte_identical_across_jobs(self, tiny_campaign,
+                                              tmp_path):
+        exports = {}
+        for jobs in (1, 2):
+            store_path = tmp_path / f"r{jobs}.jsonl"
+            result = run_campaign(tiny_campaign, jobs=jobs,
+                                  store_path=store_path)
+            assert result.cells_executed == 3
+            with open_store(store_path) as store:
+                exports[jobs] = store.export_canonical()
+        assert exports[1] == exports[2]
+
+    def test_worker_error_surfaces(self):
+        # an unknown experiment fails inside the worker; the pool must
+        # raise with the worker traceback, not hang
+        from repro.campaign.pool import WarmPool
+
+        bad_task = ("0" * 64, "no-such-experiment",
+                    ExperimentSpec(trials=1, seed=1))
+        with WarmPool(2) as pool:
+            with pytest.raises(ReproError, match="failed in worker"):
+                list(pool.run([bad_task]))
+
+
+class TestArguments:
+    def test_negative_max_cells_rejected(self, tiny_campaign, tmp_path):
+        with pytest.raises(ReproError, match="non-negative"):
+            run_campaign(tiny_campaign, max_cells=-1,
+                         store_path=tmp_path / "r.jsonl")
+
+    def test_fresh_clears_previous_results(self, tiny_campaign,
+                                           tmp_path):
+        store_path = tmp_path / "r.jsonl"
+        run_campaign(tiny_campaign, store_path=store_path)
+        rerun = run_campaign(tiny_campaign, store_path=store_path,
+                             fresh=True)
+        assert rerun.cells_skipped == 0
+        assert rerun.cells_executed == 3
+
+    def test_caller_owned_store_stays_open(self, tiny_campaign,
+                                           tmp_path):
+        store = open_store(tmp_path / "r.jsonl")
+        try:
+            run_campaign(tiny_campaign, store=store)
+            # still usable: run_campaign must not close a caller store
+            assert len(store.completed_digests()) == 3
+        finally:
+            store.close()

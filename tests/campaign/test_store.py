@@ -1,0 +1,159 @@
+"""Results stores: the JSONL fallback (always live) and, when the
+optional ``campaign`` extra is installed, the DuckDB backend serving
+the identical store API."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.store import (
+    STORE_SCHEMA_VERSION,
+    JsonlStore,
+    build_cell_record,
+    duckdb_available,
+    open_store,
+)
+from repro.errors import ReproError
+
+
+def _record(digest: str, experiment: str = "lemma7",
+            rows: list | None = None) -> dict:
+    rows = [{"trial": 0, "value": 1.5}] if rows is None else rows
+    return {"digest": digest, "experiment": experiment, "spec": {},
+            "rows": rows, "rows_sha256": "r" * 64, "metrics": {},
+            "manifest": {}}
+
+
+class TestJsonlStore:
+    def test_record_and_reopen(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with open_store(path) as store:
+            assert store.kind == "jsonl"
+            store.record_cell(_record("b" * 64))
+            store.record_cell(_record("a" * 64, "baseline_2d"))
+        with open_store(path) as store:
+            assert store.completed_digests() == {"a" * 64, "b" * 64}
+            cells = store.cells()
+            # sorted by digest, not insertion order
+            assert [c["digest"] for c in cells] == ["a" * 64, "b" * 64]
+            assert [c["digest"] for c in store.cells("lemma7")] \
+                == ["b" * 64]
+
+    def test_file_is_canonical_export(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with open_store(path) as store:
+            store.record_cell(_record("b" * 64))
+            store.record_cell(_record("a" * 64))
+            export = store.export_canonical()
+        assert path.read_text(encoding="utf-8") == export
+        header = json.loads(export.splitlines()[0])
+        assert header == {"kind": "campaign-store",
+                          "schema": STORE_SCHEMA_VERSION}
+
+    def test_rerecord_same_digest_overwrites(self, tmp_path):
+        with open_store(tmp_path / "r.jsonl") as store:
+            store.record_cell(_record("a" * 64))
+            store.record_cell(_record("a" * 64,
+                                      rows=[{"trial": 0, "value": 2.0}]))
+            cells = store.cells()
+            assert len(cells) == 1
+            assert cells[0]["rows"] == [{"trial": 0, "value": 2.0}]
+
+    def test_journal_is_separate_from_canonical(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with open_store(path) as store:
+            store.record_cell(_record("a" * 64))
+            store.journal_event({"kind": "cell-journal", "ms": 12.5})
+            export = store.export_canonical()
+        assert "cell-journal" not in export
+        with open_store(path) as store:
+            assert store.journal() == [{"kind": "cell-journal",
+                                        "ms": 12.5}]
+
+    def test_clear(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with open_store(path) as store:
+            store.record_cell(_record("a" * 64))
+            store.journal_event({"kind": "x"})
+            store.clear()
+            assert store.completed_digests() == set()
+        assert not path.exists()
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        path.write_text(json.dumps({"kind": "campaign-store",
+                                    "schema": 999}) + "\n",
+                        encoding="utf-8")
+        with pytest.raises(ReproError, match="schema"):
+            JsonlStore(path)
+
+    def test_query_unsupported(self, tmp_path):
+        with open_store(tmp_path / "r.jsonl") as store:
+            with pytest.raises(ReproError, match="DuckDB"):
+                store.query("SELECT 1")
+
+    def test_duckdb_path_degrades_without_extra(self, tmp_path):
+        if duckdb_available():
+            pytest.skip("duckdb installed; degrade path not reachable")
+        store = open_store(tmp_path / "results.duckdb")
+        try:
+            assert store.kind == "jsonl"
+            assert store.path.suffix == ".jsonl"
+        finally:
+            store.close()
+
+
+class TestBuildCellRecord:
+    def test_from_run_result(self):
+        from repro.api import ExperimentSpec, run_experiment
+
+        result = run_experiment(
+            "lemma7", ExperimentSpec(trials=1, seed=3))
+        record = build_cell_record("d" * 64, "lemma7", result)
+        assert record["digest"] == "d" * 64
+        assert record["experiment"] == "lemma7"
+        assert len(record["rows"]) == len(result.rows)
+        assert record["rows_sha256"] == \
+            result.manifest["rows"]["sha256"]
+        # deterministic view only: no wall-clock, no artifacts
+        assert "timing" not in record["manifest"]
+        assert "artifacts" not in record["manifest"]
+        # metrics are the logical counters (jobs-invariant)
+        assert all(not key.startswith("backend.")
+                   for key in record["metrics"])
+        json.dumps(record)  # jsonable as-is
+
+
+class TestDuckDBStore:
+    @pytest.fixture
+    def store(self, tmp_path):
+        pytest.importorskip("duckdb")
+        with open_store(tmp_path / "results.duckdb") as handle:
+            yield handle
+
+    def test_same_api_as_jsonl(self, store):
+        assert store.kind == "duckdb"
+        store.record_cell(_record("b" * 64))
+        store.record_cell(_record("a" * 64, "baseline_2d"))
+        assert store.completed_digests() == {"a" * 64, "b" * 64}
+        assert [c["digest"] for c in store.cells()] == \
+            ["a" * 64, "b" * 64]
+
+    def test_rows_table_queryable(self, store):
+        store.record_cell(_record("a" * 64,
+                                  rows=[{"trial": 0}, {"trial": 1}]))
+        columns, records = store.query(
+            "SELECT digest, row_index FROM rows ORDER BY row_index")
+        assert columns == ["digest", "row_index"]
+        assert records == [("a" * 64, 0), ("a" * 64, 1)]
+
+    def test_export_matches_jsonl_backend(self, store, tmp_path):
+        records = [_record("b" * 64), _record("a" * 64, "baseline_2d")]
+        for record in records:
+            store.record_cell(record)
+        with open_store(tmp_path / "r.jsonl") as jsonl:
+            for record in records:
+                jsonl.record_cell(record)
+            assert store.export_canonical() == jsonl.export_canonical()

@@ -1,4 +1,4 @@
-"""Good/bad fixture pairs for each reprolint rule (REP001-REP006)."""
+"""Good/bad fixture pairs for each reprolint rule (REP001-REP007)."""
 
 from tests.lint.conftest import rules_of
 
@@ -396,5 +396,88 @@ class TestBackendPurity:
 
             def order(radii):
                 return np.argsort(radii)
+            """)
+        assert violations == []
+
+
+class TestCampaignPurity:
+    def test_bad_getpid_in_campaign(self, lint_source):
+        violations, _ = lint_source("src/repro/campaign/foo.py", """\
+            import os
+
+            def tag():
+                return os.getpid()
+            """)
+        assert rules_of(violations) == ["REP007"]
+        assert "machine/process identity" in violations[0].message
+
+    def test_bad_hostname_and_uuid(self, lint_source):
+        violations, _ = lint_source("src/repro/campaign/foo.py", """\
+            import socket
+            import uuid
+
+            def tag():
+                return socket.gethostname(), uuid.uuid4()
+            """)
+        assert rules_of(violations) == ["REP007", "REP007"]
+
+    def test_bad_secrets_call(self, lint_source):
+        violations, _ = lint_source("src/repro/campaign/foo.py", """\
+            import secrets
+
+            def tag():
+                return secrets.token_hex(8)
+            """)
+        assert rules_of(violations) == ["REP007"]
+        assert "nondeterministic by design" in violations[0].message
+
+    def test_bad_fstring_in_digest_builder(self, lint_source):
+        violations, _ = lint_source("src/repro/campaign/foo.py", """\
+            import hashlib
+
+            def cell_digest(cell):
+                text = f"{cell.experiment}:{cell.seed}"
+                return hashlib.sha256(text.encode()).hexdigest()
+            """)
+        assert rules_of(violations) == ["REP007"]
+        assert "digest builder" in violations[0].message
+
+    def test_bad_repr_bytes_in_digest_builder(self, lint_source):
+        violations, _ = lint_source("src/repro/campaign/foo.py", """\
+            import hashlib
+
+            def make_digest(spec):
+                return hashlib.sha256(repr(spec).encode()).hexdigest()
+            """)
+        assert rules_of(violations) == ["REP007"]
+
+    def test_good_canonical_json_digest(self, lint_source):
+        violations, _ = lint_source("src/repro/campaign/foo.py", """\
+            import hashlib
+            import json
+
+            def cell_digest(preimage):
+                canonical = json.dumps(preimage, sort_keys=True,
+                                       separators=(",", ":"))
+                return hashlib.sha256(
+                    canonical.encode("utf-8")).hexdigest()
+            """)
+        assert violations == []
+
+    def test_good_fstring_in_digest_error_message(self, lint_source):
+        violations, _ = lint_source("src/repro/campaign/foo.py", """\
+            def cell_digest(cell):
+                if cell is None:
+                    raise ValueError(f"bad cell: {cell!r}")
+                return "0" * 64
+            """)
+        assert violations == []
+
+    def test_good_identity_calls_outside_campaign(self, lint_source):
+        violations, _ = lint_source("src/repro/analysis/foo.py", """\
+            import os
+
+            def tag():
+                return os.getpid()
             """)
         assert violations == []
