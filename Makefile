@@ -20,13 +20,16 @@ lint: reprolint
 	fi
 
 reprolint:
-	$(PYTHON) -m repro.lint src benchmarks
+	$(PYTHON) -m repro.lint src benchmarks \
+		--cache-dir .repro-lint-cache
 
 # Type check the strictly-annotated subset (lint framework + geometry
-# core).  mypy comes from the `lint` extra; degrade politely without it.
+# core + the repro.api/campaign facade).  mypy comes from the `lint`
+# extra; degrade politely without it.
 typecheck:
 	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
-		$(PYTHON) -m mypy src/repro/lint src/repro/geometry; \
+		$(PYTHON) -m mypy src/repro/lint src/repro/geometry \
+			src/repro/api.py src/repro/campaign; \
 	else \
 		echo "mypy not installed (pip install -e .[lint]); skipping typecheck"; \
 	fi

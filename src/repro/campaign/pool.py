@@ -35,7 +35,10 @@ from __future__ import annotations
 import multiprocessing
 import queue
 import traceback
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover — annotation-only import
+    from repro.api import ExperimentSpec
 
 from repro.errors import SimulationError
 
@@ -57,7 +60,8 @@ class CellOutcome:
         self.metrics_delta = metrics_delta
 
 
-def run_cell_task(task) -> tuple[dict, dict, dict]:
+def run_cell_task(task: "tuple[str, str, ExperimentSpec]",
+                  ) -> tuple[dict, dict, dict]:
     """Execute one campaign cell in the current process.
 
     ``task`` is ``(digest, experiment, spec)``.  Returns the
@@ -130,20 +134,30 @@ class WarmPool:
         self._context = multiprocessing.get_context()
         self._store_lock = self._context.Lock()
         self._store = shared.SharedStore.create(self._store_lock)
-        self._tasks = self._context.Queue()
-        self._results = self._context.Queue()
-        self._workers = [
-            self._context.Process(
-                target=_worker_main,
-                args=(self._tasks, self._results, self._store.name,
-                      self._store_lock),
-                daemon=True)
-            for _ in range(self.jobs)]
-        for worker in self._workers:
-            worker.start()
+        # The segment exists from here on: anything that raises before
+        # the workers own a reference would leak it in /dev/shm, so
+        # the rest of construction runs under a release-on-failure
+        # guard (REP010).
+        try:
+            self._tasks = self._context.Queue()
+            self._results = self._context.Queue()
+            self._workers = [
+                self._context.Process(
+                    target=_worker_main,
+                    args=(self._tasks, self._results, self._store.name,
+                          self._store_lock),
+                    daemon=True)
+                for _ in range(self.jobs)]
+            for worker in self._workers:
+                worker.start()
+        except BaseException:
+            self._store.close()
+            self._store.unlink()
+            raise
         self._closed = False
 
-    def run(self, tasks) -> Iterator[CellOutcome]:
+    def run(self, tasks: "Iterable[tuple[str, str, ExperimentSpec]]",
+            ) -> Iterator[CellOutcome]:
         """Dispatch ``tasks`` and yield outcomes as cells complete.
 
         Completion order is scheduling-dependent; callers must key

@@ -27,8 +27,12 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover — annotation-only import
+    from repro.api import RunResult
 
 __all__ = [
     "STORE_SCHEMA_VERSION",
@@ -81,10 +85,11 @@ def open_store(path: str | Path | None = None) -> "ResultsStore":
     return JsonlStore(path)
 
 
-def build_cell_record(digest: str, experiment: str, result) -> dict:
+def build_cell_record(digest: str, experiment: str,
+                      result: "RunResult") -> dict:
     """The deterministic store record for one completed cell.
 
-    ``result`` is the :class:`repro.api.RunResult`.  Everything here
+    Everything here
     is jobs-invariant by the façade's contracts: rows and their
     digest, the logical counter delta, and the manifest's
     ``deterministic_view``.  Wall-clock phase rollups and cache-luck

@@ -289,6 +289,8 @@ def _cmd_lint(args) -> int:
         argv += ["--format", args.format]
     if args.output:
         argv += ["--output", args.output]
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
     if args.list_rules:
         argv.append("--list-rules")
     return lint_main(argv)
@@ -427,11 +429,15 @@ def build_parser() -> argparse.ArgumentParser:
                    ).set_defaults(func=_cmd_tables)
 
     lint = sub.add_parser(
-        "lint", help="run reprolint (REP001-REP007 invariant checks)")
+        "lint", help="run reprolint (REP001-REP011 invariant checks, "
+                     "including the cross-module dataflow rules)")
     lint.add_argument("paths", nargs="*",
                       help="files or directories (default: src benchmarks)")
-    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--format", choices=["text", "json", "sarif"],
+                      default="text")
     lint.add_argument("--output", help="write the report to a file")
+    lint.add_argument("--cache-dir",
+                      help="incremental analysis cache directory")
     lint.add_argument("--list-rules", action="store_true",
                       help="list rule ids and summaries, then exit")
     lint.set_defaults(func=_cmd_lint)

@@ -1,7 +1,8 @@
 """reprolint — domain-specific static analysis for the reproduction.
 
-Five AST rules turn the model's semantic invariants into
-compile-time failures (see ``docs/STATIC_ANALYSIS.md``):
+Seven file-local AST rules plus four cross-module dataflow rules
+turn the model's semantic invariants into compile-time failures (see
+``docs/STATIC_ANALYSIS.md``):
 
 ==========  =========================================================
 REP001      tolerance discipline: float comparisons go through
@@ -14,7 +15,26 @@ REP004      seeding discipline: every stream descends from a seeded
             ``SeedSequence``; ``spawn`` is the only fan-out
 REP005      row determinism: no wall-clock, unsorted filesystem
             listings, or hash-order iteration feeding experiment rows
+REP006      backend purity: kernels reach numpy/scipy/numba/cupy
+            only through the ``repro.backend`` protocol
+REP007      campaign purity: cell digests derive only from the
+            deterministic spec record
+REP008      determinism taint: no clock/identity/set-order value
+            flows — across modules — into rows, digests, manifests
+            or cache keys
+REP009      seed provenance: no cross-module seed arithmetic feeding
+            an RNG on a run path; ``SeedSequence.spawn`` only
+REP010      resource lifecycle: shared-memory acquire/release pairing
+            holds on exception paths; no pre-fork thread primitives
+REP011      facade contract: public ``repro.api``/``repro.campaign``
+            signatures fully annotated; ``GRID_AXES`` in sync with
+            ``ExperimentSpec``
 ==========  =========================================================
+
+REP001–REP007 are pure functions of one file; REP008–REP011 run on
+the whole-project IR built by :mod:`repro.lint.project` and flow
+values through :mod:`repro.lint.dataflow` (incrementally cached with
+``--cache-dir``; SARIF output with ``--format sarif``).
 
 Suppress a false positive inline, justification mandatory::
 

@@ -1,0 +1,110 @@
+"""Incremental on-disk analysis cache for reprolint.
+
+One JSON file (``analysis.json`` inside ``--cache-dir``) maps each
+linted file's display path to the SHA-256 digest of its bytes plus
+everything the driver computed from it: file-rule violations, the
+suppression table, and the module summary used by the cross-module
+pass.  On a warm run, files whose digest is unchanged are served from
+the cache byte-identically; the project fixpoint still re-runs over
+all (cached or fresh) summaries, which is how *dependents* of an
+edited module are re-analyzed without being re-parsed.
+
+The cache is keyed defensively: a global signature covering the cache
+format version and the registered rule ids invalidates everything
+when the linter itself changes.  Corrupt or mismatched caches are
+ignored, never trusted — the cache can only make a run faster, not
+change its output.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+__all__ = ["AnalysisCache", "file_digest"]
+
+_CACHE_FORMAT = 2
+_CACHE_FILENAME = "analysis.json"
+
+
+def file_digest(data: bytes) -> str:
+    """Content digest used as the per-file cache key."""
+    return hashlib.sha256(data).hexdigest()
+
+
+class AnalysisCache:
+    """Digest-keyed per-file entries behind one atomic JSON file."""
+
+    def __init__(self, cache_dir: Path, signature: str) -> None:
+        self.path = cache_dir / _CACHE_FILENAME
+        self.signature = signature
+        self.entries: dict[str, dict[str, Any]] = {}
+        self.reused = 0
+        self.analyzed = 0
+        self._dirty = False
+
+    @classmethod
+    def load(cls, cache_dir: str | Path, signature: str,
+             ) -> "AnalysisCache":
+        cache = cls(Path(cache_dir), signature)
+        try:
+            raw = cache.path.read_text(encoding="utf-8")
+            payload = json.loads(raw)
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(payload, dict) or \
+                payload.get("format") != _CACHE_FORMAT or \
+                payload.get("signature") != signature:
+            return cache
+        entries = payload.get("entries")
+        if isinstance(entries, dict):
+            cache.entries = {
+                path: entry for path, entry in entries.items()
+                if isinstance(entry, dict) and "digest" in entry
+            }
+        return cache
+
+    def get(self, display_path: str, digest: str,
+            ) -> dict[str, Any] | None:
+        """The cached entry for an unchanged file, else None."""
+        entry = self.entries.get(display_path)
+        if entry is not None and entry.get("digest") == digest:
+            self.reused += 1
+            return entry
+        self.analyzed += 1
+        return None
+
+    def put(self, display_path: str, entry: dict[str, Any]) -> None:
+        if self.entries.get(display_path) != entry:
+            self.entries[display_path] = entry
+            self._dirty = True
+
+    def prune(self, live_paths: set[str]) -> None:
+        """Drop entries for files that no longer exist in the walk."""
+        stale = [path for path in self.entries if path not in live_paths]
+        for path in stale:
+            del self.entries[path]
+            self._dirty = True
+
+    def save(self) -> None:
+        """Atomically persist the cache (best-effort: failures are
+        swallowed — a missing cache only costs the next run time)."""
+        if not self._dirty:
+            return
+        payload = {
+            "format": _CACHE_FORMAT,
+            "signature": self.signature,
+            "entries": {path: self.entries[path]
+                        for path in sorted(self.entries)},
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_name(_CACHE_FILENAME + ".tmp")
+            tmp.write_text(json.dumps(payload, sort_keys=True),
+                           encoding="utf-8")
+            os.replace(tmp, self.path)
+        except OSError:
+            return

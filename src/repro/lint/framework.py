@@ -23,18 +23,23 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
+from repro.lint.cache import AnalysisCache, file_digest
+from repro.lint.project import (IR_VERSION, ModuleSummary, Project,
+                                summarize_module)
 from repro.lint.suppress import SuppressionTable, parse_suppressions
 
 __all__ = [
     "Violation",
     "FileContext",
     "Rule",
+    "ProjectRule",
     "LintReport",
     "iter_python_files",
     "lint_file",
     "run_paths",
+    "cache_signature",
 ]
 
 #: Rule id used for meta problems (bad suppressions, parse errors).
@@ -116,6 +121,26 @@ class Rule:
         yield  # pragma: no cover
 
 
+class ProjectRule(Rule):
+    """A rule over the whole project rather than one file.
+
+    Project rules see the assembled :class:`~repro.lint.project.Project`
+    (every module's summary) and run once per lint invocation, after
+    all files are summarized.  They never run per-file, so
+    :meth:`applies` is False; their violations are still filtered
+    through each file's inline suppression table by the driver.
+    """
+
+    def applies(self, posix_path: str) -> bool:
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        return iter(())
+
+    def check_project(self, project: Project) -> Iterable[Violation]:
+        raise NotImplementedError
+
+
 @dataclass
 class LintReport:
     """Aggregated result of one lint run."""
@@ -123,6 +148,10 @@ class LintReport:
     violations: list[Violation] = field(default_factory=list)
     suppressed: int = 0
     files: int = 0
+    #: Incremental-cache accounting (never part of the JSON payload —
+    #: reports must be byte-identical cold vs. warm).
+    files_analyzed: int = 0
+    files_reused: int = 0
 
     @property
     def by_rule(self) -> dict[str, int]:
@@ -163,21 +192,27 @@ def iter_python_files(paths: Sequence[str | Path],
                     yield entry
 
 
-def lint_file(path: Path, rules: Sequence[Rule],
-              root: Path | None = None) -> tuple[list[Violation], int]:
-    """Lint one file; returns (violations, suppressed_count)."""
+def _display_path(path: Path, root: Path | None) -> str:
     base = root if root is not None else Path.cwd()
     try:
-        display = str(path.relative_to(base))
+        return str(path.relative_to(base))
     except ValueError:
-        display = str(path)
-    source = path.read_text(encoding="utf-8")
+        return str(path)
+
+
+def _analyze_source(path: Path, display: str, source: str,
+                    rules: Sequence[Rule],
+                    ) -> tuple[list[Violation], int,
+                               SuppressionTable | None,
+                               ModuleSummary | None]:
+    """Run the per-file stage: file rules, suppressions, summary."""
     try:
         ctx = FileContext(path, display, source)
     except SyntaxError as exc:
-        return [Violation(path=display, line=exc.lineno or 0,
-                          col=exc.offset or 0, rule=META_RULE,
-                          message=f"file does not parse: {exc.msg}")], 0
+        return ([Violation(path=display, line=exc.lineno or 0,
+                           col=exc.offset or 0, rule=META_RULE,
+                           message=f"file does not parse: {exc.msg}")],
+                0, None, None)
     found: list[Violation] = list(ctx.suppressions.problems(display))
     suppressed = 0
     for rule in rules:
@@ -190,23 +225,130 @@ def lint_file(path: Path, rules: Sequence[Rule],
                 suppressed += 1
             else:
                 found.append(violation)
-    return sorted(found), suppressed
+    summary = summarize_module(ctx.posix_path, ctx.tree)
+    return sorted(found), suppressed, ctx.suppressions, summary
+
+
+def lint_file(path: Path, rules: Sequence[Rule],
+              root: Path | None = None) -> tuple[list[Violation], int]:
+    """Lint one file; returns (violations, suppressed_count).
+
+    Only the per-file stage runs here — :class:`ProjectRule` needs the
+    whole tree and is driven by :func:`run_paths`.
+    """
+    display = _display_path(path, root)
+    source = path.read_text(encoding="utf-8")
+    violations, suppressed, _, _ = _analyze_source(path, display, source,
+                                                   rules)
+    return violations, suppressed
+
+
+def cache_signature(rules: Sequence[Rule]) -> str:
+    """Global analysis-cache key: invalidates on any linter change."""
+    ids = ",".join(sorted(rule.rule_id for rule in rules))
+    return f"ir={IR_VERSION};rules={ids}"
+
+
+def _entry_from_analysis(digest: str, violations: list[Violation],
+                         suppressed: int,
+                         table: SuppressionTable | None,
+                         summary: ModuleSummary | None,
+                         ) -> dict[str, Any]:
+    return {
+        "digest": digest,
+        "violations": [v.as_json() for v in violations],
+        "suppressed": suppressed,
+        "suppress_lines": ({str(line): sorted(ids) for line, ids
+                            in table.by_line.items()}
+                           if table is not None else None),
+        "summary": summary.as_json() if summary is not None else None,
+    }
+
+
+def _entry_decode(entry: dict[str, Any],
+                  ) -> tuple[list[Violation], int,
+                             SuppressionTable | None,
+                             ModuleSummary | None]:
+    violations = [
+        Violation(path=str(v["path"]), line=int(v["line"]),
+                  col=int(v["col"]), rule=str(v["rule"]),
+                  message=str(v["message"]))
+        for v in entry["violations"]
+    ]
+    table: SuppressionTable | None = None
+    if entry["suppress_lines"] is not None:
+        table = SuppressionTable(by_line={
+            int(line): set(ids)
+            for line, ids in entry["suppress_lines"].items()})
+    summary = (ModuleSummary.from_json(entry["summary"])
+               if entry["summary"] is not None else None)
+    return violations, int(entry["suppressed"]), table, summary
 
 
 def run_paths(paths: Sequence[str | Path], rules: Sequence[Rule],
-              root: Path | None = None) -> LintReport:
-    """Lint every Python file beneath ``paths`` with ``rules``."""
+              root: Path | None = None,
+              cache_dir: str | Path | None = None) -> LintReport:
+    """Lint every Python file beneath ``paths`` with ``rules``.
+
+    Two stages: the per-file stage (file rules + module summaries,
+    served from the incremental cache when ``cache_dir`` is given and
+    the file's digest is unchanged) and the project stage
+    (:class:`ProjectRule` over the assembled summaries, recomputed
+    every run so editing one module re-checks its dependents).
+    """
     report = LintReport()
+    file_rules = [r for r in rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    cache: AnalysisCache | None = None
+    if cache_dir is not None:
+        cache = AnalysisCache.load(cache_dir, cache_signature(rules))
+
+    summaries: list[ModuleSummary] = []
+    tables: dict[str, SuppressionTable] = {}
     seen: set[Path] = set()
+    live: set[str] = set()
     for path in iter_python_files(paths, root=root):
         resolved = path.resolve()
         if resolved in seen:
             continue
         seen.add(resolved)
         report.files += 1
-        violations, suppressed = lint_file(path, rules, root=root)
+        display = _display_path(path, root)
+        live.add(display)
+        data = path.read_bytes()
+        digest = file_digest(data)
+        entry = cache.get(display, digest) if cache is not None else None
+        if entry is not None:
+            violations, suppressed, table, summary = _entry_decode(entry)
+            report.files_reused += 1
+        else:
+            source = data.decode("utf-8")
+            violations, suppressed, table, summary = _analyze_source(
+                path, display, source, file_rules)
+            report.files_analyzed += 1
+            if cache is not None:
+                cache.put(display, _entry_from_analysis(
+                    digest, violations, suppressed, table, summary))
         report.violations.extend(violations)
         report.suppressed += suppressed
+        if table is not None:
+            tables[display] = table
+        if summary is not None:
+            summaries.append(summary)
+
+    project = Project(summaries)
+    for rule in project_rules:
+        for violation in rule.check_project(project):
+            table = tables.get(violation.path)
+            if violation.rule != META_RULE and table is not None and \
+                    table.is_suppressed(violation.line, violation.rule):
+                report.suppressed += 1
+            else:
+                report.violations.append(violation)
+
+    if cache is not None:
+        cache.prune(live)
+        cache.save()
     report.violations.sort()
     return report
 

@@ -1,0 +1,828 @@
+"""Project model for reprolint's cross-module engine.
+
+The file-local rules (REP001-REP007) are pure functions of one
+:class:`~repro.lint.framework.FileContext`; the cross-module rules
+(REP008-REP011) need a *project*: which modules exist, what each one
+imports, which functions call which, and how values flow between
+them.  This module builds that model in two stages:
+
+1. :func:`summarize_module` lowers one parsed file into a
+   :class:`ModuleSummary` — imports resolved to dotted targets,
+   module-level literal constants, and one :class:`FunctionInfo` per
+   function (methods and nested functions included).  Each function
+   carries a small serializable IR: an ordered list of ops
+   (assignments, returns, loop bindings, bare expressions) whose
+   expressions record the names they read, the calls they make and a
+   few structural flags.  The summary is a pure function of the file's
+   source, which is what makes the incremental cache
+   (:mod:`repro.lint.cache`) sound: it is keyed by the file's content
+   digest alone.
+2. :class:`Project` assembles the summaries, resolves dotted call
+   references against imports and symbol tables, and answers the
+   queries the dataflow pass (:mod:`repro.lint.dataflow`) and the
+   project rules ask: "which function is ``shared.SharedStore.create``
+   here?", "which modules are transitively imported from
+   ``repro.api``?".
+
+Everything is deliberately conservative and *field-blind*: taint does
+not flow through object attributes or global state, calls that cannot
+be resolved statically propagate their arguments' labels to their
+result, and containers are tainted as a whole.  The soundness caveats
+are documented in ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = [
+    "CallIR",
+    "ExprIR",
+    "FunctionInfo",
+    "IR_VERSION",
+    "ModuleSummary",
+    "Project",
+    "ResourceEvent",
+    "module_name_for",
+    "summarize_module",
+]
+
+#: Bumped whenever the lowering changes shape; part of the analysis
+#: cache signature so stale summaries are never deserialized.
+IR_VERSION = 1
+
+#: Methods whose call on a resource variable counts as releasing it.
+_CLEANUP_METHODS = frozenset((
+    "close", "unlink", "shutdown", "terminate", "release", "join",
+))
+
+
+def module_name_for(posix_path: str) -> str:
+    """Dotted module name for a display path.
+
+    ``src/repro/obs/clock.py`` maps to ``repro.obs.clock`` (the
+    ``src``-layout root is stripped); anything else maps to its path
+    with separators replaced by dots (``benchmarks/bench_x.py`` →
+    ``benchmarks.bench_x``) — such modules can *refer to* package
+    modules but are never import targets themselves.
+    """
+    path = posix_path
+    if path.endswith(".py"):
+        path = path[:-3]
+    parts = [part for part in path.split("/") if part]
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else "__root__"
+
+
+# ---------------------------------------------------------------------------
+# IR dataclasses (all JSON-serializable through as_json/from_json)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExprIR:
+    """What the dataflow pass needs to know about one expression."""
+
+    names: tuple[str, ...] = ()
+    calls: tuple["CallIR", ...] = ()
+    binop: bool = False
+    isset: bool = False
+    line: int = 0
+    col: int = 0
+
+    def as_json(self) -> dict[str, Any]:
+        return {
+            "n": list(self.names),
+            "c": [c.as_json() for c in self.calls],
+            "b": self.binop,
+            "s": self.isset,
+            "l": self.line,
+            "o": self.col,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "ExprIR":
+        return cls(names=tuple(data["n"]),
+                   calls=tuple(CallIR.from_json(c) for c in data["c"]),
+                   binop=data["b"], isset=data["s"],
+                   line=data["l"], col=data["o"])
+
+
+@dataclass(frozen=True)
+class CallIR:
+    """One call site: dotted callee reference plus lowered arguments."""
+
+    ref: str | None
+    args: tuple[ExprIR, ...] = ()
+    keywords: tuple[tuple[str | None, ExprIR], ...] = ()
+    #: Receiver expression for method calls whose base is not a pure
+    #: dotted name (``SeedSequence(seed).spawn(n)``) — taint on the
+    #: receiver reaches the result.
+    recv: ExprIR | None = None
+    #: ``create=True`` keyword present (SharedMemory creation side).
+    create_kw: bool = False
+    line: int = 0
+    col: int = 0
+
+    def as_json(self) -> dict[str, Any]:
+        return {
+            "r": self.ref,
+            "a": [a.as_json() for a in self.args],
+            "k": [[name, expr.as_json()] for name, expr in self.keywords],
+            "v": self.recv.as_json() if self.recv is not None else None,
+            "cw": self.create_kw,
+            "l": self.line,
+            "o": self.col,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "CallIR":
+        return cls(
+            ref=data["r"],
+            args=tuple(ExprIR.from_json(a) for a in data["a"]),
+            keywords=tuple((name, ExprIR.from_json(expr))
+                           for name, expr in data["k"]),
+            recv=(ExprIR.from_json(data["v"])
+                  if data["v"] is not None else None),
+            create_kw=data["cw"], line=data["l"], col=data["o"])
+
+
+@dataclass(frozen=True)
+class ResourceEvent:
+    """One candidate acquisition site for the lifecycle rule."""
+
+    var: str
+    ref: str | None
+    create_kw: bool
+    line: int
+    col: int
+    in_with: bool
+    risky_after: bool
+    cleanup_any: bool
+    cleanup_protected: bool
+    returned: bool
+    stored_self: bool
+
+    def as_json(self) -> dict[str, Any]:
+        return {
+            "var": self.var, "ref": self.ref, "cw": self.create_kw,
+            "l": self.line, "o": self.col, "w": self.in_with,
+            "ra": self.risky_after, "ca": self.cleanup_any,
+            "cp": self.cleanup_protected, "rt": self.returned,
+            "ss": self.stored_self,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "ResourceEvent":
+        return cls(var=data["var"], ref=data["ref"], create_kw=data["cw"],
+                   line=data["l"], col=data["o"], in_with=data["w"],
+                   risky_after=data["ra"], cleanup_any=data["ca"],
+                   cleanup_protected=data["cp"], returned=data["rt"],
+                   stored_self=data["ss"])
+
+
+@dataclass
+class FunctionInfo:
+    """One function (or method, or nested function) in IR form."""
+
+    name: str
+    qualname: str
+    cls: str | None
+    params: tuple[str, ...]
+    line: int
+    col: int
+    #: Ordered ops: ("assign", targets, ExprIR) / ("iter", targets,
+    #: ExprIR) for loop bindings / ("return", (), ExprIR) /
+    #: ("expr", (), ExprIR).
+    ops: list[tuple[str, tuple[str, ...], ExprIR]] = field(
+        default_factory=list)
+    #: Nested function name → qualname, for call resolution.
+    local_funcs: dict[str, str] = field(default_factory=dict)
+    #: (ref, had create=True kwarg) of calls whose result this
+    #: function returns (directly, or through a local variable).
+    return_call_refs: tuple[tuple[str, bool], ...] = ()
+    resources: tuple[ResourceEvent, ...] = ()
+    is_public: bool = True
+    #: Parameter names (plus "return") lacking annotations.
+    missing_annotations: tuple[str, ...] = ()
+
+    def as_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name, "qual": self.qualname, "cls": self.cls,
+            "params": list(self.params), "l": self.line, "o": self.col,
+            "ops": [[kind, list(targets), expr.as_json()]
+                    for kind, targets, expr in self.ops],
+            "locals": dict(self.local_funcs),
+            "retrefs": [[ref, create] for ref, create
+                        in self.return_call_refs],
+            "res": [event.as_json() for event in self.resources],
+            "pub": self.is_public,
+            "missann": list(self.missing_annotations),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "FunctionInfo":
+        info = cls(name=data["name"], qualname=data["qual"],
+                   cls=data["cls"], params=tuple(data["params"]),
+                   line=data["l"], col=data["o"])
+        info.ops = [(kind, tuple(targets), ExprIR.from_json(expr))
+                    for kind, targets, expr in data["ops"]]
+        info.local_funcs = dict(data["locals"])
+        info.return_call_refs = tuple((str(ref), bool(create))
+                                      for ref, create in data["retrefs"])
+        info.resources = tuple(ResourceEvent.from_json(event)
+                               for event in data["res"])
+        info.is_public = data["pub"]
+        info.missing_annotations = tuple(data["missann"])
+        return info
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the project pass keeps about one module."""
+
+    name: str
+    path: str  # display path, forward slashes
+    imports: dict[str, str] = field(default_factory=dict)
+    deps: tuple[str, ...] = ()
+    constants: dict[str, Any] = field(default_factory=dict)
+    #: constant name → line it is defined on
+    constant_lines: dict[str, int] = field(default_factory=dict)
+    #: qualname ("f", "Cls.m", "outer.inner") → FunctionInfo
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: class name → tuple of annotated field names (dataclass-style)
+    class_fields: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def as_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "path": self.path,
+            "imports": dict(sorted(self.imports.items())),
+            "deps": sorted(self.deps),
+            "constants": {k: self.constants[k]
+                          for k in sorted(self.constants)},
+            "constant_lines": {k: self.constant_lines[k]
+                               for k in sorted(self.constant_lines)},
+            "functions": {qual: info.as_json()
+                          for qual, info in sorted(self.functions.items())},
+            "class_fields": {name: list(fields) for name, fields in
+                             sorted(self.class_fields.items())},
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "ModuleSummary":
+        summary = cls(name=data["name"], path=data["path"])
+        summary.imports = dict(data["imports"])
+        summary.deps = tuple(data["deps"])
+        summary.constants = dict(data["constants"])
+        summary.constant_lines = {name: int(line) for name, line
+                                  in data["constant_lines"].items()}
+        summary.functions = {qual: FunctionInfo.from_json(info)
+                             for qual, info in data["functions"].items()}
+        summary.class_fields = {name: tuple(fields) for name, fields in
+                                data["class_fields"].items()}
+        return summary
+
+
+# ---------------------------------------------------------------------------
+# Lowering: AST -> ModuleSummary
+# ---------------------------------------------------------------------------
+
+
+def _call_ref(func: ast.AST) -> str | None:
+    """Dotted reference for a call's func expression.
+
+    ``a.b.c`` forms resolve fully; a method on a computed base
+    (``SeedSequence(s).spawn``) yields ``"?.spawn"`` so tail-based
+    matchers still see the method name.
+    """
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        base = _call_ref(func.value)
+        if base is not None:
+            return base + "." + func.attr
+        return "?." + func.attr
+    return None
+
+
+def _lower_call(node: ast.Call) -> CallIR:
+    ref = _call_ref(node.func)
+    recv: ExprIR | None = None
+    if isinstance(node.func, ast.Attribute) and not isinstance(
+            node.func.value, (ast.Name, ast.Attribute)):
+        recv = _lower_expr(node.func.value)
+    args = []
+    for arg in node.args:
+        target = arg.value if isinstance(arg, ast.Starred) else arg
+        args.append(_lower_expr(target))
+    keywords: list[tuple[str | None, ExprIR]] = []
+    create_kw = False
+    for kw in node.keywords:
+        keywords.append((kw.arg, _lower_expr(kw.value)))
+        if kw.arg == "create" and isinstance(kw.value, ast.Constant) \
+                and kw.value.value is True:
+            create_kw = True
+    return CallIR(ref=ref, args=tuple(args), keywords=tuple(keywords),
+                  recv=recv, create_kw=create_kw,
+                  line=node.lineno, col=node.col_offset)
+
+
+def _lower_expr(node: ast.AST) -> ExprIR:
+    """Lower one expression: free names, call sites, structure flags."""
+    names: list[str] = []
+    calls: list[CallIR] = []
+    flags = {"binop": False, "isset": False}
+
+    def walk(n: ast.AST) -> None:
+        if isinstance(n, ast.Call):
+            calls.append(_lower_call(n))
+            # The callee chain itself contributes no data flow; the
+            # arguments are lowered inside the CallIR.
+            return
+        if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load):
+            if n.id not in names:
+                names.append(n.id)
+            return
+        if isinstance(n, ast.Attribute):
+            walk(n.value)
+            return
+        if isinstance(n, (ast.BinOp, ast.AugAssign)):
+            flags["binop"] = True
+        if isinstance(n, (ast.Set, ast.SetComp)):
+            flags["isset"] = True
+        if isinstance(n, (ast.Lambda, ast.FunctionDef,
+                          ast.AsyncFunctionDef)):
+            return  # deferred bodies do not flow here
+        for child in ast.iter_child_nodes(n):
+            walk(child)
+
+    walk(node)
+    return ExprIR(names=tuple(names), calls=tuple(calls),
+                  binop=flags["binop"], isset=flags["isset"],
+                  line=getattr(node, "lineno", 0),
+                  col=getattr(node, "col_offset", 0))
+
+
+def _target_names(target: ast.AST) -> tuple[str, ...]:
+    """Plain names bound by an assignment target (attributes and
+    subscripts are field-blind and dropped)."""
+    if isinstance(target, ast.Name):
+        return (target.id,)
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: list[str] = []
+        for element in target.elts:
+            names.extend(_target_names(element))
+        return tuple(names)
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return ()
+
+
+def _self_target(target: ast.AST) -> str | None:
+    """``"self.attr"`` for an attribute store on self, else None."""
+    if isinstance(target, ast.Attribute) and \
+            isinstance(target.value, ast.Name) and \
+            target.value.id in ("self", "cls"):
+        return f"{target.value.id}.{target.attr}"
+    return None
+
+
+class _FunctionLowerer:
+    """Lowers one function body to ops + resource events."""
+
+    def __init__(self, node: ast.FunctionDef | ast.AsyncFunctionDef,
+                 qualname: str, cls_name: str | None) -> None:
+        self.node: ast.FunctionDef | ast.AsyncFunctionDef = node
+        self.info = FunctionInfo(
+            name=node.name, qualname=qualname, cls=cls_name,
+            params=self._param_names(node), line=node.lineno,
+            col=node.col_offset,
+            is_public=not node.name.startswith("_"))
+        self._candidates: list[tuple[str, CallIR, bool]] = []
+        self._nested: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+
+    @staticmethod
+    def _param_names(node: ast.FunctionDef | ast.AsyncFunctionDef,
+                     ) -> tuple[str, ...]:
+        args = node.args
+        ordered = (list(args.posonlyargs) + list(args.args)
+                   + list(args.kwonlyargs))
+        names = [a.arg for a in ordered]
+        if args.vararg is not None:
+            names.append(args.vararg.arg)
+        if args.kwarg is not None:
+            names.append(args.kwarg.arg)
+        return tuple(names)
+
+    def lower(self) -> tuple[FunctionInfo,
+                             list[ast.FunctionDef | ast.AsyncFunctionDef]]:
+        self._missing_annotations()
+        for stmt in self.node.body:
+            self._stmt(stmt, in_with=False)
+        self._finish_resources()
+        self._return_refs()
+        return self.info, self._nested
+
+    def _missing_annotations(self) -> None:
+        node, args = self.node, self.node.args
+        ordered = (list(args.posonlyargs) + list(args.args)
+                   + list(args.kwonlyargs))
+        missing = [a.arg for a in ordered
+                   if a.annotation is None
+                   and a.arg not in ("self", "cls")]
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append("*" + args.vararg.arg)
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append("**" + args.kwarg.arg)
+        if node.returns is None and node.name != "__init__":
+            missing.append("return")
+        self.info.missing_annotations = tuple(missing)
+
+    # -- statements ----------------------------------------------------
+    def _stmt(self, stmt: ast.stmt, in_with: bool) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.info.local_funcs[stmt.name] = \
+                f"{self.info.qualname}.{stmt.name}"
+            self._nested.append(stmt)
+            return
+        if isinstance(stmt, ast.ClassDef):
+            return  # nested classes are out of scope
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            self._assign(stmt)
+            return
+        if isinstance(stmt, ast.Return):
+            expr = _lower_expr(stmt.value) if stmt.value is not None \
+                else ExprIR(line=stmt.lineno, col=stmt.col_offset)
+            self.info.ops.append(("return", (), expr))
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.info.ops.append(("iter", _target_names(stmt.target),
+                                  _lower_expr(stmt.iter)))
+            for sub in stmt.body + stmt.orelse:
+                self._stmt(sub, in_with)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                targets = _target_names(item.optional_vars) \
+                    if item.optional_vars is not None else ()
+                expr = _lower_expr(item.context_expr)
+                self.info.ops.append(("assign", targets, expr))
+                if targets:
+                    for call in expr.calls:
+                        self._candidates.append((targets[0], call, True))
+            for sub in stmt.body:
+                self._stmt(sub, in_with=True)
+            return
+        if isinstance(stmt, (ast.If, ast.While)):
+            self.info.ops.append(("expr", (), _lower_expr(stmt.test)))
+            for sub in stmt.body + stmt.orelse:
+                self._stmt(sub, in_with)
+            return
+        if isinstance(stmt, ast.Try):
+            for sub in stmt.body + stmt.orelse + stmt.finalbody:
+                self._stmt(sub, in_with)
+            for handler in stmt.handlers:
+                for sub in handler.body:
+                    self._stmt(sub, in_with)
+            return
+        if isinstance(stmt, ast.Expr):
+            self.info.ops.append(("expr", (), _lower_expr(stmt.value)))
+            return
+        if isinstance(stmt, (ast.Raise, ast.Assert)):
+            lowered = [_lower_expr(part) for part in
+                       (stmt.exc, stmt.cause) if part is not None] \
+                if isinstance(stmt, ast.Raise) else [_lower_expr(stmt.test)]
+            for expr in lowered:
+                self.info.ops.append(("expr", (), expr))
+            return
+        # Pass/Break/Continue/Global/Nonlocal/Import...: no data flow.
+
+    def _assign(self, stmt: ast.Assign | ast.AnnAssign | ast.AugAssign,
+                ) -> None:
+        if stmt.value is None:
+            return
+        expr = _lower_expr(stmt.value)
+        if isinstance(stmt, ast.Assign):
+            targets: list[str] = []
+            for target in stmt.targets:
+                targets.extend(_target_names(target))
+                self._resource_candidate(target, expr)
+            self.info.ops.append(("assign", tuple(targets), expr))
+        elif isinstance(stmt, ast.AnnAssign):
+            names = _target_names(stmt.target)
+            self.info.ops.append(("assign", names, expr))
+            self._resource_candidate(stmt.target, expr)
+        else:  # AugAssign: target reads itself, result has arithmetic
+            names = _target_names(stmt.target)
+            combined = ExprIR(names=tuple(set(expr.names) | set(names)),
+                              calls=expr.calls, binop=True,
+                              isset=expr.isset, line=expr.line,
+                              col=expr.col)
+            self.info.ops.append(("assign", names, combined))
+
+    def _resource_candidate(self, target: ast.AST, expr: ExprIR) -> None:
+        var = None
+        names = _target_names(target)
+        if len(names) == 1:
+            var = names[0]
+        else:
+            var = _self_target(target)
+        if var is None:
+            return
+        for call in expr.calls:
+            self._candidates.append((var, call, False))
+
+    # -- post-passes over the original AST -----------------------------
+    def _finish_resources(self) -> None:
+        """Resolve each candidate acquisition into a ResourceEvent."""
+        cleanup_lines: dict[str, list[tuple[int, bool]]] = {}
+        returned_vars: set[str] = set()
+        return_lines: list[int] = []
+        risky_lines: list[int] = []
+
+        protected: set[int] = set()
+        for outer in ast.walk(self.node):
+            if isinstance(outer, ast.Try):
+                shielded = outer.finalbody + [
+                    stmt for handler in outer.handlers
+                    for stmt in handler.body]
+                for stmt in shielded:
+                    for inner in ast.walk(stmt):
+                        if isinstance(inner, ast.Call):
+                            protected.add(inner.lineno)
+
+        for node in ast.walk(self.node):
+            if isinstance(node, ast.Call):
+                base = _call_ref(node.func)
+                if base is not None and "." in base and \
+                        base.rsplit(".", 1)[1] in _CLEANUP_METHODS:
+                    owner = base.rsplit(".", 1)[0]
+                    cleanup_lines.setdefault(owner, []).append(
+                        (node.lineno, node.lineno in protected))
+                else:
+                    risky_lines.append(node.lineno)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                return_lines.append(node.lineno)
+                for name_node in ast.walk(node.value):
+                    if isinstance(name_node, ast.Name):
+                        returned_vars.add(name_node.id)
+
+        events = []
+        for var, call, in_with in self._candidates:
+            cleanups = cleanup_lines.get(var, [])
+            events.append(ResourceEvent(
+                var=var, ref=call.ref, create_kw=call.create_kw,
+                line=call.line, col=call.col, in_with=in_with,
+                risky_after=any(line > call.line for line in risky_lines),
+                cleanup_any=bool(cleanups),
+                cleanup_protected=any(prot for _, prot in cleanups),
+                returned=(var in returned_vars
+                          or var.startswith(("self.", "cls."))),
+                stored_self=var.startswith(("self.", "cls."))))
+        self.info.resources = tuple(events)
+
+    def _return_refs(self) -> None:
+        """Refs of calls whose results this function returns."""
+        assigned_refs: dict[str, tuple[str, bool]] = {}
+        refs: list[tuple[str, bool]] = []
+        for kind, targets, expr in self.info.ops:
+            if kind == "assign" and len(targets) == 1 and expr.calls:
+                call = expr.calls[0]
+                if call.ref is not None:
+                    assigned_refs[targets[0]] = (call.ref,
+                                                 call.create_kw)
+            elif kind == "return":
+                for call in expr.calls:
+                    if call.ref is not None:
+                        refs.append((call.ref, call.create_kw))
+                for name in expr.names:
+                    if name in assigned_refs:
+                        refs.append(assigned_refs[name])
+        self.info.return_call_refs = tuple(dict.fromkeys(refs))
+
+
+def _module_imports(tree: ast.Module, module_name: str, is_package: bool,
+                    ) -> tuple[dict[str, str], set[str]]:
+    """(local name → dotted target, imported module deps)."""
+    imports: dict[str, str] = {}
+    deps: set[str] = set()
+    package = module_name if is_package else (
+        module_name.rsplit(".", 1)[0] if "." in module_name else "")
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                target = alias.name
+                deps.add(target)
+                if alias.asname is not None:
+                    imports[alias.asname] = target
+                else:
+                    imports[target.split(".")[0]] = target.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                anchor = package.split(".") if package else []
+                cut = len(anchor) - (node.level - 1)
+                anchor = anchor[:cut] if cut > 0 else []
+                base = ".".join(anchor + ([base] if base else []))
+            if not base:
+                continue
+            deps.add(base)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                target = f"{base}.{alias.name}"
+                deps.add(target)
+                imports[alias.asname or alias.name] = target
+    expanded = set()
+    for dep in deps:
+        parts = dep.split(".")
+        for i in range(1, len(parts) + 1):
+            expanded.add(".".join(parts[:i]))
+    return imports, expanded
+
+
+def _jsonable_const(value: Any) -> Any:
+    """The JSON-safe form of a literal constant, or raise TypeError.
+
+    The summaries round-trip through the on-disk cache as JSON, so
+    only JSON-representable constants are kept (set/bytes literals
+    like rule tables are dropped); tuples canonicalize to lists so
+    cold and warm runs see identical values.
+    """
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return [_jsonable_const(item) for item in value]
+    raise TypeError(type(value).__name__)
+
+
+def _module_constants(tree: ast.Module,
+                      ) -> tuple[dict[str, Any], dict[str, int]]:
+    """Module-level literal constants (``GRID_AXES``-style tuples)."""
+    constants: dict[str, Any] = {}
+    lines: dict[str, int] = {}
+    for stmt in tree.body:
+        target: ast.AST | None = None
+        value: ast.AST | None = None
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target, value = stmt.targets[0], stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            target, value = stmt.target, stmt.value
+        if not isinstance(target, ast.Name) or value is None:
+            continue
+        try:
+            constants[target.id] = _jsonable_const(
+                ast.literal_eval(value))
+        except (ValueError, TypeError, SyntaxError, MemoryError):
+            continue
+        lines[target.id] = stmt.lineno
+    return constants, lines
+
+
+def summarize_module(posix_path: str, tree: ast.Module) -> ModuleSummary:
+    """Lower one parsed module into its project summary."""
+    name = module_name_for(posix_path)
+    is_package = posix_path.endswith("__init__.py")
+    imports, deps = _module_imports(tree, name, is_package)
+    constants, constant_lines = _module_constants(tree)
+    summary = ModuleSummary(name=name, path=posix_path, imports=imports,
+                            deps=tuple(sorted(deps)),
+                            constants=constants,
+                            constant_lines=constant_lines)
+
+    pending: list[tuple[ast.FunctionDef | ast.AsyncFunctionDef,
+                        str, str | None]] = []
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            pending.append((stmt, stmt.name, None))
+        elif isinstance(stmt, ast.ClassDef):
+            fields: list[str] = []
+            for sub in stmt.body:
+                if isinstance(sub, ast.AnnAssign) and \
+                        isinstance(sub.target, ast.Name):
+                    fields.append(sub.target.id)
+                elif isinstance(sub, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                    pending.append((sub, f"{stmt.name}.{sub.name}",
+                                    stmt.name))
+            summary.class_fields[stmt.name] = tuple(fields)
+
+    while pending:
+        node, qualname, cls_name = pending.pop(0)
+        info, nested = _FunctionLowerer(node, qualname, cls_name).lower()
+        summary.functions[qualname] = info
+        for child in nested:
+            pending.append((child, f"{qualname}.{child.name}", cls_name))
+
+    # Module-level statements form a pseudo-function so module-scope
+    # calls participate in the analysis.
+    module_info = FunctionInfo(name="<module>", qualname="<module>",
+                               cls=None, params=(), line=1, col=0,
+                               missing_annotations=())
+    lowerer = _FunctionLowerer.__new__(_FunctionLowerer)
+    lowerer.info = module_info
+    lowerer._candidates = []
+    lowerer._nested = []
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Import, ast.ImportFrom)):
+            continue
+        lowerer._stmt(stmt, in_with=False)
+    summary.functions["<module>"] = module_info
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# Project assembly and reference resolution
+# ---------------------------------------------------------------------------
+
+
+class Project:
+    """All module summaries plus resolution and reachability queries."""
+
+    def __init__(self, summaries: list[ModuleSummary]) -> None:
+        self.modules: dict[str, ModuleSummary] = {}
+        for summary in summaries:
+            self.modules[summary.name] = summary
+
+    def iter_functions(self) -> Iterator[tuple[ModuleSummary,
+                                               FunctionInfo]]:
+        """Every function, in deterministic (module, qualname) order."""
+        for name in sorted(self.modules):
+            summary = self.modules[name]
+            for qual in sorted(summary.functions):
+                yield summary, summary.functions[qual]
+
+    def resolve_ref(self, summary: ModuleSummary, info: FunctionInfo,
+                    ref: str | None) -> str | None:
+        """Fully-qualified dotted name for a call reference.
+
+        Local symbols win over imports; unresolvable heads (local
+        variables, builtins) return the ref itself when it is already
+        dotted (so external matchers can inspect it) or None.
+        """
+        if ref is None:
+            return None
+        head, _, rest = ref.partition(".")
+        if head in ("self", "cls") and info.cls is not None and rest:
+            return f"{summary.name}.{info.cls}.{rest}"
+        if head in info.local_funcs and not rest:
+            return f"{summary.name}.{info.local_funcs[head]}"
+        if head in summary.functions and not rest:
+            return f"{summary.name}.{head}"
+        if head in summary.class_fields:
+            return f"{summary.name}.{ref}"
+        if head in summary.imports:
+            target = summary.imports[head]
+            return f"{target}.{rest}" if rest else target
+        # Unresolved heads (builtins, local variables) pass through so
+        # external matchers can still inspect the raw reference.
+        return ref
+
+    def function_for(self, qualified: str | None,
+                     ) -> tuple[ModuleSummary, FunctionInfo] | None:
+        """The project function behind a fully-qualified name.
+
+        Tries the longest module-name prefix; ``pkg.mod.Cls`` resolves
+        to ``Cls.__init__`` when present (constructor call).
+        """
+        if qualified is None:
+            return None
+        parts = qualified.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:split])
+            summary = self.modules.get(module)
+            if summary is None:
+                continue
+            qual = ".".join(parts[split:])
+            if qual in summary.functions:
+                return summary, summary.functions[qual]
+            init = f"{qual}.__init__"
+            if qual in summary.class_fields and init in summary.functions:
+                return summary, summary.functions[init]
+            return None
+        return None
+
+    def import_closure(self, roots: list[str]) -> set[str]:
+        """Modules transitively imported from ``roots`` (project
+        modules only; parent packages included)."""
+        seen: set[str] = set()
+        frontier = [root for root in roots if root in self.modules]
+        while frontier:
+            name = frontier.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            summary = self.modules.get(name)
+            if summary is None:
+                continue
+            for dep in summary.deps:
+                if dep in self.modules and dep not in seen:
+                    frontier.append(dep)
+        return seen

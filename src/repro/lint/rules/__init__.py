@@ -11,7 +11,11 @@ from repro.lint.rules.backend_purity import BackendPurity
 from repro.lint.rules.cache_purity import CachePurity
 from repro.lint.rules.campaign_purity import CampaignPurity
 from repro.lint.rules.determinism import RowDeterminism
+from repro.lint.rules.determinism_taint import DeterminismTaintRule
+from repro.lint.rules.facade_contract import FacadeContractRule
+from repro.lint.rules.lifecycle import ResourceLifecycleRule
 from repro.lint.rules.obliviousness import ObliviousnessContract
+from repro.lint.rules.seed_provenance import SeedProvenanceRule
 from repro.lint.rules.seeding import SeedingDiscipline
 from repro.lint.rules.tolerance import ToleranceDiscipline
 
@@ -25,6 +29,10 @@ RULE_CLASSES: tuple[type[Rule], ...] = (
     RowDeterminism,
     BackendPurity,
     CampaignPurity,
+    DeterminismTaintRule,
+    SeedProvenanceRule,
+    ResourceLifecycleRule,
+    FacadeContractRule,
 )
 
 

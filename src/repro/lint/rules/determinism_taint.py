@@ -1,0 +1,151 @@
+"""REP008 — nondeterminism taint reaching reproducibility sinks.
+
+REP005 flags a clock read *next to* a row append; it is blind the
+moment the value crosses a function boundary.  REP008 closes that
+hole with a whole-project taint pass: values produced by clock reads,
+host/process identity calls, or set-iteration order are labelled at
+the source and tracked through assignments, arithmetic, wrapper
+calls, returns and call arguments until they either die (attribute
+store, ``len``, ``sorted``) or arrive at one of the repo's
+reproducibility sinks — experiment rows, ``cell_digest``, manifest
+fields covered by ``deterministic_view``, or an L2/L3 cache key.  A
+helper that returns ``monotonic()`` taints every caller; a callee
+that forwards a parameter into ``exact_digest`` turns each tainted
+call site into a finding *at that call site*.
+
+Sources
+    wall/monotonic clock reads (``time.*``, ``datetime.now``,
+    ``repro.obs.clock.monotonic``); host/process identity
+    (``os.getpid``, ``socket.gethostname``, ``uuid.uuid4``,
+    ``os.urandom``); iteration order of a ``set`` (concrete the
+    moment the set is iterated or fixed with ``list``/``tuple``).
+
+Sinks
+    ``cell_digest``/``digest_preimage``; ``build_manifest``'s
+    deterministic keywords (``rows``/``spec``/``metrics``/
+    ``seed_streams`` — ``phase_totals`` and ``artifacts`` are
+    stripped by ``deterministic_view`` and stay exempt);
+    ``rows_digest``; ``exact_digest``; the L3 disk-cache and shared
+    L2-store key arguments; ``build_cell_record``.
+
+``sorted(...)`` sanitizes order labels; storing into an attribute
+kills taint (field-blind by design — see docs/STATIC_ANALYSIS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.dataflow import (Finding, SinkSpec, TaintAnalysis,
+                                 TaintSpec)
+from repro.lint.framework import ProjectRule, Violation
+from repro.lint.project import Project
+
+__all__ = ["DeterminismTaintRule"]
+
+_CLOCK_SOURCES = (
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+    "repro.obs.clock.monotonic",
+)
+_IDENTITY_SOURCES = (
+    "os.getpid", "os.getppid", "os.getcwd", "os.uname",
+    "socket.gethostname", "platform.node", "platform.platform",
+    "uuid.uuid1", "uuid.uuid4", "os.urandom",
+)
+
+#: Fully-qualified sink → which arguments must stay deterministic.
+_SINKS = {
+    "repro.campaign.spec.cell_digest": SinkSpec(
+        name="cell_digest", all_args=True),
+    "repro.campaign.spec.digest_preimage": SinkSpec(
+        name="digest_preimage", all_args=True),
+    "repro.obs.manifest.build_manifest": SinkSpec(
+        name="build_manifest (deterministic fields)",
+        keywords=frozenset({"rows", "spec", "metrics", "seed_streams"})),
+    "repro.obs.manifest.rows_digest": SinkSpec(
+        name="rows_digest", all_args=True),
+    "repro.perf.stats.exact_digest": SinkSpec(
+        name="exact_digest (L2 cache key)", all_args=True),
+    "repro.perf.disk.disk_get": SinkSpec(
+        name="disk_get (L3 cache key)", arg_indices=frozenset({0, 1})),
+    "repro.perf.disk.disk_put": SinkSpec(
+        name="disk_put (L3 cache key)", arg_indices=frozenset({0, 1})),
+    "repro.perf.disk.disk_get_object": SinkSpec(
+        name="disk_get_object (L3 cache key)",
+        arg_indices=frozenset({0, 1})),
+    "repro.perf.disk.disk_put_object": SinkSpec(
+        name="disk_put_object (L3 cache key)",
+        arg_indices=frozenset({0, 1})),
+    "repro.perf.shared.shared_get_or_compute": SinkSpec(
+        name="shared_get_or_compute (L2 cache key)",
+        arg_indices=frozenset({0, 1})),
+    "repro.campaign.store.build_cell_record": SinkSpec(
+        name="build_cell_record", all_args=True),
+}
+
+_TRANSPARENT = frozenset({
+    "str", "repr", "int", "float", "list", "tuple", "dict",
+    "round", "abs", "min", "max", "sum", "format",
+    "json.dumps", "copy.deepcopy",
+})
+_KILLERS = frozenset({"len", "bool", "isinstance", "type"})
+
+_KIND_PHRASE = {
+    "clock": "clock read",
+    "identity": "host/process identity",
+    "hashorder": "set iteration order",
+}
+
+
+def build_spec() -> TaintSpec:
+    """The REP008 taint configuration (exposed for tests)."""
+    sources = {name: ("clock", name) for name in _CLOCK_SOURCES}
+    sources.update(
+        {name: ("identity", name) for name in _IDENTITY_SOURCES})
+    return TaintSpec(
+        sources=sources,
+        sinks=dict(_SINKS),
+        sanitizers=frozenset({"sorted"}),
+        transparent=_TRANSPARENT,
+        killers=_KILLERS,
+        set_labels=True,
+        report_kinds=frozenset({"clock", "identity", "hashorder"}),
+    )
+
+
+def _message(finding: Finding) -> str:
+    kind = finding.label[0]
+    phrase = _KIND_PHRASE.get(kind, kind)
+    origin = finding.label[1] if len(finding.label) > 1 else None
+    if origin and origin not in ("set-iteration", "set-order"):
+        phrase = f"{phrase} ({origin})"
+    message = f"{phrase} flows into {finding.sink}"
+    if finding.via is not None:
+        message += f" via {finding.via}"
+    return message + "; deterministic outputs must not depend on it"
+
+
+class DeterminismTaintRule(ProjectRule):
+    """Cross-module determinism taint (REP008)."""
+
+    rule_id = "REP008"
+    summary = "nondeterministic value (clock, host identity, set " \
+              "order) flows into rows, digests, manifests, or cache " \
+              "keys"
+
+    def check_project(self, project: Project) -> Iterable[Violation]:
+        findings = TaintAnalysis(project, build_spec()).run()
+        seen: set[tuple[str, int, int, str, str]] = set()
+        for finding in findings:
+            key = (finding.path, finding.line, finding.col,
+                   finding.sink, finding.label[0])
+            if key in seen:
+                continue
+            seen.add(key)
+            yield Violation(path=finding.path, line=finding.line,
+                            col=finding.col, rule=self.rule_id,
+                            message=_message(finding))

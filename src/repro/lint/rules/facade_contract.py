@@ -1,0 +1,113 @@
+"""REP011 — façade typing and campaign axis drift.
+
+Two contracts that only a project-wide view can check:
+
+**Public signatures on the façade are fully annotated.**  The repo's
+mypy gate runs strict on a growing allow-list; this rule is the
+linter-side mirror that does not need mypy installed: every public
+function or method (name not starting with ``_``) in
+:mod:`repro.api` or under ``repro.campaign`` must annotate every
+parameter and its return type.  ``*args``/``**kwargs`` count;
+``self``/``cls`` and ``__init__``'s return do not.  Unannotated
+façade signatures are how untyped values leak into the typed core.
+
+**``GRID_AXES`` stays in sync with ``ExperimentSpec``.**  The
+campaign grid expands each axis by setting the same-named field on
+:class:`repro.api.ExperimentSpec` — an axis with no matching field
+would silently expand into cells whose setting is dropped on the
+floor.  The tuple lives in ``repro.campaign.spec`` and the dataclass
+in ``repro.api``, so a single-file pass cannot see the drift.  The
+rule resolves the ``ExperimentSpec`` import in any module defining a
+``GRID_AXES`` constant and requires every axis name to be a declared
+field of that class.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.lint.framework import ProjectRule, Violation
+from repro.lint.project import ModuleSummary, Project
+
+__all__ = ["FacadeContractRule"]
+
+#: Modules whose public signatures must be fully annotated.
+_TYPED_FACADES = ("repro.api", "repro.campaign")
+
+_AXIS_CONSTANT = "GRID_AXES"
+_SPEC_CLASS = "ExperimentSpec"
+
+
+def _in_facade(name: str) -> bool:
+    return any(name == facade or name.startswith(facade + ".")
+               for facade in _TYPED_FACADES)
+
+
+class FacadeContractRule(ProjectRule):
+    """Façade annotations + grid-axis drift (REP011)."""
+
+    rule_id = "REP011"
+    summary = "public facade signature unannotated, or campaign " \
+              "GRID_AXES out of sync with ExperimentSpec"
+
+    def check_project(self, project: Project) -> Iterable[Violation]:
+        for name in sorted(project.modules):
+            summary = project.modules[name]
+            if _in_facade(name):
+                yield from self._check_annotations(summary)
+            if _AXIS_CONSTANT in summary.constants:
+                yield from self._check_axes(project, summary)
+
+    def _check_annotations(self, summary: ModuleSummary,
+                           ) -> Iterable[Violation]:
+        for qual in sorted(summary.functions):
+            info = summary.functions[qual]
+            if not info.is_public or qual == "<module>":
+                continue
+            # Methods of private classes are not facade surface.
+            if info.cls is not None and info.cls.startswith("_"):
+                continue
+            # Only top-level functions and direct methods are facade
+            # surface; nested functions are implementation detail.
+            direct = (qual == info.name or
+                      (info.cls is not None and
+                       qual == f"{info.cls}.{info.name}"))
+            if not direct:
+                continue
+            for missing in info.missing_annotations:
+                what = ("return type" if missing == "return"
+                        else f"parameter `{missing}`")
+                yield Violation(
+                    path=summary.path, line=info.line, col=info.col,
+                    rule=self.rule_id,
+                    message=(f"public facade signature "
+                             f"`{qual}` leaves {what} "
+                             f"unannotated"))
+
+    def _check_axes(self, project: Project, summary: ModuleSummary,
+                    ) -> Iterable[Violation]:
+        axes = summary.constants[_AXIS_CONSTANT]
+        if not isinstance(axes, (tuple, list)):
+            return
+        target = summary.imports.get(_SPEC_CLASS)
+        if target is None:
+            return
+        module_name, _, class_name = target.rpartition(".")
+        spec_module = project.modules.get(module_name)
+        if spec_module is None:
+            return
+        fields = spec_module.class_fields.get(class_name)
+        if fields is None:
+            return
+        line = summary.constant_lines.get(_AXIS_CONSTANT, 0)
+        for axis in axes:
+            if not isinstance(axis, str) or axis in fields:
+                continue
+            yield Violation(
+                path=summary.path, line=line, col=0,
+                rule=self.rule_id,
+                message=(f"{_AXIS_CONSTANT} axis `{axis}` has no "
+                         f"matching field on "
+                         f"{module_name}.{class_name}; the grid "
+                         f"would expand a setting that is silently "
+                         f"dropped"))

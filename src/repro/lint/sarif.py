@@ -1,0 +1,80 @@
+"""SARIF 2.1.0 renderer for reprolint reports.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+standard GitHub code scanning ingests; emitting it lets reprolint
+findings land as inline PR annotations with no custom tooling.  The
+payload is the minimal valid subset of the 2.1.0 schema: one run, one
+tool driver listing every registered rule, one result per violation
+with a physical location.  ``tests/lint/test_sarif.py`` pins the
+structure the same way the JSON schema-v1 pin does.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.lint.framework import LintReport, Rule
+
+__all__ = ["report_as_sarif", "SARIF_VERSION", "SARIF_SCHEMA_URI"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+#: Reported for violations whose rule is not in the registry passed to
+#: the renderer (REP000 meta findings use index -1 per the SARIF spec
+#: convention "no ruleIndex available" → omitted).
+_TOOL_NAME = "reprolint"
+
+
+def report_as_sarif(report: LintReport, rules: Sequence[Rule],
+                    tool_version: str) -> dict[str, object]:
+    """The SARIF 2.1.0 payload for a finished run."""
+    ordered = sorted(rules, key=lambda rule: rule.rule_id)
+    rule_index = {rule.rule_id: i for i, rule in enumerate(ordered)}
+    descriptors: list[dict[str, object]] = [
+        {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.summary},
+        }
+        for rule in ordered
+    ]
+    results: list[dict[str, object]] = []
+    for violation in report.violations:
+        result: dict[str, object] = {
+            "ruleId": violation.rule,
+            "level": "error",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": violation.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": max(violation.line, 1),
+                            "startColumn": violation.col + 1,
+                        },
+                    },
+                },
+            ],
+        }
+        if violation.rule in rule_index:
+            result["ruleIndex"] = rule_index[violation.rule]
+        results.append(result)
+    return {
+        "version": SARIF_VERSION,
+        "$schema": SARIF_SCHEMA_URI,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "version": tool_version,
+                        "rules": descriptors,
+                    },
+                },
+                "results": results,
+            },
+        ],
+    }

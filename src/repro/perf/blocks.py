@@ -89,16 +89,30 @@ class ShmArena:
             offsets.append(cursor)
             cursor += array.nbytes + (-array.nbytes) % 64
         shm = shared_memory.SharedMemory(create=True, size=max(cursor, 1))
-        refs = []
-        for array, offset in zip(prepared, offsets):
-            view = np.ndarray(array.shape, dtype=array.dtype,
-                              buffer=shm.buf, offset=offset)
-            view[...] = array
-            view.flags.writeable = False
-            ref = ArrayRef(shm_name=shm.name, offset=offset,
-                           shape=tuple(array.shape), dtype=array.dtype.str)
-            _LOCAL[(shm.name, offset)] = view
-            refs.append(ref)
+        # The segment exists from here; copying can raise (e.g. a
+        # buffer error), and nothing would unlink it — release on
+        # failure before handing ownership to the arena (REP010).
+        try:
+            refs = []
+            for array, offset in zip(prepared, offsets):
+                view = np.ndarray(array.shape, dtype=array.dtype,
+                                  buffer=shm.buf, offset=offset)
+                view[...] = array
+                view.flags.writeable = False
+                ref = ArrayRef(shm_name=shm.name, offset=offset,
+                               shape=tuple(array.shape),
+                               dtype=array.dtype.str)
+                _LOCAL[(shm.name, offset)] = view
+                refs.append(ref)
+        except BaseException:
+            for key in [k for k in _LOCAL if k[0] == shm.name]:
+                del _LOCAL[key]
+            try:
+                shm.close()
+            except BufferError:
+                pass  # a live view keeps the mapping; unlink still runs
+            shm.unlink()
+            raise
         return cls(shm, refs)
 
     def close(self) -> None:

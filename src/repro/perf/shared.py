@@ -89,13 +89,22 @@ class SharedStore:
             capacity = int(os.environ.get(_ENV_CAPACITY, _DEFAULT_CAPACITY))
         capacity = max(capacity, 2 * _HEADER_BYTES)
         shm = shared_memory.SharedMemory(create=True, size=capacity)
-        store = cls(shm, lock, owner=True)
-        _U64.pack_into(shm.buf, _OFF_MAGIC, _MAGIC)
-        _U64.pack_into(shm.buf, _OFF_CAPACITY, shm.size)
-        _U64.pack_into(shm.buf, _OFF_COUNT, 0)
-        _U64.pack_into(shm.buf, _OFF_DATA_END, _HEADER_BYTES)
-        for i in range(len(_STAT_FIELDS)):
-            _U64.pack_into(shm.buf, _OFF_STATS + 8 * i, 0)
+        # From this line the segment exists in /dev/shm; a failure
+        # before the caller owns the store would leak it, so header
+        # initialization runs under a release-on-failure guard
+        # (REP010).
+        try:
+            store = cls(shm, lock, owner=True)
+            _U64.pack_into(shm.buf, _OFF_MAGIC, _MAGIC)
+            _U64.pack_into(shm.buf, _OFF_CAPACITY, shm.size)
+            _U64.pack_into(shm.buf, _OFF_COUNT, 0)
+            _U64.pack_into(shm.buf, _OFF_DATA_END, _HEADER_BYTES)
+            for i in range(len(_STAT_FIELDS)):
+                _U64.pack_into(shm.buf, _OFF_STATS + 8 * i, 0)
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
         return store
 
     @classmethod

@@ -9,7 +9,7 @@ import textwrap
 
 import pytest
 
-from repro.lint.framework import lint_file
+from repro.lint.framework import lint_file, run_paths
 from repro.lint.rules import default_rules
 
 
@@ -20,6 +20,23 @@ def lint_source(tmp_path):
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(textwrap.dedent(source), encoding="utf-8")
         return lint_file(path, default_rules(), root=tmp_path)
+    return _lint
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write a ``{rel_path: source}`` tree and run the full driver on
+    it — file rules *and* the cross-module project rules.  Returns the
+    :class:`~repro.lint.framework.LintReport`; pass ``cache_dir`` to
+    exercise the incremental cache."""
+    def _lint(files, cache_dir=None, rules=None):
+        for rel_path, source in files.items():
+            path = tmp_path / rel_path
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return run_paths([tmp_path], default_rules() if rules is None
+                         else rules, root=tmp_path,
+                         cache_dir=cache_dir)
     return _lint
 
 

@@ -1,0 +1,195 @@
+"""Incremental analysis cache: reuse, invalidation, and the
+byte-identical-report contract."""
+
+import json
+import textwrap
+import time
+
+from repro.lint.cache import AnalysisCache
+from repro.lint.cli import render_text, report_as_json
+from repro.lint.framework import cache_signature, run_paths
+from repro.lint.rules import default_rules
+
+_HELPER_CLEAN = """\
+    def stamp() -> float:
+        return 0.0
+"""
+
+_HELPER_TAINTED = """\
+    from repro.obs import clock
+
+    def stamp() -> float:
+        return clock.monotonic()
+"""
+
+_CONSUMER = """\
+    from repro.helper import stamp
+    from repro.perf.stats import exact_digest
+
+    def key() -> bytes:
+        t = stamp()
+        return exact_digest(b"k", t)
+"""
+
+
+def write_tree(tmp_path, files):
+    for rel_path, source in files.items():
+        path = tmp_path / rel_path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+def lint(tmp_path, cache_dir=None):
+    return run_paths([tmp_path], default_rules(), root=tmp_path,
+                     cache_dir=cache_dir)
+
+
+class TestWarmRuns:
+    def test_warm_run_reuses_every_file(self, tmp_path):
+        write_tree(tmp_path, {"src/repro/helper.py": _HELPER_CLEAN,
+                              "src/repro/consumer.py": _CONSUMER})
+        cache_dir = tmp_path / ".cache"
+        cold = lint(tmp_path, cache_dir)
+        assert cold.files_analyzed == 2 and cold.files_reused == 0
+        warm = lint(tmp_path, cache_dir)
+        assert warm.files_reused == 2 and warm.files_analyzed == 0
+
+    def test_reports_byte_identical_cold_vs_warm(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/helper.py": _HELPER_TAINTED,
+            "src/repro/consumer.py": _CONSUMER,
+            "src/repro/bad.py": "EPS = 1e-6\n",
+        })
+        cache_dir = tmp_path / ".cache"
+        cold = lint(tmp_path, cache_dir)
+        warm = lint(tmp_path, cache_dir)
+        no_cache = lint(tmp_path)
+        for a, b in ((cold, warm), (cold, no_cache)):
+            assert render_text(a) == render_text(b)
+            assert json.dumps(report_as_json(a), sort_keys=True) == \
+                json.dumps(report_as_json(b), sort_keys=True)
+
+    def test_set_constants_do_not_break_the_cache(self, tmp_path):
+        # ast.literal_eval of a set literal yields a Python set; the
+        # summary must still serialize (the constant is dropped, not
+        # crash json.dumps in AnalysisCache.save).
+        write_tree(tmp_path, {"src/repro/tables.py": """\
+            NAMES = {"clock", "uuid"}
+            AXES = ("trials", "jobs")
+        """})
+        cache_dir = tmp_path / ".cache"
+        cold = lint(tmp_path, cache_dir)
+        warm = lint(tmp_path, cache_dir)
+        assert cold.files_analyzed == 1
+        assert warm.files_reused == 1
+        assert render_text(cold) == render_text(warm)
+
+    def test_cache_stats_never_enter_the_json_payload(self, tmp_path):
+        write_tree(tmp_path, {"src/repro/helper.py": _HELPER_CLEAN})
+        report = lint(tmp_path, tmp_path / ".cache")
+        payload = report_as_json(report)
+        assert "files_analyzed" not in payload
+        assert "files_reused" not in payload
+
+
+class TestInvalidation:
+    def test_edited_file_is_reanalyzed(self, tmp_path):
+        write_tree(tmp_path, {"src/repro/helper.py": _HELPER_CLEAN,
+                              "src/repro/consumer.py": _CONSUMER})
+        cache_dir = tmp_path / ".cache"
+        lint(tmp_path, cache_dir)
+        write_tree(tmp_path, {"src/repro/helper.py": _HELPER_TAINTED})
+        warm = lint(tmp_path, cache_dir)
+        assert warm.files_analyzed == 1
+        assert warm.files_reused == 1
+
+    def test_dependent_of_edited_file_is_rechecked(self, tmp_path):
+        # consumer.py is served from the cache, but the project
+        # fixpoint re-runs: editing only helper.py makes a REP008
+        # finding appear in (unchanged) consumer.py.
+        write_tree(tmp_path, {"src/repro/helper.py": _HELPER_CLEAN,
+                              "src/repro/consumer.py": _CONSUMER})
+        cache_dir = tmp_path / ".cache"
+        before = lint(tmp_path, cache_dir)
+        assert [v for v in before.violations if v.rule == "REP008"] \
+            == []
+        write_tree(tmp_path, {"src/repro/helper.py": _HELPER_TAINTED})
+        after = lint(tmp_path, cache_dir)
+        found = [v for v in after.violations if v.rule == "REP008"]
+        assert len(found) == 1
+        assert found[0].path == "src/repro/consumer.py"
+        assert after.files_reused == 1  # consumer came from the cache
+
+    def test_untouched_files_keep_byte_identical_findings(self,
+                                                          tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/bad.py": "EPS = 1e-6\n",
+            "src/repro/other.py": "X = 1\n",
+        })
+        cache_dir = tmp_path / ".cache"
+        cold = lint(tmp_path, cache_dir)
+        write_tree(tmp_path, {"src/repro/other.py": "X = 2\n"})
+        warm = lint(tmp_path, cache_dir)
+        cold_bad = [v for v in cold.violations
+                    if v.path == "src/repro/bad.py"]
+        warm_bad = [v for v in warm.violations
+                    if v.path == "src/repro/bad.py"]
+        assert cold_bad == warm_bad
+        assert warm.files_reused == 1
+
+    def test_signature_change_invalidates_everything(self, tmp_path):
+        write_tree(tmp_path, {"src/repro/helper.py": _HELPER_CLEAN})
+        cache_dir = tmp_path / ".cache"
+        lint(tmp_path, cache_dir)
+        cache = AnalysisCache.load(cache_dir, "ir=0;rules=other")
+        assert cache.entries == {}
+        cache = AnalysisCache.load(cache_dir,
+                                   cache_signature(default_rules()))
+        assert cache.entries
+
+    def test_corrupt_cache_is_ignored(self, tmp_path):
+        write_tree(tmp_path, {"src/repro/helper.py": _HELPER_CLEAN})
+        cache_dir = tmp_path / ".cache"
+        lint(tmp_path, cache_dir)
+        (cache_dir / "analysis.json").write_text("{not json",
+                                                 encoding="utf-8")
+        warm = lint(tmp_path, cache_dir)
+        assert warm.files_analyzed == 1
+
+    def test_deleted_files_are_pruned(self, tmp_path):
+        write_tree(tmp_path, {"src/repro/helper.py": _HELPER_CLEAN,
+                              "src/repro/gone.py": "X = 1\n"})
+        cache_dir = tmp_path / ".cache"
+        lint(tmp_path, cache_dir)
+        (tmp_path / "src/repro/gone.py").unlink()
+        lint(tmp_path, cache_dir)
+        cache = AnalysisCache.load(cache_dir,
+                                   cache_signature(default_rules()))
+        assert set(cache.entries) == {"src/repro/helper.py"}
+
+
+class TestWarmIsFaster:
+    def test_warm_run_beats_cold_run(self, tmp_path):
+        # Enough nontrivial files that parsing and per-file rules
+        # dominate the fixed project-pass cost.
+        files = {}
+        body = "\n".join(
+            f"def f{i}(a: int) -> int:\n"
+            f"    values = [a + {i} for a in range(10)]\n"
+            f"    return sum(sorted(values))\n"
+            for i in range(40))
+        for n in range(30):
+            files[f"src/repro/gen/m{n:02d}.py"] = body
+        write_tree(tmp_path, files)
+        cache_dir = tmp_path / ".cache"
+
+        start = time.perf_counter()
+        cold = lint(tmp_path, cache_dir)
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = lint(tmp_path, cache_dir)
+        warm_s = time.perf_counter() - start
+
+        assert cold.files_analyzed == 30 and warm.files_reused == 30
+        assert render_text(cold) == render_text(warm)
+        assert warm_s < cold_s

@@ -1,0 +1,561 @@
+"""Good/bad fixture pairs for the cross-module rules REP008–REP011.
+
+Every *bad* case here includes at least one positive that a
+single-file pass provably cannot detect: the same consumer file
+linted on its own (the callee module absent from the project) must
+report nothing, while the full tree must report the flow.
+"""
+
+
+def rules_of(report):
+    return [v.rule for v in report.violations]
+
+
+def by_rule(report, rule_id):
+    return [v for v in report.violations if v.rule == rule_id]
+
+
+# ---------------------------------------------------------------------------
+# REP008 — determinism taint
+# ---------------------------------------------------------------------------
+
+_CLOCK_HELPER = """\
+    from repro.obs import clock
+
+    def stamp() -> float:
+        return clock.monotonic()
+"""
+
+
+class TestRep008DeterminismTaint:
+    def test_clock_through_helper_reaches_digest(self, lint_tree):
+        report = lint_tree({
+            "src/repro/helper.py": _CLOCK_HELPER,
+            "src/repro/consumer.py": """\
+                from repro.helper import stamp
+                from repro.perf.stats import exact_digest
+
+                def key() -> bytes:
+                    t = stamp()
+                    return exact_digest(b"k", t)
+            """,
+        })
+        found = by_rule(report, "REP008")
+        assert len(found) == 1
+        assert found[0].path == "src/repro/consumer.py"
+        assert found[0].line == 6
+        assert "clock" in found[0].message
+        assert "exact_digest" in found[0].message
+
+    def test_single_file_pass_cannot_see_the_flow(self, lint_tree):
+        # The consumer alone: ``stamp`` is unresolvable, so no taint.
+        report = lint_tree({
+            "src/repro/consumer.py": """\
+                from repro.helper import stamp
+                from repro.perf.stats import exact_digest
+
+                def key() -> bytes:
+                    t = stamp()
+                    return exact_digest(b"k", t)
+            """,
+        })
+        assert by_rule(report, "REP008") == []
+
+    def test_callee_side_sink_reports_at_call_site(self, lint_tree):
+        # The tainted value is produced by the caller and sunk by the
+        # callee: the finding lands at the call site, naming the
+        # callee it flowed through.
+        report = lint_tree({
+            "src/repro/sinkmod.py": """\
+                from repro.perf.stats import exact_digest
+
+                def remember(value) -> bytes:
+                    return exact_digest(b"k", value)
+            """,
+            "src/repro/caller.py": """\
+                from repro.obs import clock
+                from repro.sinkmod import remember
+
+                def record() -> bytes:
+                    t = clock.monotonic()
+                    return remember(t)
+            """,
+        })
+        found = by_rule(report, "REP008")
+        assert len(found) == 1
+        assert found[0].path == "src/repro/caller.py"
+        assert "via repro.sinkmod.remember" in found[0].message
+
+    def test_identity_into_manifest_keyword(self, lint_tree):
+        report = lint_tree({
+            "src/repro/idhelper.py": """\
+                import os
+
+                def whoami() -> int:
+                    return os.getpid()
+            """,
+            "src/repro/maker.py": """\
+                from repro.idhelper import whoami
+                from repro.obs.manifest import build_manifest
+
+                def manifest(spec, rows, metrics):
+                    return build_manifest(
+                        experiment="x", spec=spec, rows=rows,
+                        metrics=metrics, phase_totals={},
+                        seed_streams=whoami())
+            """,
+        })
+        found = by_rule(report, "REP008")
+        assert len(found) == 1
+        assert "identity" in found[0].message
+
+    def test_phase_totals_keyword_is_exempt(self, lint_tree):
+        # ``phase_totals`` is stripped by deterministic_view, so a
+        # clock value there is fine by design.
+        report = lint_tree({
+            "src/repro/helper.py": _CLOCK_HELPER,
+            "src/repro/maker.py": """\
+                from repro.helper import stamp
+                from repro.obs.manifest import build_manifest
+
+                def manifest(spec, rows, metrics):
+                    return build_manifest(
+                        experiment="x", spec=spec, rows=rows,
+                        metrics=metrics,
+                        phase_totals={"total": stamp()})
+            """,
+        })
+        assert by_rule(report, "REP008") == []
+
+    def test_set_order_laundered_through_list(self, lint_tree):
+        report = lint_tree({
+            "src/repro/sethelper.py": """\
+                def keys(mapping) -> list:
+                    pending = set(mapping)
+                    return list(pending)
+            """,
+            "src/repro/consumer.py": """\
+                from repro.sethelper import keys
+                from repro.perf.stats import exact_digest
+
+                def digest(mapping) -> bytes:
+                    return exact_digest(*keys(mapping))
+            """,
+        })
+        found = by_rule(report, "REP008")
+        assert len(found) == 1
+        assert "set" in found[0].message
+
+    def test_sorted_sanitizes_set_order(self, lint_tree):
+        report = lint_tree({
+            "src/repro/sethelper.py": """\
+                def keys(mapping) -> list:
+                    pending = set(mapping)
+                    return sorted(pending)
+            """,
+            "src/repro/consumer.py": """\
+                from repro.sethelper import keys
+                from repro.perf.stats import exact_digest
+
+                def digest(mapping) -> bytes:
+                    return exact_digest(*keys(mapping))
+            """,
+        })
+        assert by_rule(report, "REP008") == []
+
+    def test_clock_not_reaching_a_sink_is_fine(self, lint_tree):
+        report = lint_tree({
+            "src/repro/helper.py": _CLOCK_HELPER,
+            "src/repro/journal.py": """\
+                from repro.helper import stamp
+
+                def entry() -> dict:
+                    return {"elapsed": stamp()}
+            """,
+        })
+        assert by_rule(report, "REP008") == []
+
+
+# ---------------------------------------------------------------------------
+# REP009 — seed provenance
+# ---------------------------------------------------------------------------
+
+
+class TestRep009SeedProvenance:
+    def test_cross_module_seed_arithmetic(self, lint_tree):
+        report = lint_tree({
+            "src/repro/derive.py": """\
+                def child_seed(seed: int, trial: int) -> int:
+                    return seed * 1000 + trial
+            """,
+            "src/repro/runner.py": """\
+                from numpy.random import default_rng
+
+                from repro.derive import child_seed
+
+                def stream(seed: int, trial: int):
+                    return default_rng(child_seed(seed, trial))
+            """,
+        })
+        found = by_rule(report, "REP009")
+        assert len(found) == 1
+        assert found[0].path == "src/repro/runner.py"
+        assert "SeedSequence.spawn" in found[0].message
+
+    def test_single_file_pass_cannot_see_the_arithmetic(self,
+                                                        lint_tree):
+        report = lint_tree({
+            "src/repro/runner.py": """\
+                from numpy.random import default_rng
+
+                from repro.derive import child_seed
+
+                def stream(seed: int, trial: int):
+                    return default_rng(child_seed(seed, trial))
+            """,
+        })
+        assert by_rule(report, "REP009") == []
+
+    def test_spawned_children_are_sanctioned(self, lint_tree):
+        report = lint_tree({
+            "src/repro/derive.py": """\
+                import numpy as np
+
+                def child_seeds(seed: int, count: int) -> list:
+                    parent = np.random.SeedSequence(int(seed))
+                    return list(parent.spawn(int(count)))
+            """,
+            "src/repro/runner.py": """\
+                from numpy.random import default_rng
+
+                from repro.derive import child_seeds
+
+                def streams(seed: int, count: int) -> list:
+                    return [default_rng(child)
+                            for child in child_seeds(seed, count)]
+            """,
+        })
+        assert by_rule(report, "REP009") == []
+
+    def test_plain_seed_passthrough_is_fine(self, lint_tree):
+        report = lint_tree({
+            "src/repro/runner.py": """\
+                from numpy.random import default_rng
+
+                def stream(seed: int):
+                    return default_rng(seed)
+            """,
+        })
+        assert by_rule(report, "REP009") == []
+
+    def test_scope_excludes_modules_outside_run_paths(self, lint_tree):
+        # With a ``repro.api`` in the project, only its import
+        # closure is in scope: the same bad flow in an unrelated
+        # analysis script is not reported.
+        files = {
+            "src/repro/api.py": """\
+                from repro.derive import child_seed
+
+                def run_experiment(name: str, seed: int) -> int:
+                    return child_seed(seed, 0)
+            """,
+            "src/repro/derive.py": """\
+                def child_seed(seed: int, trial: int) -> int:
+                    return seed * 1000 + trial
+            """,
+            "src/repro/scratch.py": """\
+                from numpy.random import default_rng
+
+                from repro.derive import child_seed
+
+                def stream(seed: int, trial: int):
+                    return default_rng(child_seed(seed, trial))
+            """,
+        }
+        report = lint_tree(files)
+        assert by_rule(report, "REP009") == []
+        # ...but the moment the api itself imports the consumer, the
+        # flow is on a gated path and is reported.
+        files["src/repro/api.py"] = """\
+            from repro.scratch import stream
+
+            def run_experiment(name: str, seed: int):
+                return stream(seed, 0)
+        """
+        report = lint_tree(files)
+        found = by_rule(report, "REP009")
+        assert len(found) == 1
+        assert found[0].path == "src/repro/scratch.py"
+
+
+# ---------------------------------------------------------------------------
+# REP010 — shared-resource lifecycle
+# ---------------------------------------------------------------------------
+
+
+class TestRep010Lifecycle:
+    def test_unguarded_create_with_risky_calls_leaks(self, lint_tree):
+        report = lint_tree({
+            "src/repro/seg.py": """\
+                from multiprocessing import shared_memory
+
+                def fill(data: bytes):
+                    shm = shared_memory.SharedMemory(create=True,
+                                                     size=len(data))
+                    shm.buf[:len(data)] = data
+                    publish(shm.name)
+                    return shm
+
+                def publish(name: str) -> None:
+                    pass
+            """,
+        })
+        found = by_rule(report, "REP010")
+        assert len(found) == 1
+        assert "leak" in found[0].message
+
+    def test_guarded_create_is_fine(self, lint_tree):
+        report = lint_tree({
+            "src/repro/seg.py": """\
+                from multiprocessing import shared_memory
+
+                def fill(data: bytes):
+                    shm = shared_memory.SharedMemory(create=True,
+                                                     size=len(data))
+                    try:
+                        shm.buf[:len(data)] = data
+                        publish(shm.name)
+                    except BaseException:
+                        shm.close()
+                        shm.unlink()
+                        raise
+                    return shm
+
+                def publish(name: str) -> None:
+                    pass
+            """,
+        })
+        assert by_rule(report, "REP010") == []
+
+    def test_with_block_is_fine(self, lint_tree):
+        report = lint_tree({
+            "src/repro/seg.py": """\
+                from multiprocessing import shared_memory
+
+                def peek(name: str) -> bytes:
+                    with shared_memory.SharedMemory(name=name) as shm:
+                        return bytes(shm.buf[:8])
+            """,
+        })
+        assert by_rule(report, "REP010") == []
+
+    def test_attach_without_create_is_exempt(self, lint_tree):
+        report = lint_tree({
+            "src/repro/seg.py": """\
+                from multiprocessing import shared_memory
+
+                def attach(name: str):
+                    shm = shared_memory.SharedMemory(name=name)
+                    check(shm)
+                    return shm
+
+                def check(shm) -> None:
+                    pass
+            """,
+        })
+        assert by_rule(report, "REP010") == []
+
+    def test_factory_consumer_cross_module_leak(self, lint_tree):
+        # The factory wraps the segment in an object (the
+        # SharedStore.create idiom); the consumer two modules away is
+        # held to the same standard as a raw SharedMemory call.
+        report = lint_tree({
+            "src/repro/seg.py": """\
+                from multiprocessing import shared_memory
+
+                class Store:
+                    def __init__(self, shm):
+                        self._shm = shm
+
+                    def close(self) -> None:
+                        self._shm.close()
+
+                def make_store():
+                    shm = shared_memory.SharedMemory(create=True,
+                                                     size=64)
+                    try:
+                        store = Store(shm)
+                    except BaseException:
+                        shm.close()
+                        shm.unlink()
+                        raise
+                    return store
+            """,
+            "src/repro/user.py": """\
+                from repro.seg import make_store
+
+                def setup():
+                    store = make_store()
+                    warm_up(store)
+                    return store
+
+                def warm_up(store) -> None:
+                    pass
+            """,
+        })
+        found = by_rule(report, "REP010")
+        assert [v.path for v in found] == ["src/repro/user.py"]
+
+    def test_single_file_pass_cannot_see_the_factory(self, lint_tree):
+        report = lint_tree({
+            "src/repro/user.py": """\
+                from repro.seg import make_store
+
+                def setup():
+                    store = make_store()
+                    warm_up(store)
+                    return store
+
+                def warm_up(store) -> None:
+                    pass
+            """,
+        })
+        assert by_rule(report, "REP010") == []
+
+    def test_factory_consumer_with_finally_is_fine(self, lint_tree):
+        report = lint_tree({
+            "src/repro/seg.py": """\
+                from multiprocessing import shared_memory
+
+                def make_store():
+                    return shared_memory.SharedMemory(create=True,
+                                                      size=64)
+            """,
+            "src/repro/user.py": """\
+                from repro.seg import make_store
+
+                def use() -> int:
+                    store = make_store()
+                    try:
+                        return work(store)
+                    finally:
+                        store.close()
+                        store.unlink()
+
+                def work(store) -> int:
+                    return 0
+            """,
+        })
+        assert by_rule(report, "REP010") == []
+
+    def test_thread_primitive_on_prefork_pool_path(self, lint_tree):
+        report = lint_tree({
+            "src/repro/campaign/pool.py": """\
+                import threading
+
+                from repro.campaign.dispatch import prepare
+
+                class Pool:
+                    def __init__(self, jobs: int) -> None:
+                        self.jobs = jobs
+                        prepare(self)
+
+                def _worker_main(tasks) -> None:
+                    # Post-fork: a thread here is the child's business.
+                    pump = threading.Thread(target=list)
+                    pump.start()
+            """,
+            "src/repro/campaign/dispatch.py": """\
+                import threading
+
+                def prepare(pool) -> None:
+                    pool.guard = threading.Lock()
+            """,
+        })
+        found = by_rule(report, "REP010")
+        assert len(found) == 1
+        assert found[0].path == "src/repro/campaign/dispatch.py"
+        assert "pre-fork" in found[0].message
+
+
+# ---------------------------------------------------------------------------
+# REP011 — facade typing and axis drift
+# ---------------------------------------------------------------------------
+
+
+class TestRep011FacadeContract:
+    def test_unannotated_public_facade_function(self, lint_tree):
+        report = lint_tree({
+            "src/repro/api.py": """\
+                def run_experiment(name, spec) -> dict:
+                    return {}
+
+                def _internal(x):
+                    return x
+            """,
+        })
+        found = by_rule(report, "REP011")
+        assert len(found) == 2
+        assert all("run_experiment" in v.message for v in found)
+
+    def test_fully_annotated_facade_is_fine(self, lint_tree):
+        report = lint_tree({
+            "src/repro/api.py": """\
+                def run_experiment(name: str, spec: dict) -> dict:
+                    return {}
+            """,
+        })
+        assert by_rule(report, "REP011") == []
+
+    def test_non_facade_modules_are_not_held_to_it(self, lint_tree):
+        report = lint_tree({
+            "src/repro/perf/stats.py": """\
+                def accumulate(values):
+                    return sum(values)
+            """,
+        })
+        assert by_rule(report, "REP011") == []
+
+    def test_grid_axis_drift_across_modules(self, lint_tree):
+        report = lint_tree({
+            "src/repro/api.py": """\
+                class ExperimentSpec:
+                    trials: int
+                    seed: int
+            """,
+            "src/repro/campaign/spec.py": """\
+                from repro.api import ExperimentSpec
+
+                GRID_AXES = ("trials", "seed", "warp")
+            """,
+        })
+        found = by_rule(report, "REP011")
+        assert len(found) == 1
+        assert found[0].path == "src/repro/campaign/spec.py"
+        assert found[0].line == 3
+        assert "warp" in found[0].message
+
+    def test_axes_in_sync_are_fine(self, lint_tree):
+        report = lint_tree({
+            "src/repro/api.py": """\
+                class ExperimentSpec:
+                    trials: int
+                    seed: int
+            """,
+            "src/repro/campaign/spec.py": """\
+                from repro.api import ExperimentSpec
+
+                GRID_AXES = ("trials", "seed")
+            """,
+        })
+        assert by_rule(report, "REP011") == []
+
+    def test_single_file_pass_cannot_see_the_drift(self, lint_tree):
+        report = lint_tree({
+            "src/repro/campaign/spec.py": """\
+                from repro.api import ExperimentSpec
+
+                GRID_AXES = ("trials", "seed", "warp")
+            """,
+        })
+        assert by_rule(report, "REP011") == []

@@ -1,0 +1,196 @@
+"""Unit tests for the cross-module engine: module summaries, the
+serializable IR, and project-level resolution."""
+
+import ast
+import textwrap
+
+from repro.lint.project import (Project, module_name_for,
+                                summarize_module)
+
+
+def summarize(path, source):
+    return summarize_module(path, ast.parse(textwrap.dedent(source)))
+
+
+class TestModuleNames:
+    def test_src_layout_root_is_stripped(self):
+        assert module_name_for("src/repro/obs/clock.py") == \
+            "repro.obs.clock"
+
+    def test_package_init_maps_to_package(self):
+        assert module_name_for("src/repro/campaign/__init__.py") == \
+            "repro.campaign"
+
+    def test_non_src_paths_keep_their_prefix(self):
+        assert module_name_for("benchmarks/bench_x.py") == \
+            "benchmarks.bench_x"
+
+
+class TestSummaries:
+    def test_functions_methods_and_nested(self):
+        summary = summarize("src/repro/m.py", """\
+            def top():
+                def inner():
+                    return 1
+                return inner()
+
+            class Box:
+                def get(self):
+                    return 1
+        """)
+        assert set(summary.functions) >= \
+            {"top", "top.inner", "Box.get", "<module>"}
+        assert summary.functions["Box.get"].cls == "Box"
+
+    def test_constants_and_their_lines(self):
+        # Tuples canonicalize to lists so the value is identical
+        # whether the summary is fresh or decoded from the cache;
+        # non-JSON literals (sets) are dropped entirely.
+        summary = summarize("src/repro/m.py", """\
+            X = 1
+            AXES = ("a", "b")
+            TABLE = {"x", "y"}
+        """)
+        assert summary.constants["AXES"] == ["a", "b"]
+        assert summary.constant_lines["AXES"] == 2
+        assert "TABLE" not in summary.constants
+
+    def test_missing_annotations(self):
+        summary = summarize("src/repro/m.py", """\
+            def typed(a: int) -> int:
+                return a
+
+            def untyped(a, *rest, **kw):
+                return a
+        """)
+        assert summary.functions["typed"].missing_annotations == ()
+        assert set(summary.functions["untyped"].missing_annotations) \
+            == {"a", "*rest", "**kw", "return"}
+
+    def test_init_return_is_not_required(self):
+        summary = summarize("src/repro/m.py", """\
+            class Box:
+                def __init__(self, a: int):
+                    self.a = a
+        """)
+        missing = summary.functions["Box.__init__"].missing_annotations
+        assert "return" not in missing
+
+    def test_class_fields_from_annotations(self):
+        summary = summarize("src/repro/m.py", """\
+            class Spec:
+                trials: int
+                seed: int | None = None
+        """)
+        assert summary.class_fields["Spec"] == ("trials", "seed")
+
+    def test_return_call_refs_track_create_kwarg(self):
+        summary = summarize("src/repro/m.py", """\
+            from multiprocessing import shared_memory
+
+            def make():
+                shm = shared_memory.SharedMemory(create=True, size=8)
+                return shm
+
+            def attach(name):
+                return shared_memory.SharedMemory(name=name)
+        """)
+        assert summary.functions["make"].return_call_refs == \
+            (("shared_memory.SharedMemory", True),)
+        assert summary.functions["attach"].return_call_refs == \
+            (("shared_memory.SharedMemory", False),)
+
+    def test_json_roundtrip_is_lossless(self):
+        summary = summarize("src/repro/m.py", """\
+            import os
+            from multiprocessing import shared_memory
+
+            LIMIT = 3
+
+            class Box:
+                size: int
+
+                def __init__(self, shm):
+                    self._shm = shm
+
+                @classmethod
+                def make(cls):
+                    shm = shared_memory.SharedMemory(create=True,
+                                                     size=8)
+                    box = cls(shm)
+                    return box
+
+            def use(paths):
+                for p in sorted(paths):
+                    yield os.fspath(p)
+        """)
+        encoded = summary.as_json()
+        decoded = type(summary).from_json(encoded)
+        assert decoded.as_json() == encoded
+        assert decoded.functions["Box.make"].resources
+        assert decoded.constants == {"LIMIT": 3}
+
+
+class TestProjectResolution:
+    def project(self):
+        helper = summarize("src/repro/helper.py", """\
+            def stamp():
+                return 1
+        """)
+        consumer = summarize("src/repro/consumer.py", """\
+            from repro.helper import stamp
+            from repro import helper
+
+            class Box:
+                def run(self):
+                    return self.step()
+
+                def step(self):
+                    return stamp() + helper.stamp()
+        """)
+        return Project([helper, consumer]), consumer
+
+    def test_imported_name_resolves(self):
+        project, consumer = self.project()
+        info = consumer.functions["Box.step"]
+        assert project.resolve_ref(consumer, info, "stamp") == \
+            "repro.helper.stamp"
+        assert project.resolve_ref(consumer, info, "helper.stamp") == \
+            "repro.helper.stamp"
+
+    def test_self_method_resolves_to_class(self):
+        project, consumer = self.project()
+        info = consumer.functions["Box.run"]
+        assert project.resolve_ref(consumer, info, "self.step") == \
+            "repro.consumer.Box.step"
+
+    def test_unresolved_names_pass_through(self):
+        project, consumer = self.project()
+        info = consumer.functions["Box.step"]
+        assert project.resolve_ref(consumer, info, "sorted") == "sorted"
+
+    def test_function_for_finds_cross_module_target(self):
+        project, consumer = self.project()
+        resolved = project.function_for("repro.helper.stamp")
+        assert resolved is not None
+        assert resolved[1].qualname == "stamp"
+
+    def test_constructor_resolves_to_init(self):
+        box = summarize("src/repro/box.py", """\
+            class Box:
+                size: int
+
+                def __init__(self, size):
+                    self.size = size
+        """)
+        project = Project([box])
+        resolved = project.function_for("repro.box.Box")
+        assert resolved is not None
+        assert resolved[1].qualname == "Box.__init__"
+
+    def test_import_closure(self):
+        project, _ = self.project()
+        closure = project.import_closure(["repro.consumer"])
+        assert "repro.helper" in closure
+        assert project.import_closure(["repro.helper"]) == \
+            {"repro.helper"}

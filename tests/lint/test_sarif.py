@@ -1,0 +1,107 @@
+"""SARIF 2.1.0 output: structural pin, mirroring the JSON schema-v1
+pin in test_cli.py."""
+
+import json
+
+from repro.lint.cli import TOOL_VERSION, main
+from repro.lint.framework import LintReport, Violation
+from repro.lint.rules import default_rules
+from repro.lint.sarif import (SARIF_SCHEMA_URI, SARIF_VERSION,
+                              report_as_sarif)
+
+
+def sample_report():
+    return LintReport(
+        violations=[
+            Violation(path="src/x.py", line=3, col=8, rule="REP001",
+                      message="raw literal"),
+            Violation(path="src/y.py", line=0, col=0, rule="REP000",
+                      message="file does not parse"),
+        ],
+        suppressed=1, files=2)
+
+
+class TestSarifStructure:
+    def test_envelope_is_pinned(self):
+        payload = report_as_sarif(sample_report(), default_rules(),
+                                  TOOL_VERSION)
+        assert payload["version"] == SARIF_VERSION == "2.1.0"
+        assert payload["$schema"] == SARIF_SCHEMA_URI
+        assert len(payload["runs"]) == 1
+        driver = payload["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "reprolint"
+        assert driver["version"] == TOOL_VERSION
+
+    def test_driver_lists_every_rule_in_id_order(self):
+        payload = report_as_sarif(sample_report(), default_rules(),
+                                  TOOL_VERSION)
+        descriptors = payload["runs"][0]["tool"]["driver"]["rules"]
+        ids = [d["id"] for d in descriptors]
+        assert ids == sorted(r.rule_id for r in default_rules())
+        assert {"REP008", "REP009", "REP010", "REP011"} <= set(ids)
+        for descriptor in descriptors:
+            assert descriptor["shortDescription"]["text"]
+
+    def test_result_shape(self):
+        payload = report_as_sarif(sample_report(), default_rules(),
+                                  TOOL_VERSION)
+        results = payload["runs"][0]["results"]
+        first = results[0]
+        assert first == {
+            "ruleId": "REP001",
+            "ruleIndex": 0,
+            "level": "error",
+            "message": {"text": "raw literal"},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": "src/x.py"},
+                    "region": {"startLine": 3, "startColumn": 9},
+                },
+            }],
+        }
+
+    def test_rule_index_matches_descriptor_table(self):
+        payload = report_as_sarif(sample_report(), default_rules(),
+                                  TOOL_VERSION)
+        run = payload["runs"][0]
+        descriptors = run["tool"]["driver"]["rules"]
+        for result in run["results"]:
+            if "ruleIndex" in result:
+                index = result["ruleIndex"]
+                assert descriptors[index]["id"] == result["ruleId"]
+
+    def test_meta_rule_has_no_index_and_clamped_line(self):
+        payload = report_as_sarif(sample_report(), default_rules(),
+                                  TOOL_VERSION)
+        meta = payload["runs"][0]["results"][1]
+        assert meta["ruleId"] == "REP000"
+        assert "ruleIndex" not in meta
+        region = meta["locations"][0]["physicalLocation"]["region"]
+        # SARIF requires 1-based lines/columns.
+        assert region["startLine"] == 1
+        assert region["startColumn"] == 1
+
+
+class TestSarifCli:
+    def test_format_sarif_to_file(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "bad.py").write_text("EPS = 1e-6\n", encoding="utf-8")
+        out_file = tmp_path / "report.sarif"
+        code = main([str(pkg), "--format", "sarif",
+                     "--output", str(out_file)])
+        assert code == 1
+        payload = json.loads(out_file.read_text(encoding="utf-8"))
+        assert payload["version"] == "2.1.0"
+        results = payload["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == ["REP001"]
+        # stdout still carries the one-line text summary
+        assert "1 finding(s)" in capsys.readouterr().out
+
+    def test_format_sarif_to_stdout(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "ok.py").write_text("X = 1\n", encoding="utf-8")
+        assert main([str(pkg), "--format", "sarif"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["results"] == []

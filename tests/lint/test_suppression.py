@@ -91,3 +91,102 @@ class TestCommentTokenParsing:
             """)
         assert rules_of(violations) == ["REP000"]
         assert "does not parse" in violations[0].message
+
+
+class TestMultiLineStatements:
+    """Suppressions are keyed to *physical* lines; a violation inside
+    a multi-line statement anchors at its own sub-expression's line,
+    and that is the line the comment must sit on (or precede)."""
+
+    def test_comment_on_the_anchor_line_suppresses(self, lint_source):
+        violations, suppressed = lint_source("src/repro/foo.py", """\
+            SLACKS = (
+                1e-6,  # reprolint: disable=REP001 -- fixture slack
+            )
+            """)
+        assert violations == []
+        assert suppressed == 1
+
+    def test_comment_on_closing_paren_does_not_suppress(
+            self, lint_source):
+        violations, suppressed = lint_source("src/repro/foo.py", """\
+            SLACKS = (
+                1e-6,
+            )  # reprolint: disable=REP001 -- wrong line: anchors above
+            """)
+        assert rules_of(violations) == ["REP001"]
+        assert violations[0].line == 2
+        assert suppressed == 0
+
+    def test_standalone_comment_covers_first_physical_line_only(
+            self, lint_source):
+        violations, suppressed = lint_source("src/repro/foo.py", """\
+            # reprolint: disable=REP001 -- covers line 2 only
+            SLACKS = (1e-6,
+                      1e-7)
+            """)
+        assert rules_of(violations) == ["REP001"]
+        assert violations[0].line == 3
+        assert suppressed == 1
+
+    def test_each_continuation_line_suppressible_separately(
+            self, lint_source):
+        violations, suppressed = lint_source("src/repro/foo.py", """\
+            SLACKS = (
+                1e-6,  # reprolint: disable=REP001 -- fixture slack
+                1e-7,  # reprolint: disable=REP001 -- fixture slack
+            )
+            """)
+        assert violations == []
+        assert suppressed == 2
+
+
+class TestProjectRuleSuppression:
+    """Cross-module findings honor the suppression table of the file
+    the violation lands in, same as file rules."""
+
+    def test_rep008_finding_suppressible_at_the_sink_line(
+            self, lint_tree):
+        report = lint_tree({
+            "src/repro/helper.py": """\
+                from repro.obs import clock
+
+                def stamp() -> float:
+                    return clock.monotonic()
+            """,
+            "src/repro/consumer.py": """\
+                from repro.helper import stamp
+                from repro.perf.stats import exact_digest
+
+                def key() -> bytes:
+                    t = stamp()
+                    return exact_digest(b"k", t)  # reprolint: disable=REP008 -- exercised in tests
+            """,
+        })
+        assert [v for v in report.violations
+                if v.rule == "REP008"] == []
+        assert report.suppressed == 1
+
+    def test_wrong_file_suppression_does_not_leak_across_modules(
+            self, lint_tree):
+        # The suppression sits in helper.py; the finding lands in
+        # consumer.py and must survive.
+        report = lint_tree({
+            "src/repro/helper.py": """\
+                from repro.obs import clock
+
+                def stamp() -> float:
+                    return clock.monotonic()  # reprolint: disable=REP008 -- wrong file
+            """,
+            "src/repro/consumer.py": """\
+                from repro.helper import stamp
+                from repro.perf.stats import exact_digest
+
+                def key() -> bytes:
+                    t = stamp()
+                    return exact_digest(b"k", t)
+            """,
+        })
+        found = [v for v in report.violations if v.rule == "REP008"]
+        assert len(found) == 1
+        assert found[0].path == "src/repro/consumer.py"
