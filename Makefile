@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint reprolint typecheck bench bench-smoke bench-smoke-json bench-gate bench-json trace-smoke campaign-smoke profile
+.PHONY: test lint reprolint typecheck bench bench-smoke bench-smoke-json bench-gate bench-json trace-smoke campaign-smoke serve-smoke profile
 
 test:
 	$(PYTHON) -m pytest -q
@@ -24,12 +24,12 @@ reprolint:
 		--cache-dir .repro-lint-cache
 
 # Type check the strictly-annotated subset (lint framework + geometry
-# core + the repro.api/campaign facade).  mypy comes from the `lint`
-# extra; degrade politely without it.
+# core + the repro.api/campaign/serve facades).  mypy comes from the
+# `lint` extra; degrade politely without it.
 typecheck:
 	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
 		$(PYTHON) -m mypy src/repro/lint src/repro/geometry \
-			src/repro/api.py src/repro/campaign; \
+			src/repro/api.py src/repro/campaign src/repro/serve; \
 	else \
 		echo "mypy not installed (pip install -e .[lint]); skipping typecheck"; \
 	fi
@@ -94,6 +94,14 @@ campaign-smoke:
 	diff .repro-campaign-smoke/pool.jsonl \
 		.repro-campaign-smoke/serial.jsonl
 	@echo "campaign-smoke: pool and serial stores byte-identical"
+
+# Service smoke: boot `repro serve` as a subprocess, fire a mixed
+# burst of cold/warm/concurrent queries at it, and pin the contract —
+# responses byte-identical to direct repro.api evaluation, warm
+# throughput at least 2x cold, coalesce + cache counters visible in
+# /v1/metrics, SIGTERM drains to exit 0 (see docs/SERVICE.md).
+serve-smoke:
+	$(PYTHON) benchmarks/bench_serve.py --smoke
 
 # Observability smoke: one small experiment through the repro.api
 # façade, emitting all three schema-versioned artifacts (JSONL span

@@ -1,0 +1,287 @@
+#!/usr/bin/env python
+"""Query-server THROUGHPUT — cold evaluation vs. warm coalesced serving.
+
+The service's claim (docs/SERVICE.md, "Why a warm server") is that a
+long-lived server answering over warm worker caches beats cold
+per-query evaluation, and that congruence-keyed coalescing collapses
+concurrent duplicate queries onto one computation.  This driver
+measures exactly that against a real server subprocess booted through
+``python -m repro.cli serve``:
+
+* **cold** — distinct symmetricity/formability queries, each a fresh
+  congruence class, answered sequentially (every one pays the kernel);
+* **warm** — the same queries re-asked; the worker's L1 caches are hot
+  so the server answers from memoized group structure;
+* **burst** — one congruence class asked by many concurrent clients;
+  the coalescer dispatches once and fans the answer out.
+
+``--smoke`` additionally pins the service contract: responses are
+byte-identical to direct :func:`repro.api.evaluate_query` calls, warm
+throughput is at least ``--warm-factor`` times cold, the coalesce and
+cache counters are visible in ``/v1/metrics``, and SIGTERM drains the
+server to a clean exit 0.  ``--output`` records a dated BENCH JSON
+next to the pytest-benchmark artifacts.
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke
+    PYTHONPATH=src python benchmarks/bench_serve.py \
+        --output BENCH_2026-08-08-serve.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import (  # noqa: E402
+    FormabilityQuery,
+    SymmetricityQuery,
+    as_points,
+    evaluate_query,
+)
+from repro.obs import clock  # noqa: E402
+from repro.serve.client import ServeClient  # noqa: E402
+from repro.serve.protocol import canonical_result_text  # noqa: E402
+
+OCTAHEDRON = as_points([[1.0, 0, 0], [0, 1, 0], [0, 0, 1],
+                        [-1.0, 0, 0], [0, -1, 0], [0, 0, -1]])
+
+
+def _distinct_queries() -> list:
+    """A spread of congruence classes: every query is a cold kernel."""
+    queries = [
+        SymmetricityQuery(points="cube"),
+        SymmetricityQuery(points="icosahedron"),
+        SymmetricityQuery(points="octagon"),
+        SymmetricityQuery(points=OCTAHEDRON),
+        FormabilityQuery(initial="cube", target="octagon"),
+        FormabilityQuery(initial="octagon", target="cube"),
+    ]
+    # Symmetry-free perturbations: each scale breaks congruence with
+    # the others, so none of these coalesce or share cache entries.
+    for scale in (2.0, 3.0, 5.0):
+        points = tuple(tuple(c * scale for c in row)
+                       for row in OCTAHEDRON[:-1]) + \
+            ((0.0, 0.0, -scale - 1.0),)
+        queries.append(SymmetricityQuery(points=points))
+    return queries
+
+
+class Server:
+    """A ``repro serve`` subprocess with a parsed ephemeral address."""
+
+    def __init__(self, workers: int):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--workers", str(workers), "--port", "0"],
+            cwd=REPO_ROOT, env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True)
+        banner = self.process.stdout.readline().strip()
+        prefix = "serving on "
+        if not banner.startswith(prefix):
+            self.process.kill()
+            raise SystemExit(f"unexpected server banner: {banner!r}")
+        host, _, port = banner[len(prefix):].rpartition(":")
+        self.host, self.port = host, int(port)
+
+    def drain(self) -> tuple[int, str]:
+        """SIGTERM the server; return (exit code, remaining output)."""
+        self.process.send_signal(signal.SIGTERM)
+        output = self.process.stdout.read()
+        return self.process.wait(timeout=60), output
+
+    def kill(self) -> None:
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.wait(timeout=10)
+
+
+def _timed(label: str, func, count: int) -> dict:
+    start = clock.monotonic()
+    func()
+    elapsed = clock.monotonic() - start
+    qps = count / elapsed if elapsed > 0 else float("inf")
+    record = {
+        "name": label,
+        "queries": count,
+        "mean_ms": round(1000.0 * elapsed / count, 4),
+        "qps": round(qps, 2),
+    }
+    print(f"  {label}: {count} queries in {elapsed:.3f}s "
+          f"({record['qps']} q/s)")
+    return record
+
+
+def measure(server: Server, *, burst: int, repeats: int) -> dict:
+    queries = _distinct_queries()
+    client = ServeClient(server.host, server.port, timeout=300.0)
+    results = {}
+
+    # Cold: every congruence class pays its kernel exactly once.
+    texts = []
+
+    def cold():
+        for query in queries:
+            texts.append(canonical_result_text(client.query(query)))
+
+    results["cold"] = _timed("serve_cold_distinct", cold, len(queries))
+
+    # Warm: identical queries against now-hot worker caches.
+    def warm():
+        for _ in range(repeats):
+            for query in queries:
+                client.query(query)
+
+    results["warm"] = _timed("serve_warm_repeat", warm,
+                             repeats * len(queries))
+
+    # Burst: concurrent duplicates collapse onto one dispatch.  The
+    # class is fresh (not in the cold/warm set) so the one dispatched
+    # computation is slow enough for every sibling to pile onto it.
+    burst_points = tuple(tuple(c * 7.0 for c in row)
+                         for row in OCTAHEDRON[:-1]) + ((0.0, 0.0, -8.0),)
+
+    def one(i, out):
+        with ServeClient(server.host, server.port,
+                         timeout=300.0) as peer:
+            out[i] = peer.query(SymmetricityQuery(points=burst_points))
+
+    def fan_out():
+        slots = [None] * burst
+        threads = [threading.Thread(target=one, args=(i, slots))
+                   for i in range(burst)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        assert all(slots), "burst client dropped a response"
+
+    results["burst"] = _timed(f"serve_burst_{burst}_coalesced",
+                              fan_out, burst)
+    results["metrics"] = client.metrics()
+    results["texts"] = texts
+    client.close()
+    return results
+
+
+def smoke_check(results: dict, drained: tuple[int, str],
+                warm_factor: float) -> None:
+    queries = _distinct_queries()
+    expected = [canonical_result_text(evaluate_query(q))
+                for q in queries]
+    assert results["texts"] == expected, \
+        "served responses differ from direct repro.api evaluation"
+    print("  smoke: responses byte-identical to repro.api")
+
+    cold_qps = results["cold"]["qps"]
+    warm_qps = results["warm"]["qps"]
+    assert warm_qps >= warm_factor * cold_qps, (
+        f"warm throughput {warm_qps} q/s is under "
+        f"{warm_factor}x cold ({cold_qps} q/s)")
+    print(f"  smoke: warm/cold = {warm_qps / cold_qps:.1f}x "
+          f"(floor {warm_factor}x)")
+
+    counters = results["metrics"]["serve"]["counters"]
+    assert counters.get("serve.coalesced", 0) >= 1, \
+        "burst produced no serve.coalesced hits"
+    assert "serve.dispatched" in counters
+    cache = results["metrics"]["cache"]
+    assert cache, "cache counters absent from /v1/metrics"
+    print(f"  smoke: serve.coalesced={counters['serve.coalesced']}, "
+          f"cache counters={len(cache)}")
+
+    code, output = drained
+    assert code == 0, f"drain exited {code}: {output!r}"
+    assert "drained" in output
+    print("  smoke: SIGTERM drain exited 0")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2,
+                        help="server worker processes (default 2)")
+    parser.add_argument("--burst", type=int, default=8,
+                        help="concurrent duplicate clients (default 8)")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="warm passes over the query set")
+    parser.add_argument("--warm-factor", type=float, default=2.0,
+                        help="smoke floor for warm/cold throughput")
+    parser.add_argument("--smoke", action="store_true",
+                        help="assert the service contract, not just time it")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write a dated BENCH JSON to this path")
+    parser.add_argument(
+        "--date", default=os.environ.get("REPRO_BENCH_DATE"),
+        help="override the artifact date stamp (YYYY-MM-DD)")
+    args = parser.parse_args(argv)
+
+    print(f"booting repro serve --workers {args.workers} ...")
+    server = Server(args.workers)
+    try:
+        print(f"  serving on {server.host}:{server.port}")
+        results = measure(server, burst=args.burst,
+                          repeats=args.repeats)
+        drained = server.drain()
+    finally:
+        server.kill()
+
+    if args.smoke:
+        smoke_check(results, drained, args.warm_factor)
+
+    if args.output:
+        # Wall-clock only stamps the artifact; pass --date (or set
+        # REPRO_BENCH_DATE) for reproducible output.
+        date = args.date or datetime.date.today().isoformat()  # reprolint: disable=REP005 -- artifact timestamp, overridable via --date/REPRO_BENCH_DATE
+        counters = results["metrics"]["serve"]["counters"]
+        from repro import __version__
+        from repro.obs import (
+            MANIFEST_SCHEMA_VERSION,
+            METRICS_SCHEMA_VERSION,
+            TRACE_SCHEMA_VERSION,
+        )
+        from repro.serve.protocol import WIRE_SCHEMA_VERSION
+
+        payload = {
+            "date": date,
+            "selector": "benchmarks/bench_serve.py",
+            "machine": platform.machine(),
+            "python": platform.python_version(),
+            "benchmarks": [results["cold"], results["warm"],
+                           results["burst"]],
+            "serve": {
+                "workers": args.workers,
+                "warm_over_cold": round(
+                    results["warm"]["qps"] / results["cold"]["qps"], 2),
+                "counters": {name: value
+                             for name, value in sorted(counters.items())},
+            },
+            "provenance": {
+                "package": {"name": "repro", "version": __version__},
+                "schemas": {
+                    "trace": TRACE_SCHEMA_VERSION,
+                    "metrics": METRICS_SCHEMA_VERSION,
+                    "manifest": MANIFEST_SCHEMA_VERSION,
+                    "wire": WIRE_SCHEMA_VERSION,
+                },
+            },
+        }
+        args.output.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,32 +1,61 @@
-"""The unified run façade: one call per experiment, observability included.
+"""The unified query façade: typed queries, one evaluator, versioned.
 
-:func:`run_experiment` is the single entrypoint behind the CLI's
-``experiment`` command and the benchmark harness.  It dispatches a
-name (``lemma7``, ``theorem41``, ``theorem11``, ``figure1``,
-``plane_formation``, ``baseline_2d``) to its driver in
-:mod:`repro.analysis.experiments`, runs it under an active tracer and
-a metrics window, and returns a :class:`RunResult` carrying the rows
-*and* the run's manifest and logical-metric snapshot.  Artifacts
-(JSONL trace, JSON metrics, JSON manifest) are written when the
-:class:`ExperimentSpec` names paths for them.
+Two layers share this module:
 
-Determinism contract: the rows and the manifest's
-:func:`repro.obs.manifest.deterministic_view` are pure functions of
-``(name, spec)`` — wall-clock readings appear only in the trace and
-the manifest's ``timing`` section, never in rows (REP005), and the
-parallel runner merges worker metric deltas so ``jobs=1`` and
-``jobs=N`` report identical logical counters.
+* **Runs** — :func:`run_experiment` is the entrypoint behind the
+  CLI's ``experiment`` command and the benchmark harness.  It
+  dispatches a name (``lemma7``, ``theorem41``, ``theorem11``,
+  ``figure1``, ``plane_formation``, ``baseline_2d``) to its driver in
+  :mod:`repro.analysis.experiments`, runs it under an active tracer
+  and a metrics window, and returns a :class:`RunResult` carrying the
+  rows *and* the run's manifest and logical-metric snapshot.
+* **Queries** — the typed request/response records shared by the CLI,
+  the campaign layer and the query server (:mod:`repro.serve`):
+  :class:`FormabilityQuery` (is ``ϱ(P) ⊆ ϱ(F)``?, Theorem 1.1),
+  :class:`SymmetricityQuery` (``γ(P)`` / ``ϱ(P)`` classification) and
+  :class:`RunQuery` (a full experiment run), all answered by
+  :func:`evaluate_query` with a structured :class:`QueryResult`.
+  ``run_experiment`` is a thin wrapper over the same internal runner
+  the query surface uses.
+
+Every record carries ``schema_version`` (:data:`API_SCHEMA_VERSION`)
+so serialized requests, campaign cell digests and manifests are
+forward-compatible: a consumer seeing a newer version than it
+understands must reject rather than misread.
+
+Determinism contract: the rows, the manifest's
+:func:`repro.obs.manifest.deterministic_view` and
+:meth:`QueryResult.deterministic_view` are pure functions of the
+query — wall-clock readings appear only in traces, the manifest's
+``timing`` section and the result's ``timing``/``cache`` sidecars,
+never in rows (REP005), and the parallel runner merges worker metric
+deltas so ``jobs=1`` and ``jobs=N`` report identical logical
+counters.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING, Union
 
 from repro.errors import ReproError
 
-__all__ = ["ExperimentSpec", "RunResult", "experiment_names",
-           "resolved_spec_record", "run_experiment"]
+if TYPE_CHECKING:  # pragma: no cover — annotation-only imports
+    from repro.core.configuration import Configuration
+    from repro.groups.group import GroupSpec
+
+__all__ = ["API_SCHEMA_VERSION", "ExperimentSpec", "FormabilityQuery",
+           "Query", "QueryResult", "RunQuery", "RunResult",
+           "SymmetricityQuery", "as_points", "evaluate_query",
+           "experiment_names", "resolved_spec_record", "run_experiment",
+           "spec_record"]
+
+#: Version of the typed query/spec records.  Bumped whenever a field
+#: is added, renamed or changes meaning; serialized records carry it
+#: and decoders reject versions they do not understand.
+API_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -54,6 +83,7 @@ class ExperimentSpec:
     trace_path: str | Path | None = None
     metrics_path: str | Path | None = None
     manifest_path: str | Path | None = None
+    schema_version: int = API_SCHEMA_VERSION
 
 
 @dataclass(frozen=True)
@@ -70,6 +100,106 @@ class RunResult:
     rows: list = field(default_factory=list)
     manifest: dict = field(default_factory=dict)
     metrics: dict = field(default_factory=dict)
+
+
+#: Points travel as a named-library pattern (``"cube"``) or an
+#: immutable tuple of ``(x, y, z)`` tuples — hashable, serializable,
+#: and exactly representable on the wire.
+Points = "tuple[tuple[float, ...], ...]"
+PointsLike = Union[str, "tuple[tuple[float, ...], ...]"]
+
+
+def as_points(value: object) -> PointsLike:
+    """Canonicalize a pattern reference for a query record.
+
+    A library name passes through unchanged (the evaluator resolves
+    it); anything array-like becomes the immutable tuple-of-tuples
+    form.  Raises :class:`ReproError` for inputs that are neither.
+    """
+    if isinstance(value, str):
+        return value
+    try:
+        rows = [tuple(float(c) for c in row) for row in value]  # type: ignore[union-attr]
+    except (TypeError, ValueError) as exc:
+        raise ReproError(
+            f"points must be a pattern name or an n x 3 coordinate "
+            f"array, got {type(value).__name__}") from exc
+    return tuple(rows)
+
+
+@dataclass(frozen=True)
+class FormabilityQuery:
+    """Is target pattern ``F`` formable from ``P`` (Theorem 1.1)?"""
+
+    initial: PointsLike
+    target: PointsLike
+    schema_version: int = API_SCHEMA_VERSION
+
+
+@dataclass(frozen=True)
+class SymmetricityQuery:
+    """Classify ``γ(P)`` and ``ϱ(P)`` of one configuration.
+
+    ``multiset`` selects the Definition 6 semantics (points may carry
+    multiplicity, as target patterns do); without it a configuration
+    with repeated points is rejected, exactly like
+    :func:`repro.core.symmetricity.symmetricity`.
+    """
+
+    points: PointsLike
+    multiset: bool = False
+    schema_version: int = API_SCHEMA_VERSION
+
+
+@dataclass(frozen=True)
+class RunQuery:
+    """One full experiment run through the façade."""
+
+    name: str
+    spec: ExperimentSpec = field(default_factory=ExperimentSpec)
+    schema_version: int = API_SCHEMA_VERSION
+
+
+Query = Union[FormabilityQuery, SymmetricityQuery, RunQuery]
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The structured answer to any :data:`Query`.
+
+    ``verdict`` is the one-word outcome (``"formable"`` /
+    ``"unformable"``, the ``γ(P)`` spec string, ``"completed"``);
+    ``groups`` names the rotation groups involved (``ϱ(P)`` / ``ϱ(F)``
+    maximal elements for formability, ``γ``/``ϱ`` for symmetricity);
+    ``explanation`` is :meth:`FormabilityReport.explain`-style prose;
+    ``payload`` carries kind-specific detail (experiment rows and
+    their digest, full spec lists, group orders).  ``cache`` (hit/miss
+    provenance — did warm state serve this answer?) and ``timing``
+    (audited-clock wall time) are *sidecars*: they depend on cache
+    luck and machine speed, so :meth:`deterministic_view` strips them
+    — two evaluations of one query, on any transport, must agree on
+    the view byte-for-byte.
+    """
+
+    kind: str
+    verdict: str
+    groups: dict = field(default_factory=dict)
+    explanation: str = ""
+    payload: dict = field(default_factory=dict)
+    cache: dict = field(default_factory=dict)
+    timing: dict = field(default_factory=dict)
+    schema_version: int = API_SCHEMA_VERSION
+
+    def deterministic_view(self) -> dict:
+        """The result minus the luck- and clock-dependent sidecars."""
+        return {
+            "kind": self.kind,
+            "schema_version": self.schema_version,
+            "verdict": self.verdict,
+            "groups": self.groups,
+            "explanation": self.explanation,
+            "payload": self.payload,
+        }
 
 
 # name -> (driver attribute in repro.analysis.experiments,
@@ -119,6 +249,7 @@ def _spec_record(name: str, spec: ExperimentSpec,
             driver).parameters["trials"].default
     record["cache"] = spec.cache
     record["backend"] = spec.backend
+    record["schema_version"] = spec.schema_version
     return record
 
 
@@ -142,8 +273,17 @@ def resolved_spec_record(name: str, spec: ExperimentSpec) -> dict:
 def run_experiment(name: str, spec: ExperimentSpec | None = None) -> RunResult:
     """Run one registered experiment under tracing and metrics.
 
-    Raises :class:`repro.errors.ReproError` for an unknown ``name``.
+    A thin wrapper over the typed query surface: equivalent to
+    evaluating ``RunQuery(name, spec)`` and keeping the full
+    :class:`RunResult`.  Raises :class:`repro.errors.ReproError` for
+    an unknown ``name``.
     """
+    return _execute_run(name, spec if spec is not None else ExperimentSpec())
+
+
+def _execute_run(name: str, spec: ExperimentSpec) -> RunResult:
+    """The one internal runner behind ``run_experiment`` and
+    ``RunQuery`` evaluation."""
     from repro.obs import manifest as _manifest
     from repro.obs import metrics as _metrics
     from repro.obs.trace import AggregatingTracer, JsonlTracer, activated
@@ -151,7 +291,6 @@ def run_experiment(name: str, spec: ExperimentSpec | None = None) -> RunResult:
     if name not in _REGISTRY:
         known = ", ".join(experiment_names())
         raise ReproError(f"unknown experiment {name!r} (known: {known})")
-    spec = spec if spec is not None else ExperimentSpec()
     driver, kwargs = _driver_call(name, spec)
 
     prior_cache = None
@@ -215,10 +354,190 @@ def run_experiment(name: str, spec: ExperimentSpec | None = None) -> RunResult:
                      metrics=run_metrics)
 
 
-def spec_as_dict(spec: ExperimentSpec) -> dict:
-    """The spec as a JSON-friendly dict (paths stringified)."""
+def spec_record(spec: ExperimentSpec) -> dict:
+    """The spec as a JSON-friendly dict (paths stringified).
+
+    Carries ``schema_version`` like every serialized record of the
+    query surface; this is the canonical name of what used to be
+    ``spec_as_dict``.
+    """
     record = asdict(spec)
     for key in ("trace_path", "metrics_path", "manifest_path"):
         if record[key] is not None:
             record[key] = str(record[key])
     return record
+
+
+def spec_as_dict(spec: ExperimentSpec) -> dict:
+    """Deprecated pre-versioning name of :func:`spec_record`.
+
+    The record gained ``schema_version`` in the query-surface
+    redesign; this shim preserves the historical shape (no version
+    field) for callers that pinned it.
+    """
+    warnings.warn(
+        "repro.api.spec_as_dict() is deprecated; use "
+        "repro.api.spec_record() (the record now carries "
+        "schema_version)", DeprecationWarning, stacklevel=2)
+    record = spec_record(spec)
+    record.pop("schema_version", None)
+    return record
+
+
+# ---------------------------------------------------------------------------
+# Query evaluation
+# ---------------------------------------------------------------------------
+
+
+def _resolve_configuration(points: PointsLike) -> "Configuration":
+    """A :class:`repro.core.configuration.Configuration` for a query
+    pattern reference (library name or coordinate tuples)."""
+    import numpy as np
+
+    from repro.core.configuration import Configuration
+
+    if isinstance(points, str):
+        from repro.patterns.library import named_pattern
+
+        rows = named_pattern(points)
+    else:
+        rows = [np.asarray(row, dtype=float) for row in points]
+    return Configuration(rows)
+
+
+def _specs_sorted(specs: "set[GroupSpec]") -> list[str]:
+    """Group specs as a deterministically ordered list of names."""
+    return [str(spec) for spec in sorted(specs)]  # type: ignore[type-var]
+
+
+def _cache_provenance(before: dict, after: dict) -> dict:
+    """Hit/miss provenance of one evaluation (cache-luck sidecar)."""
+    from repro.obs.metrics import l1_delta
+    from repro.perf import is_enabled
+
+    delta = l1_delta(before, after)
+    summary: dict = {"enabled": is_enabled(), "l1": {}}
+    for cache_name in sorted(delta):
+        counters = {key: value for key, value
+                    in sorted(delta[cache_name].items())
+                    if key in ("hits", "misses") and value}
+        if counters:
+            summary["l1"][cache_name] = counters
+    return summary
+
+
+def _evaluate_formability(query: FormabilityQuery,
+                          ) -> tuple[str, dict, str, dict]:
+    from repro.core.formability import formability_report
+
+    initial = _resolve_configuration(query.initial)
+    target = _resolve_configuration(query.target)
+    report = formability_report(initial, target)
+    verdict = "formable" if report.formable else "unformable"
+    groups = {
+        "rho_initial": [str(s) for s in
+                        report.initial_symmetricity.maximal],
+        "rho_target": [str(s) for s in
+                       report.target_symmetricity.maximal],
+        "blocking": [str(s) for s in report.blocking],
+    }
+    payload = {
+        "n": initial.n,
+        "rho_initial_specs": _specs_sorted(
+            report.initial_symmetricity.specs),
+        "rho_target_specs": _specs_sorted(
+            report.target_symmetricity.specs),
+    }
+    return verdict, groups, report.explain(), payload
+
+
+def _evaluate_symmetricity(query: SymmetricityQuery,
+                           ) -> tuple[str, dict, str, dict]:
+    from repro.core.symmetricity import (
+        symmetricity,
+        symmetricity_of_multiset,
+    )
+
+    config = _resolve_configuration(query.points)
+    report = config.symmetry
+    classify = symmetricity_of_multiset if query.multiset else symmetricity
+    rho = classify(config)
+    if report.kind == "finite":
+        gamma = str(report.group.spec)
+        order = int(report.group.order)
+    else:
+        gamma = report.kind if report.infinite_kind is None \
+            else f"{report.kind}:{report.infinite_kind.value}"
+        order = 0
+    maximal = [str(s) for s in rho.maximal]
+    groups = {"gamma": gamma, "rho_maximal": maximal}
+    payload = {
+        "n": config.n,
+        "gamma_order": order,
+        "rho_specs": _specs_sorted(rho.specs),
+    }
+    explanation = (f"gamma(P) = {gamma}; varrho(P) maximal = "
+                   f"{{{', '.join(maximal)}}}.")
+    return gamma, groups, explanation, payload
+
+
+def _evaluate_run(query: RunQuery) -> tuple[str, dict, str, dict]:
+    from repro.obs.manifest import jsonable_rows, rows_digest
+
+    result = _execute_run(query.name, query.spec)
+    rows = jsonable_rows(result.rows)
+    record = resolved_spec_record(query.name, query.spec)
+    payload = {
+        "experiment": query.name,
+        "spec": record,
+        "rows": rows,
+        "rows_sha256": rows_digest(rows),
+        "row_count": len(rows),
+    }
+    explanation = (f"experiment {query.name} completed: {len(rows)} "
+                   f"rows, sha256 {payload['rows_sha256'][:12]}…")
+    return "completed", {}, explanation, payload
+
+
+def evaluate_query(query: Query) -> QueryResult:
+    """Answer one typed query with a structured :class:`QueryResult`.
+
+    The one evaluator behind the CLI's ``query`` subcommands and the
+    query server's workers: every transport produces byte-identical
+    :meth:`QueryResult.deterministic_view` payloads because they all
+    route through here.  Raises :class:`ReproError` subclasses for
+    invalid queries (unknown pattern, robot-count mismatch, unknown
+    experiment, unsupported schema version).
+    """
+    from repro.obs import clock
+    from repro.obs.metrics import l1_snapshot
+    from repro.obs.trace import get_tracer
+
+    if query.schema_version > API_SCHEMA_VERSION:
+        raise ReproError(
+            f"query schema_version {query.schema_version} is newer "
+            f"than this library understands ({API_SCHEMA_VERSION})")
+    evaluators = {
+        FormabilityQuery: ("formability", _evaluate_formability),
+        SymmetricityQuery: ("symmetricity", _evaluate_symmetricity),
+        RunQuery: ("run", _evaluate_run),
+    }
+    try:
+        kind, evaluator = evaluators[type(query)]
+    except KeyError:
+        raise ReproError(
+            f"unknown query type {type(query).__name__}") from None
+    cache_before = l1_snapshot()
+    started = clock.monotonic()
+    with get_tracer().span("query", kind=kind):
+        verdict, groups, explanation, payload = evaluator(query)
+    elapsed_ms = (clock.monotonic() - started) * 1000.0
+    return QueryResult(
+        kind=kind,
+        verdict=verdict,
+        groups=groups,
+        explanation=explanation,
+        payload=payload,
+        cache=_cache_provenance(cache_before, l1_snapshot()),
+        timing={"elapsed_ms": round(elapsed_ms, 3)},
+    )

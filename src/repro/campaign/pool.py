@@ -94,9 +94,10 @@ def run_cell_task(task: "tuple[str, str, ExperimentSpec]",
     return record, journal, delta
 
 
-def _worker_main(tasks, results, store_name, store_lock) -> None:
+def _worker_main(tasks, results, store_name, store_lock,
+                 runner=run_cell_task) -> None:
     """Long-lived worker loop: attach the L2 store once, then serve
-    cells until the ``None`` sentinel arrives."""
+    tasks through ``runner`` until the ``None`` sentinel arrives."""
     from repro.perf import shared
 
     if store_name is not None:
@@ -111,7 +112,7 @@ def _worker_main(tasks, results, store_name, store_lock) -> None:
             break
         task_id = task[0]
         try:
-            payload = run_cell_task(task)
+            payload = runner(task)
             outcome = ("ok", task_id, payload)
         except Exception as exc:  # noqa: BLE001 — reported to the runner
             outcome = ("err", task_id,
@@ -125,9 +126,19 @@ def _worker_main(tasks, results, store_name, store_lock) -> None:
 
 class WarmPool:
     """``jobs`` persistent workers sharing one task queue and one L2
-    store for the lifetime of a campaign."""
+    store for the lifetime of a campaign (or a query server).
 
-    def __init__(self, jobs: int) -> None:
+    ``runner`` is the task function every worker executes — a
+    module-level callable (it crosses the process boundary by
+    pickling) taking one ``(task_id, ...)`` tuple.  The campaign uses
+    the default :func:`run_cell_task`; :mod:`repro.serve.dispatch`
+    reuses the same pool machinery with its query runner.  The
+    streaming :meth:`submit`/:meth:`poll` pair is the primitive
+    surface; :meth:`run` is the batch convenience the campaign runner
+    calls.
+    """
+
+    def __init__(self, jobs: int, runner=run_cell_task) -> None:
         from repro.perf import shared
 
         self.jobs = max(1, int(jobs))
@@ -145,7 +156,7 @@ class WarmPool:
                 self._context.Process(
                     target=_worker_main,
                     args=(self._tasks, self._results, self._store.name,
-                          self._store_lock),
+                          self._store_lock, runner),
                     daemon=True)
                 for _ in range(self.jobs)]
             for worker in self._workers:
@@ -167,15 +178,13 @@ class WarmPool:
         """
         tasks = list(tasks)
         for task in tasks:
-            self._tasks.put(task)
+            self.submit(task)
         pending = len(tasks)
         while pending:
-            try:
-                status, task_id, payload = self._results.get(
-                    timeout=_POLL_SECONDS)
-            except queue.Empty:
-                self._check_workers()
+            outcome = self.poll()
+            if outcome is None:
                 continue
+            status, task_id, payload = outcome
             if status == "err":
                 raise SimulationError(
                     f"campaign cell {task_id} failed in worker:\n"
@@ -183,6 +192,26 @@ class WarmPool:
             record, journal, delta = payload
             pending -= 1
             yield CellOutcome(task_id, record, journal, delta)
+
+    def submit(self, task: tuple) -> None:
+        """Enqueue one ``(task_id, ...)`` tuple for the workers."""
+        self._tasks.put(task)
+
+    def poll(self, timeout: float = _POLL_SECONDS,
+             ) -> tuple | None:
+        """One raw ``(status, task_id, payload)`` outcome, or ``None``
+        if nothing completed within ``timeout``.
+
+        ``status`` is ``"ok"`` or ``"err"`` (payload then carries the
+        worker traceback text).  Checks worker liveness on every empty
+        poll, so a hard worker death raises :class:`SimulationError`
+        within one poll interval instead of hanging.
+        """
+        try:
+            return self._results.get(timeout=timeout)
+        except queue.Empty:
+            self._check_workers()
+            return None
 
     def _check_workers(self) -> None:
         dead = [worker for worker in self._workers

@@ -8,6 +8,9 @@ Usage examples::
     python -m repro.cli form cube square_antiprism --seed 3 --svg out.svg
     python -m repro.cli experiment lemma7 --trials 10 --jobs 4
     python -m repro.cli experiment lemma7 --trace t.jsonl --metrics m.json
+    python -m repro.cli serve --port 8750 --workers 4
+    python -m repro.cli query formability cube octagon
+    python -m repro.cli query symmetricity icosahedron --server 127.0.0.1:8750
     python -m repro.cli tables
 
 Patterns are named-library entries (``python -m repro.cli patterns``
@@ -173,6 +176,92 @@ def _cmd_experiment(args) -> int:
     if args.cache_stats:
         _emit_cache_stats()
     return 0
+
+
+def _query_points(spec: str):
+    """A query pattern reference: library names pass through (the
+    evaluator — local or remote — resolves them), files load here."""
+    from repro.api import as_points
+
+    if spec in pattern_names():
+        return spec
+    return as_points(_load_pattern(spec))
+
+
+def _cmd_query(args) -> int:
+    from repro.api import (
+        FormabilityQuery,
+        SymmetricityQuery,
+        evaluate_query,
+    )
+    from repro.obs import metrics as _metrics
+    from repro.obs.trace import JsonlTracer, NULL_TRACER, activated
+    from repro.serve.protocol import canonical_result_text
+
+    if args.what == "formability":
+        query = FormabilityQuery(initial=_query_points(args.initial),
+                                 target=_query_points(args.target))
+    else:
+        query = SymmetricityQuery(points=_query_points(args.pattern),
+                                  multiset=args.multiset)
+    tracer = JsonlTracer(args.trace) if args.trace else NULL_TRACER
+    before = _metrics.registry().snapshot()
+    try:
+        with activated(tracer):
+            if args.server:
+                from repro.serve.client import ServeClient
+
+                host, _, port_text = args.server.rpartition(":")
+                try:
+                    port = int(port_text)
+                except ValueError:
+                    raise ReproError(
+                        f"--server takes HOST:PORT, got "
+                        f"{args.server!r}") from None
+                with ServeClient(host or "127.0.0.1", port) as client:
+                    result = client.query(query)
+            else:
+                result = evaluate_query(query)
+    finally:
+        tracer.close()
+    # The canonical deterministic view: identical bytes whether the
+    # query ran locally or through any server.
+    print(canonical_result_text(result))
+    if args.metrics:
+        delta = _metrics.snapshot_delta(
+            before, _metrics.registry().snapshot())
+        _metrics.write_metrics(args.metrics, delta,
+                               extra={"command": "query"})
+    if args.cache_stats:
+        _emit_cache_stats()
+    if result.kind == "formability":
+        return 0 if result.verdict == "formable" else 1
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.obs import metrics as _metrics
+    from repro.obs.trace import JsonlTracer, NULL_TRACER, activated
+    from repro.serve.server import ServeConfig, serve_main
+
+    config = ServeConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        queue_depth=args.queue_depth, deadline_s=args.deadline)
+    tracer = JsonlTracer(args.trace) if args.trace else NULL_TRACER
+    before = _metrics.registry().snapshot()
+    try:
+        with activated(tracer):
+            code = serve_main(config)
+    finally:
+        tracer.close()
+    if args.metrics:
+        delta = _metrics.snapshot_delta(
+            before, _metrics.registry().snapshot())
+        _metrics.write_metrics(args.metrics, delta,
+                               extra={"command": "serve"})
+    if args.cache_stats:
+        _emit_cache_stats()
+    return code
 
 
 def _cmd_campaign(args) -> int:
@@ -377,6 +466,74 @@ def build_parser() -> argparse.ArgumentParser:
              "either way)")
     _add_observability_flags(experiment, manifest=True)
     experiment.set_defaults(func=_cmd_experiment)
+
+    query = sub.add_parser(
+        "query", help="answer one typed query (locally or via a "
+                      "`repro serve` server)")
+    query_sub = query.add_subparsers(dest="what", required=True)
+    q_form = query_sub.add_parser(
+        "formability", help="is the target formable from the initial "
+                            "configuration (Theorem 1.1)?")
+    q_form.add_argument("initial")
+    q_form.add_argument("target")
+    q_sym = query_sub.add_parser(
+        "symmetricity", help="gamma(P) / varrho(P) classification")
+    q_sym.add_argument("pattern")
+    q_sym.add_argument(
+        "--multiset", action="store_true",
+        help="Definition 6 semantics: points may carry multiplicity "
+             "(as target patterns do)")
+    for q_cmd in (q_form, q_sym):
+        q_cmd.add_argument(
+            "--server", metavar="HOST:PORT",
+            help="send the query to a running `repro serve` instance "
+                 "instead of evaluating in-process (the printed "
+                 "deterministic view is byte-identical either way)")
+        q_cmd.add_argument(
+            "--cache-stats", action="store_true",
+            help="print L1/L2/L3 cache-hierarchy counters to stderr")
+        q_cmd.add_argument(
+            "--trace", metavar="PATH",
+            help="write a schema-versioned JSONL span trace to PATH")
+        q_cmd.add_argument(
+            "--metrics", metavar="PATH",
+            help="write the query's counter delta to PATH as JSON")
+        q_cmd.set_defaults(func=_cmd_query)
+
+    serve = sub.add_parser(
+        "serve", help="serve formability/symmetricity/run queries "
+                      "over HTTP until SIGTERM (graceful drain)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (default 0 = ephemeral; the bound port is "
+             "printed as `serving on HOST:PORT`)")
+    serve.add_argument(
+        "--workers", type=int, default=0,
+        help="warm worker processes for query evaluation (default 0 "
+             "= inline threads; >0 reuses the campaign pool with a "
+             "shared warm L2 store)")
+    serve.add_argument(
+        "--queue-depth", type=int, default=16,
+        help="max in-flight queries before 429 backpressure "
+             "(default 16)")
+    serve.add_argument(
+        "--deadline", type=float, default=30.0,
+        help="per-request deadline in seconds; waiters past it get "
+             "504 but the computation still warms the caches "
+             "(default 30)")
+    serve.add_argument(
+        "--cache-stats", action="store_true",
+        help="print cache-hierarchy counters after drain")
+    serve.add_argument(
+        "--trace", metavar="PATH",
+        help="write a JSONL span trace of every served request")
+    serve.add_argument(
+        "--metrics", metavar="PATH",
+        help="write the serve session's counter delta to PATH on "
+             "drain")
+    serve.set_defaults(func=_cmd_serve)
 
     campaign = sub.add_parser(
         "campaign",

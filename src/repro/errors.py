@@ -44,3 +44,16 @@ class UnsolvableError(ReproError):
 
 class SimulationError(ReproError):
     """The FSYNC simulation engine hit an unexpected state."""
+
+
+class ServiceError(ReproError):
+    """The query service refused or failed a request.
+
+    Carries the HTTP-ish status the server answered with (``429`` for
+    backpressure, ``504`` for a deadline, ``422`` for an invalid
+    query, ...), so clients can branch on the class of refusal.
+    """
+
+    def __init__(self, message: str, status: int = 500) -> None:
+        super().__init__(message)
+        self.status = status

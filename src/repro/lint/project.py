@@ -51,7 +51,7 @@ __all__ = [
 
 #: Bumped whenever the lowering changes shape; part of the analysis
 #: cache signature so stale summaries are never deserialized.
-IR_VERSION = 1
+IR_VERSION = 2
 
 #: Methods whose call on a resource variable counts as releasing it.
 _CLEANUP_METHODS = frozenset((
@@ -257,6 +257,11 @@ class ModuleSummary:
     functions: dict[str, FunctionInfo] = field(default_factory=dict)
     #: class name → tuple of annotated field names (dataclass-style)
     class_fields: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: class name → tuple of ``(name, line)`` for *plain* (unannotated)
+    #: class-body assignments.  On a dataclass these are silently not
+    #: fields — the facade-contract rule flags them on record classes.
+    class_plain_fields: dict[str, tuple[tuple[str, int], ...]] = field(
+        default_factory=dict)
 
     def as_json(self) -> dict[str, Any]:
         return {
@@ -272,6 +277,10 @@ class ModuleSummary:
                           for qual, info in sorted(self.functions.items())},
             "class_fields": {name: list(fields) for name, fields in
                              sorted(self.class_fields.items())},
+            "class_plain_fields": {
+                name: [[fname, line] for fname, line in fields]
+                for name, fields in
+                sorted(self.class_plain_fields.items())},
         }
 
     @classmethod
@@ -286,6 +295,9 @@ class ModuleSummary:
                              for qual, info in data["functions"].items()}
         summary.class_fields = {name: tuple(fields) for name, fields in
                                 data["class_fields"].items()}
+        summary.class_plain_fields = {
+            name: tuple((str(fname), int(line)) for fname, line in fields)
+            for name, fields in data["class_plain_fields"].items()}
         return summary
 
 
@@ -703,15 +715,21 @@ def summarize_module(posix_path: str, tree: ast.Module) -> ModuleSummary:
             pending.append((stmt, stmt.name, None))
         elif isinstance(stmt, ast.ClassDef):
             fields: list[str] = []
+            plain: list[tuple[str, int]] = []
             for sub in stmt.body:
                 if isinstance(sub, ast.AnnAssign) and \
                         isinstance(sub.target, ast.Name):
                     fields.append(sub.target.id)
+                elif isinstance(sub, ast.Assign):
+                    for target in sub.targets:
+                        if isinstance(target, ast.Name):
+                            plain.append((target.id, sub.lineno))
                 elif isinstance(sub, (ast.FunctionDef,
                                       ast.AsyncFunctionDef)):
                     pending.append((sub, f"{stmt.name}.{sub.name}",
                                     stmt.name))
             summary.class_fields[stmt.name] = tuple(fields)
+            summary.class_plain_fields[stmt.name] = tuple(plain)
 
     while pending:
         node, qualname, cls_name = pending.pop(0)

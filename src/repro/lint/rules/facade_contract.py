@@ -20,6 +20,21 @@ in ``repro.api``, so a single-file pass cannot see the drift.  The
 rule resolves the ``ExperimentSpec`` import in any module defining a
 ``GRID_AXES`` constant and requires every axis name to be a declared
 field of that class.
+
+**``SPEC_WIRE_FIELDS`` stays in sync with both.**  The query server's
+wire protocol pins which spec fields a run query can carry
+(``repro.serve.protocol``).  Two drifts are possible and both are
+silent at runtime: a wire field with no matching ``ExperimentSpec``
+field would crash (or worse, be dropped) at decode, and a
+``GRID_AXES`` axis missing from the wire tuple means the service
+cannot express a campaign cell.  The rule requires every wire field
+to be a spec field and every grid axis to be a wire field.
+
+**Record classes have no plain fields.**  The query/spec records are
+frozen dataclasses; a *plain* (unannotated) class-body assignment on
+one is silently not a dataclass field — it never reaches ``asdict``,
+the wire, or a digest.  On facade modules, any public class that has
+annotated fields must not also carry public plain assignments.
 """
 
 from __future__ import annotations
@@ -32,9 +47,10 @@ from repro.lint.project import ModuleSummary, Project
 __all__ = ["FacadeContractRule"]
 
 #: Modules whose public signatures must be fully annotated.
-_TYPED_FACADES = ("repro.api", "repro.campaign")
+_TYPED_FACADES = ("repro.api", "repro.campaign", "repro.serve")
 
 _AXIS_CONSTANT = "GRID_AXES"
+_WIRE_CONSTANT = "SPEC_WIRE_FIELDS"
 _SPEC_CLASS = "ExperimentSpec"
 
 
@@ -47,16 +63,19 @@ class FacadeContractRule(ProjectRule):
     """Façade annotations + grid-axis drift (REP011)."""
 
     rule_id = "REP011"
-    summary = "public facade signature unannotated, or campaign " \
-              "GRID_AXES out of sync with ExperimentSpec"
+    summary = "public facade signature unannotated, or campaign/" \
+              "serve wire constants out of sync with ExperimentSpec"
 
     def check_project(self, project: Project) -> Iterable[Violation]:
         for name in sorted(project.modules):
             summary = project.modules[name]
             if _in_facade(name):
                 yield from self._check_annotations(summary)
+                yield from self._check_plain_fields(summary)
             if _AXIS_CONSTANT in summary.constants:
                 yield from self._check_axes(project, summary)
+            if _WIRE_CONSTANT in summary.constants:
+                yield from self._check_wire_fields(project, summary)
 
     def _check_annotations(self, summary: ModuleSummary,
                            ) -> Iterable[Violation]:
@@ -83,6 +102,76 @@ class FacadeContractRule(ProjectRule):
                     message=(f"public facade signature "
                              f"`{qual}` leaves {what} "
                              f"unannotated"))
+
+    def _check_plain_fields(self, summary: ModuleSummary,
+                            ) -> Iterable[Violation]:
+        for cls_name in sorted(summary.class_plain_fields):
+            if cls_name.startswith("_"):
+                continue
+            if not summary.class_fields.get(cls_name):
+                continue  # not record-shaped; plain attrs are fine
+            for fname, line in summary.class_plain_fields[cls_name]:
+                if fname.startswith("_"):
+                    continue
+                yield Violation(
+                    path=summary.path, line=line, col=0,
+                    rule=self.rule_id,
+                    message=(f"record class `{cls_name}` assigns "
+                             f"`{fname}` without a type annotation; "
+                             f"a plain assignment is not a dataclass "
+                             f"field and silently drops off the "
+                             f"record"))
+
+    def _spec_fields(self, project: Project, summary: ModuleSummary,
+                     ) -> "tuple[str, tuple[str, ...] | None]":
+        """Resolve the imported ``ExperimentSpec``'s declared fields."""
+        target = summary.imports.get(_SPEC_CLASS)
+        if target is None:
+            return "", None
+        module_name, _, class_name = target.rpartition(".")
+        spec_module = project.modules.get(module_name)
+        if spec_module is None:
+            return target, None
+        return target, spec_module.class_fields.get(class_name)
+
+    def _check_wire_fields(self, project: Project,
+                           summary: ModuleSummary,
+                           ) -> Iterable[Violation]:
+        wire = summary.constants[_WIRE_CONSTANT]
+        if not isinstance(wire, (tuple, list)):
+            return
+        line = summary.constant_lines.get(_WIRE_CONSTANT, 0)
+        target, fields = self._spec_fields(project, summary)
+        if fields is not None:
+            for fname in wire:
+                if not isinstance(fname, str) or fname in fields:
+                    continue
+                yield Violation(
+                    path=summary.path, line=line, col=0,
+                    rule=self.rule_id,
+                    message=(f"{_WIRE_CONSTANT} field `{fname}` has "
+                             f"no matching field on {target}; the "
+                             f"wire would carry a setting the spec "
+                             f"cannot hold"))
+        # Every campaign axis must be expressible on the wire, or the
+        # service cannot serve what the campaign can run.
+        wire_names = {fname for fname in wire if isinstance(fname, str)}
+        for other_name in sorted(project.modules):
+            other = project.modules[other_name]
+            axes = other.constants.get(_AXIS_CONSTANT)
+            if not isinstance(axes, (tuple, list)):
+                continue
+            for axis in axes:
+                if not isinstance(axis, str) or axis in wire_names:
+                    continue
+                yield Violation(
+                    path=summary.path, line=line, col=0,
+                    rule=self.rule_id,
+                    message=(f"{_AXIS_CONSTANT} axis `{axis}` "
+                             f"(defined in {other_name}) is missing "
+                             f"from {_WIRE_CONSTANT}; the query "
+                             f"server cannot express that campaign "
+                             f"axis"))
 
     def _check_axes(self, project: Project, summary: ModuleSummary,
                     ) -> Iterable[Violation]:

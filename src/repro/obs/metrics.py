@@ -61,8 +61,11 @@ __all__ = [
 #: fallbacks taken, device transfers paid) rather than logical model
 #: events.  Performance counters depend on cache luck and therefore on
 #: the ``--jobs`` partition; the jobs-invariance contract only covers
-#: the logical remainder.
-PERFORMANCE_PREFIXES = ("backend.",)
+#: the logical remainder.  The ``serve.`` namespace (queue depth,
+#: coalesce hits, deadline misses) is scheduling-dependent for the
+#: same reason: two identical query bursts coalesce differently
+#: depending on arrival timing.
+PERFORMANCE_PREFIXES = ("backend.", "serve.")
 
 METRICS_SCHEMA_VERSION = 1
 

@@ -23,7 +23,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-__all__ = ["ArrayRef", "ShmArena", "packed_arrays"]
+__all__ = ["ArrayRef", "ShmArena", "packed_arrays", "release_attached"]
 
 # (segment name, offset) -> original array, populated by the packing
 # process.  Fork-started workers inherit it and skip the attach.
@@ -131,6 +131,25 @@ class ShmArena:
         try:
             self._shm.unlink()
         except OSError:
+            pass
+
+
+def release_attached(shm_name: str) -> None:
+    """Drop this process's cached attachment of ``shm_name``.
+
+    The trial pool attaches a handful of long-lived segments, so its
+    ``_ATTACHED`` cache never needs eviction.  A long-running query
+    worker sees one fresh segment *per request*; after it has copied
+    the arrays out it calls this so mappings don't accumulate for the
+    life of the worker.  A live view into the segment keeps the
+    mapping valid (``BufferError`` is swallowed and the entry dropped
+    — the segment then dies with the view).  No-op for unknown names.
+    """
+    shm = _ATTACHED.pop(shm_name, None)
+    if shm is not None:
+        try:
+            shm.close()
+        except BufferError:
             pass
 
 

@@ -1,0 +1,95 @@
+"""A small blocking client for the query service.
+
+Backs ``repro query … --server HOST:PORT``, the smoke job and the
+benchmark harness.  Stdlib ``http.client`` only — the client must not
+need anything the server doesn't.  Every non-200 answer raises
+:class:`repro.errors.ServiceError` carrying the HTTP status, so
+callers branch on the refusal class (429 back-off vs 422 bad query)
+without string matching.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from repro.api import Query, QueryResult
+from repro.errors import ServiceError
+from repro.serve.protocol import decode_result, encode_query
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """One keep-alive connection to a query server."""
+
+    def __init__(self, host: str, port: int,
+                 timeout: float = 60.0) -> None:
+        self.host = str(host)
+        self.port = int(port)
+        self._conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout)
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> dict:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            self._conn.request(method, path, body=body,
+                               headers=headers)
+            response = self._conn.getresponse()
+            text = response.read().decode("utf-8")
+        except (OSError, http.client.HTTPException) as exc:
+            self._conn.close()  # poisoned keep-alive state
+            raise ServiceError(
+                f"query server at {self.host}:{self.port} "
+                f"unreachable: {exc}", status=503) from None
+        try:
+            answer = json.loads(text)
+        except json.JSONDecodeError:
+            raise ServiceError(
+                f"non-JSON response from server "
+                f"(status {response.status})", status=502) from None
+        if response.status != 200:
+            message = answer.get("error", text) \
+                if isinstance(answer, dict) else text
+            raise ServiceError(str(message), status=response.status)
+        return answer
+
+    def query(self, query: Query) -> QueryResult:
+        """Round-trip one typed query; the wire ``served`` sidecar is
+        folded into the result's ``cache`` dict."""
+        wire = self._request("POST", "/v1/query",
+                             encode_query(query))
+        served = wire.pop("served", None)
+        result = decode_result(wire)
+        if served is not None:
+            cache = dict(result.cache)
+            cache["served"] = served
+            result = QueryResult(
+                kind=result.kind, verdict=result.verdict,
+                groups=result.groups, explanation=result.explanation,
+                payload=result.payload, cache=cache,
+                timing=result.timing,
+                schema_version=result.schema_version)
+        return result
+
+    def health(self) -> dict:
+        """The server's ``/v1/healthz`` payload."""
+        return self._request("GET", "/v1/healthz")
+
+    def metrics(self) -> dict:
+        """The server's ``serve.*`` counters and cache metrics."""
+        return self._request("GET", "/v1/metrics")
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,193 @@
+"""Dispatchers: where a query's CPU-bound kernel actually runs.
+
+The event loop must never execute a symmetry detection itself — a
+``γ(P)`` classification can take milliseconds to seconds, and one
+slow query would stall every concurrent client.  Two dispatchers
+implement the same ``await dispatch(task_id, wire) -> payload``
+surface:
+
+* :class:`InlineDispatcher` (``workers=0``) runs
+  :func:`repro.serve.worker.evaluate_wire_query` on a thread via
+  ``asyncio.to_thread``.  The GIL means heavy numeric queries still
+  steal cycles from the loop, but nothing *blocks* it — right for
+  tests, development and the CLI's default.
+* :class:`PoolDispatcher` (``workers>0``) owns a
+  :class:`repro.campaign.pool.WarmPool` whose runner is
+  :func:`repro.serve.worker.run_query_task`: long-lived worker
+  processes with a shared warm L2 store, exactly the campaign's
+  machinery with a different task type.  A single pump thread polls
+  the pool's result queue and completes per-request futures with
+  ``loop.call_soon_threadsafe`` — the only thread-to-loop crossing.
+
+Coordinate payloads ride the :class:`repro.perf.blocks.ShmArena`
+zero-copy path: the dispatcher packs each query's arrays into one
+per-request segment and submits lightweight refs; the worker
+materializes and releases them.  The arena is parent-owned and closed
+when the outcome arrives (or on any submit/teardown failure — REP010:
+every exit path releases it exactly once).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Mapping
+
+from repro.errors import ReproError, ServiceError, SimulationError
+
+__all__ = ["InlineDispatcher", "PoolDispatcher"]
+
+_PUMP_POLL_SECONDS = 0.1
+
+
+class InlineDispatcher:
+    """Evaluate queries on threads inside the server process."""
+
+    jobs = 0
+
+    async def dispatch(self, task_id: str,
+                       wire: Mapping[str, Any]) -> dict:
+        from repro.serve.worker import evaluate_wire_query
+
+        def _run() -> dict:
+            try:
+                return {"status": 200,
+                        "result": evaluate_wire_query(wire)}
+            except ReproError as exc:
+                return {"status": 422, "error": str(exc)}
+
+        return await asyncio.to_thread(_run)
+
+    def close(self) -> None:
+        """Nothing to release; present for dispatcher symmetry."""
+
+
+class PoolDispatcher:
+    """Evaluate queries on a campaign-style warm worker pool."""
+
+    def __init__(self, jobs: int) -> None:
+        from repro.campaign.pool import WarmPool
+        from repro.serve.worker import run_query_task
+
+        self.jobs = max(1, int(jobs))
+        self._pool = WarmPool(self.jobs, runner=run_query_task)
+        # The pool owns live processes and an L2 segment from here:
+        # any construction failure below must tear it down (REP010).
+        try:
+            self._pending: dict[str, tuple] = {}
+            self._lock = threading.Lock()
+            self._stop = threading.Event()
+            self._pump = threading.Thread(
+                target=self._pump_main, name="serve-pool-pump",
+                daemon=True)
+            self._pump.start()
+        except BaseException:
+            self._pool.close()
+            raise
+        self._closed = False
+
+    def _packed(self, wire: Mapping[str, Any]) -> "tuple[Any, dict]":
+        """``(arena, wire-with-refs)`` for one query's coordinates."""
+        from repro.perf.blocks import ArrayRef, ShmArena
+
+        fields = [fname for fname in ("initial", "target", "points")
+                  if isinstance(wire.get(fname), list)]
+        if not fields:
+            return None, dict(wire)
+        try:
+            arena = ShmArena.pack([wire[fname] for fname in fields])
+        except (TypeError, ValueError) as exc:
+            raise ServiceError(
+                f"query coordinates are not rectangular numeric "
+                f"arrays: {exc}", status=422) from None
+        try:
+            packed = dict(wire)
+            for fname, ref in zip(fields, arena.refs):
+                assert isinstance(ref, ArrayRef)
+                packed[fname] = ref
+        except BaseException:
+            arena.close()
+            raise
+        return arena, packed
+
+    async def dispatch(self, task_id: str,
+                       wire: Mapping[str, Any]) -> dict:
+        if self._closed:
+            raise ServiceError("dispatcher is closed", status=503)
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        arena, packed = self._packed(wire)
+        with self._lock:
+            self._pending[task_id] = (loop, future, arena)
+        try:
+            self._pool.submit((task_id, packed))
+        except BaseException:
+            with self._lock:
+                self._pending.pop(task_id, None)
+            if arena is not None:
+                arena.close()
+            raise
+        return await future
+
+    def _complete(self, future: asyncio.Future, payload: dict,
+                  error: Exception | None) -> None:
+        if future.done():  # drain raced a deadline-abandoned future
+            return
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(payload)
+
+    def _pump_main(self) -> None:
+        while not self._stop.is_set():
+            try:
+                outcome = self._pool.poll(timeout=_PUMP_POLL_SECONDS)
+            except SimulationError as exc:
+                self._fail_pending(ServiceError(str(exc), status=500))
+                return
+            except (OSError, ValueError):
+                return  # queues closed under us during teardown
+            if outcome is None:
+                continue
+            status, task_id, payload = outcome
+            with self._lock:
+                entry = self._pending.pop(task_id, None)
+            if entry is None:
+                continue
+            loop, future, arena = entry
+            if arena is not None:
+                arena.close()
+            error = None
+            if status == "err":
+                error = ServiceError(
+                    f"query worker failed:\n{payload}", status=500)
+                payload = {}
+            loop.call_soon_threadsafe(self._complete, future, payload,
+                                      error)
+
+    def _fail_pending(self, error: Exception) -> None:
+        with self._lock:
+            entries = list(self._pending.values())
+            self._pending.clear()
+        for loop, future, arena in entries:
+            if arena is not None:
+                arena.close()
+            loop.call_soon_threadsafe(self._complete, future, {},
+                                      error)
+
+    def pending_count(self) -> int:
+        """Tasks submitted but not yet completed (drain telemetry)."""
+        with self._lock:
+            return len(self._pending)
+
+    def close(self) -> None:
+        """Stop the pump, fail unserved requests, release the pool
+        and every outstanding arena.  Idempotent."""
+        if getattr(self, "_closed", True):
+            return
+        self._closed = True
+        self._stop.set()
+        self._pump.join(timeout=5.0)
+        self._fail_pending(ServiceError("server shut down before the "
+                                        "query completed", status=503))
+        self._pool.close()

@@ -1,0 +1,139 @@
+"""A minimal HTTP/1.1 layer over ``asyncio`` streams.
+
+Just enough protocol for the query service — request line, headers,
+``Content-Length`` bodies, JSON responses — with hard limits instead
+of liberal parsing: the server speaks to its own client and to smoke
+harnesses, not to arbitrary browsers, so anything outside the narrow
+shape is a 4xx, never a guess.  Stdlib only (the no-new-runtime-deps
+constraint of the serve tentpole).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ServiceError
+
+__all__ = ["HttpRequest", "read_request", "response_bytes"]
+
+#: One header line / request line budget.  A request line longer than
+#: this is not a query, it is a mistake (or an attack) — drop it.
+_MAX_LINE_BYTES = 8192
+#: Body budget.  The largest legitimate payload is a run query's spec
+#: or a few hundred robot coordinates — far under a megabyte.
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One parsed request: method, path, headers, raw body."""
+
+    method: str
+    path: str
+    headers: dict = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> dict:
+        """The body as a JSON object; :class:`ServiceError` (400)
+        otherwise."""
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}",
+                               status=400) from None
+        if not isinstance(payload, dict):
+            raise ServiceError("request body must be a JSON object",
+                               status=400)
+        return payload
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       ) -> HttpRequest | None:
+    """Parse one request off ``reader``.
+
+    Returns ``None`` on a clean EOF before any bytes (client closed a
+    keep-alive connection); raises :class:`ServiceError` with an HTTP
+    status for every malformed or over-budget request.
+    """
+    try:
+        request_line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ServiceError("truncated request line", status=400) from None
+    except asyncio.LimitOverrunError:
+        raise ServiceError("request line too long", status=400) from None
+    if len(request_line) > _MAX_LINE_BYTES:
+        raise ServiceError("request line too long", status=400)
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ServiceError("malformed request line", status=400)
+    method, path, _version = parts
+
+    headers: dict[str, str] = {}
+    while True:
+        try:
+            line = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError):
+            raise ServiceError("truncated headers", status=400) from None
+        if len(line) > _MAX_LINE_BYTES:
+            raise ServiceError("header line too long", status=400)
+        if line == b"\r\n":
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise ServiceError("malformed header line", status=400)
+        headers[name.strip().lower()] = value.strip()
+
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise ServiceError(
+            f"bad Content-Length {length_text!r}", status=400) from None
+    if length < 0:
+        raise ServiceError("negative Content-Length", status=400)
+    if length > MAX_BODY_BYTES:
+        raise ServiceError(
+            f"request body of {length} bytes exceeds the "
+            f"{MAX_BODY_BYTES}-byte budget", status=413)
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise ServiceError("truncated request body",
+                               status=400) from None
+    return HttpRequest(method=method, path=path, headers=headers,
+                       body=body)
+
+
+def response_bytes(status: int, payload: dict, *,
+                   close: bool = False) -> bytes:
+    """One complete JSON response, ready for ``writer.write``."""
+    body = json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            f"\r\n")
+    return head.encode("latin-1") + body

@@ -559,3 +559,111 @@ class TestRep011FacadeContract:
             """,
         })
         assert by_rule(report, "REP011") == []
+
+    def test_wire_field_without_spec_field(self, lint_tree):
+        report = lint_tree({
+            "src/repro/api.py": """\
+                class ExperimentSpec:
+                    trials: int
+                    seed: int
+            """,
+            "src/repro/serve/protocol.py": """\
+                from repro.api import ExperimentSpec
+
+                SPEC_WIRE_FIELDS = ("trials", "seed", "turbo")
+            """,
+        })
+        found = by_rule(report, "REP011")
+        assert len(found) == 1
+        assert found[0].path == "src/repro/serve/protocol.py"
+        assert found[0].line == 3
+        assert "turbo" in found[0].message
+
+    def test_grid_axis_missing_from_wire(self, lint_tree):
+        # The spec and grid agree; the wire tuple forgot an axis, so
+        # the server cannot express that campaign cell.
+        report = lint_tree({
+            "src/repro/api.py": """\
+                class ExperimentSpec:
+                    trials: int
+                    seed: int
+                    backend: str
+            """,
+            "src/repro/campaign/spec.py": """\
+                from repro.api import ExperimentSpec
+
+                GRID_AXES = ("trials", "seed", "backend")
+            """,
+            "src/repro/serve/protocol.py": """\
+                from repro.api import ExperimentSpec
+
+                SPEC_WIRE_FIELDS = ("trials", "seed")
+            """,
+        })
+        found = by_rule(report, "REP011")
+        assert len(found) == 1
+        assert found[0].path == "src/repro/serve/protocol.py"
+        assert "backend" in found[0].message
+        assert "campaign axis" in found[0].message
+
+    def test_wire_and_axes_in_sync_are_fine(self, lint_tree):
+        report = lint_tree({
+            "src/repro/api.py": """\
+                class ExperimentSpec:
+                    trials: int
+                    seed: int
+                    backend: str
+            """,
+            "src/repro/campaign/spec.py": """\
+                from repro.api import ExperimentSpec
+
+                GRID_AXES = ("trials", "seed", "backend")
+            """,
+            "src/repro/serve/protocol.py": """\
+                from repro.api import ExperimentSpec
+
+                SPEC_WIRE_FIELDS = ("trials", "seed", "backend")
+            """,
+        })
+        assert by_rule(report, "REP011") == []
+
+    def test_plain_assignment_on_record_class(self, lint_tree):
+        # `retries = 3` is not a dataclass field: it never reaches
+        # asdict, the wire, or a digest.
+        report = lint_tree({
+            "src/repro/api.py": """\
+                class RunQuery:
+                    name: str
+                    seed: int
+                    retries = 3
+            """,
+        })
+        found = by_rule(report, "REP011")
+        assert len(found) == 1
+        assert found[0].line == 4
+        assert "retries" in found[0].message
+
+    def test_plain_attrs_on_non_record_classes_are_fine(self, lint_tree):
+        # No annotated fields → not record-shaped; class constants and
+        # __slots__ are legitimate.
+        report = lint_tree({
+            "src/repro/api.py": """\
+                class Dispatcher:
+                    kind = "inline"
+
+                    def dispatch(self, task: tuple) -> dict:
+                        return {}
+            """,
+        })
+        assert by_rule(report, "REP011") == []
+
+    def test_private_plain_fields_are_fine(self, lint_tree):
+        report = lint_tree({
+            "src/repro/api.py": """\
+                class RunQuery:
+                    name: str
+                    _cached = None
+                    __slots__ = ("name",)
+            """,
+        })
+        assert by_rule(report, "REP011") == []

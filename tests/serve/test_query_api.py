@@ -1,0 +1,117 @@
+"""The typed query surface of ``repro.api``: records, evaluation,
+schema versioning, and the deprecation shims."""
+
+import warnings
+
+import pytest
+
+from repro.api import (
+    API_SCHEMA_VERSION,
+    ExperimentSpec,
+    FormabilityQuery,
+    RunQuery,
+    SymmetricityQuery,
+    as_points,
+    evaluate_query,
+    resolved_spec_record,
+    run_experiment,
+    spec_as_dict,
+    spec_record,
+)
+from repro.errors import ReproError
+
+
+class TestQueryRecords:
+    def test_records_are_frozen_and_versioned(self):
+        query = FormabilityQuery(initial="cube", target="octagon")
+        assert query.schema_version == API_SCHEMA_VERSION
+        with pytest.raises(AttributeError):
+            query.initial = "tetrahedron"
+
+    def test_as_points_canonicalizes(self):
+        points = as_points([[1, 2, 3], [4, 5, 6.5]])
+        assert points == ((1.0, 2.0, 3.0), (4.0, 5.0, 6.5))
+        assert as_points("cube") == "cube"
+        with pytest.raises(ReproError, match="points"):
+            as_points(42)
+
+    def test_spec_carries_schema_version(self):
+        assert ExperimentSpec().schema_version == API_SCHEMA_VERSION
+        assert spec_record(ExperimentSpec())["schema_version"] == \
+            API_SCHEMA_VERSION
+        record = resolved_spec_record("lemma7", ExperimentSpec())
+        assert record["schema_version"] == API_SCHEMA_VERSION
+
+
+class TestEvaluateQuery:
+    def test_formable_pair(self):
+        result = evaluate_query(FormabilityQuery(initial="cube",
+                                                 target="octagon"))
+        assert result.kind == "formability"
+        assert result.verdict == "formable"
+        assert result.groups["rho_initial"] == ["D4"]
+        assert result.groups["blocking"] == []
+        assert "Theorem 1.1" in result.explanation
+        assert result.payload["n"] == 8
+
+    def test_unformable_pair_names_the_blocker(self):
+        result = evaluate_query(FormabilityQuery(initial="octagon",
+                                                 target="cube"))
+        assert result.verdict == "unformable"
+        assert result.groups["blocking"] == ["C8"]
+
+    def test_symmetricity_classification(self):
+        result = evaluate_query(SymmetricityQuery(
+            points="icosahedron"))
+        assert result.kind == "symmetricity"
+        assert result.verdict == "I"
+        assert result.groups["gamma"] == "I"
+        assert result.groups["rho_maximal"] == ["D3", "T"]
+        assert result.payload["gamma_order"] == 60
+
+    def test_run_query_matches_run_experiment(self):
+        spec = ExperimentSpec(trials=2)
+        result = evaluate_query(RunQuery(name="lemma7", spec=spec))
+        direct = run_experiment("lemma7", spec)
+        assert result.verdict == "completed"
+        assert result.payload["row_count"] == len(direct.rows)
+        assert result.payload["rows_sha256"] == \
+            direct.manifest["rows"]["sha256"]
+        assert result.payload["spec"] == \
+            resolved_spec_record("lemma7", spec)
+
+    def test_deterministic_view_is_stable(self):
+        query = SymmetricityQuery(points="cube")
+        first = evaluate_query(query).deterministic_view()
+        second = evaluate_query(query).deterministic_view()
+        assert first == second
+        assert "timing" not in first and "cache" not in first
+
+    def test_sidecars_are_present_but_separate(self):
+        result = evaluate_query(SymmetricityQuery(points="cube"))
+        assert "elapsed_ms" in result.timing
+        assert "enabled" in result.cache
+
+    def test_newer_schema_rejected(self):
+        query = SymmetricityQuery(
+            points="cube", schema_version=API_SCHEMA_VERSION + 1)
+        with pytest.raises(ReproError, match="schema_version"):
+            evaluate_query(query)
+
+    def test_unknown_pattern_raises(self):
+        with pytest.raises(ReproError):
+            evaluate_query(SymmetricityQuery(points="dodecaplex"))
+
+
+class TestDeprecationShims:
+    def test_spec_as_dict_warns_and_drops_version(self):
+        spec = ExperimentSpec(trials=3)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = spec_as_dict(spec)
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+        assert "schema_version" not in legacy
+        modern = spec_record(spec)
+        modern.pop("schema_version")
+        assert legacy == modern

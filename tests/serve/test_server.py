@@ -1,0 +1,316 @@
+"""The query server: byte-identity, coalescing, backpressure,
+deadlines, and leak-free drain."""
+
+import asyncio
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.api import (
+    FormabilityQuery,
+    RunQuery,
+    SymmetricityQuery,
+    as_points,
+    evaluate_query,
+)
+from repro.errors import ServiceError
+from repro.obs import metrics as _metrics
+from repro.serve.client import ServeClient
+from repro.serve.protocol import canonical_result_text
+from repro.serve.server import QueryServer, ServeConfig
+
+OCTAHEDRON = as_points([[1.0, 0, 0], [0, 1, 0], [0, 0, 1],
+                        [-1.0, 0, 0], [0, -1, 0], [0, 0, -1]])
+
+
+class _ServerThread:
+    """Run one QueryServer on a private loop in a daemon thread."""
+
+    def __init__(self, config, dispatcher=None):
+        self._config = config
+        self._dispatcher = dispatcher
+        self._started = threading.Event()
+        self._stop = None
+        self.loop = None
+        self.server = None
+        self.error = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        async def main():
+            self.server = QueryServer(self._config, self._dispatcher)
+            self._stop = asyncio.Event()
+            self.loop = asyncio.get_running_loop()
+            try:
+                await self.server.start()
+            finally:
+                self._started.set()
+            await self._stop.wait()
+            await self.server.drain()
+
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # surfaced in stop()
+            self.error = exc
+            self._started.set()
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._started.wait(timeout=30), "server never started"
+        if self.error is not None:
+            raise self.error
+        return self
+
+    def __exit__(self, *exc):
+        self.stop()
+
+    @property
+    def address(self):
+        return self.server.address
+
+    def stop(self):
+        if self.loop is not None and self._stop is not None and \
+                not self._stop.is_set():
+            self.loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=60)
+        assert not self._thread.is_alive(), "server failed to drain"
+        if self.error is not None:
+            raise self.error
+
+
+def _serve_delta(before, after):
+    deltas = {}
+    for name, value in after.items():
+        if name.startswith("serve."):
+            deltas[name] = value - before.get(name, 0)
+    return {name: value for name, value in deltas.items() if value}
+
+
+class TestByteIdentity:
+    def test_concurrent_clients_match_direct_api(self):
+        queries = [
+            FormabilityQuery(initial="cube", target="octagon"),
+            FormabilityQuery(initial="octagon", target="cube"),
+            SymmetricityQuery(points="icosahedron"),
+            SymmetricityQuery(points=OCTAHEDRON),
+        ]
+        expected = [canonical_result_text(evaluate_query(q))
+                    for q in queries]
+        with _ServerThread(ServeConfig(queue_depth=16)) as st:
+            host, port = st.address
+            results = [None] * len(queries)
+
+            def ask(i):
+                with ServeClient(host, port) as client:
+                    results[i] = canonical_result_text(
+                        client.query(queries[i]))
+
+            threads = [threading.Thread(target=ask, args=(i,))
+                       for i in range(len(queries))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+        assert results == expected
+
+    def test_run_query_round_trip(self):
+        from repro.api import ExperimentSpec
+
+        query = RunQuery(name="lemma7", spec=ExperimentSpec(trials=2))
+        expected = canonical_result_text(evaluate_query(query))
+        with _ServerThread(ServeConfig()) as st:
+            host, port = st.address
+            with ServeClient(host, port) as client:
+                assert canonical_result_text(client.query(query)) == \
+                    expected
+
+    def test_invalid_query_is_422(self):
+        with _ServerThread(ServeConfig()) as st:
+            host, port = st.address
+            with ServeClient(host, port) as client:
+                with pytest.raises(ServiceError) as info:
+                    client.query(SymmetricityQuery(points="noshape"))
+        assert info.value.status == 422
+
+    def test_unknown_path_and_bad_json(self):
+        with _ServerThread(ServeConfig()) as st:
+            host, port = st.address
+            conn = http.client.HTTPConnection(host, port, timeout=30)
+            conn.request("GET", "/nope")
+            response = conn.getresponse()
+            assert response.status == 404
+            response.read()
+            conn.request("POST", "/v1/query", body=b"{not json",
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            assert response.status == 400
+            assert "JSON" in json.loads(response.read())["error"]
+            conn.close()
+
+
+class _GatedDispatcher:
+    """Holds every dispatch until ``expected`` requests are admitted,
+    so a concurrent burst provably overlaps in flight."""
+
+    def __init__(self, expected):
+        self.expected = expected
+        self.server = None  # bound by the test after construction
+        self.dispatches = 0
+
+    async def dispatch(self, task_id, wire):
+        from repro.serve.dispatch import InlineDispatcher
+
+        self.dispatches += 1
+        while self.server._admitted < self.expected:
+            await asyncio.sleep(0.005)
+        return await InlineDispatcher().dispatch(task_id, wire)
+
+    def close(self):
+        pass
+
+
+class TestCoalescing:
+    def test_equivalent_burst_is_one_computation(self):
+        burst = 6
+        gate = _GatedDispatcher(expected=burst)
+        before = _metrics.registry().snapshot()["counters"]
+        with _ServerThread(ServeConfig(queue_depth=2 * burst,
+                                       deadline_s=120),
+                           dispatcher=gate) as st:
+            gate.server = st.server
+            host, port = st.address
+            results = [None] * burst
+
+            def ask(i):
+                # Same congruence class at an exact offset: same key.
+                points = tuple(tuple(c + float(i % 2) for c in row)
+                               for row in OCTAHEDRON)
+                with ServeClient(host, port) as client:
+                    results[i] = client.query(
+                        SymmetricityQuery(points=points))
+
+            threads = [threading.Thread(target=ask, args=(i,))
+                       for i in range(burst)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+        after = _metrics.registry().snapshot()["counters"]
+        delta = _serve_delta(before, after)
+        # The pinned contract: one dispatch, everyone else coalesces.
+        assert gate.dispatches == 1
+        assert delta["serve.dispatched"] == 1
+        assert delta["serve.coalesced"] == burst - 1
+        assert delta["serve.completed"] == burst
+        texts = {canonical_result_text(r) for r in results}
+        assert len(texts) == 1
+        coalesced = [r.cache["served"]["coalesced"] for r in results]
+        assert sorted(coalesced) == [False] + [True] * (burst - 1)
+
+
+class _SlowDispatcher:
+    def __init__(self, delay_s):
+        self.delay_s = delay_s
+
+    async def dispatch(self, task_id, wire):
+        await asyncio.sleep(self.delay_s)
+        return {"status": 200,
+                "result": {"wire_schema": 1, "schema_version": 1,
+                           "kind": "symmetricity", "verdict": "T",
+                           "groups": {}, "explanation": "",
+                           "payload": {}, "cache": {}, "timing": {}}}
+
+    def close(self):
+        pass
+
+
+class TestBackpressureAndDeadlines:
+    def test_queue_depth_exhaustion_is_429(self):
+        before = _metrics.registry().snapshot()["counters"]
+        with _ServerThread(ServeConfig(queue_depth=1, deadline_s=30),
+                           dispatcher=_SlowDispatcher(1.5)) as st:
+            host, port = st.address
+            first_status = {}
+
+            def slow_ask():
+                with ServeClient(host, port) as client:
+                    result = client.query(
+                        SymmetricityQuery(points="cube"))
+                    first_status["verdict"] = result.verdict
+
+            t = threading.Thread(target=slow_ask)
+            t.start()
+            time.sleep(0.4)  # let the first request occupy the slot
+            with ServeClient(host, port) as client:
+                with pytest.raises(ServiceError) as info:
+                    client.query(SymmetricityQuery(points="octagon"))
+            assert info.value.status == 429
+            t.join(timeout=60)
+        assert first_status["verdict"] == "T"
+        after = _metrics.registry().snapshot()["counters"]
+        assert _serve_delta(before, after)["serve.rejected"] == 1
+
+    def test_deadline_is_504_and_computation_survives(self):
+        before = _metrics.registry().snapshot()["counters"]
+        with _ServerThread(ServeConfig(queue_depth=4, deadline_s=0.3),
+                           dispatcher=_SlowDispatcher(1.2)) as st:
+            host, port = st.address
+            with ServeClient(host, port) as client:
+                with pytest.raises(ServiceError) as info:
+                    client.query(SymmetricityQuery(points="cube"))
+            assert info.value.status == 504
+            # The shielded computation still completes and fills the
+            # in-flight slot's cache entry; wait for it to finish so
+            # drain has nothing to cut short.
+            time.sleep(1.2)
+        after = _metrics.registry().snapshot()["counters"]
+        assert _serve_delta(before, after)["serve.timeouts"] == 1
+
+    def test_draining_server_refuses_new_queries(self):
+        with _ServerThread(ServeConfig()) as st:
+            host, port = st.address
+            st.server._draining = True
+            with ServeClient(host, port) as client:
+                with pytest.raises(ServiceError) as info:
+                    client.query(SymmetricityQuery(points="cube"))
+            assert info.value.status == 503
+            st.server._draining = False
+
+
+class TestPoolDrain:
+    def test_pool_serving_leaves_no_workers_or_segments(self):
+        import multiprocessing
+
+        from repro.perf import blocks
+
+        with _ServerThread(ServeConfig(workers=1,
+                                       queue_depth=8)) as st:
+            host, port = st.address
+            with ServeClient(host, port) as client:
+                for offset in (0.0, 3.0):
+                    points = tuple(tuple(c + offset for c in row)
+                                   for row in OCTAHEDRON)
+                    result = client.query(
+                        SymmetricityQuery(points=points))
+                    assert result.verdict == "O"
+        # Drain happened in __exit__: pool workers are joined and every
+        # per-request arena was closed on outcome delivery.
+        assert blocks._LOCAL == {}
+        for child in multiprocessing.active_children():
+            child.join(timeout=5)
+            assert not child.is_alive()
+
+    def test_health_and_metrics_endpoints(self):
+        with _ServerThread(ServeConfig(queue_depth=7)) as st:
+            host, port = st.address
+            with ServeClient(host, port) as client:
+                health = client.health()
+                assert health["status"] == "ok"
+                assert health["queue_depth"] == 7
+                client.query(SymmetricityQuery(points="cube"))
+                metrics = client.metrics()
+        assert metrics["serve"]["counters"]["serve.completed"] >= 1
+        assert "cache" in metrics
